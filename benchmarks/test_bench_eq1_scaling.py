@@ -1,0 +1,133 @@
+"""EQ1 — the workstation-pool motivation (paper Eq. (1) and section 1).
+
+Eq. (1) argues workstation MIPS double yearly, so pooling workstations
+beats specialized hardware.  The measurable counterpart in the
+reproduction: a CPU-bound job-jar workload over N simulated workstation
+hosts speeds up with N (until grain-size overhead bites — see SEC42).
+
+Series reported: completion time and speedup for 1, 2, 4 worker hosts on
+the same total work.
+"""
+
+import time
+
+import pytest
+
+from repro import Cluster, ProgramRegistry, run_application, system_default_adf
+from repro.core.api import NIL
+from repro.core.keys import Key, Symbol
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="eq1-scaling")
+
+JAR, OUT = Symbol("jar"), Symbol("out")
+N_TASKS = 60
+SPIN = 4_000  # CPU work per task (pure-python trial division)
+
+
+def _task_work(seed: int) -> int:
+    total = 0
+    for i in range(2, SPIN):
+        if seed % i == 0:
+            total += 1
+    return total
+
+
+def registry():
+    reg = ProgramRegistry()
+
+    @reg.register("boss")
+    def boss(memo, ctx):
+        for i in range(N_TASKS):
+            memo.put(Key(JAR), {"seed": 10_000 + i})
+        memo.flush()
+        acc = 0
+        for _ in range(N_TASKS):
+            acc += memo.get(Key(OUT))
+        for _ in range(ctx.num_workers):
+            memo.put(Key(JAR), {"stop": True})
+        memo.flush()
+        return acc
+
+    @reg.register("worker")
+    def worker(memo, ctx):
+        done = 0
+        while True:
+            task = memo.get(Key(JAR))
+            if task.get("stop"):
+                return done
+            memo.put(Key(OUT), _task_work(task["seed"]))
+            done += 1
+
+    return reg
+
+
+def run_with_workers(n_hosts: int) -> float:
+    hosts = [f"w{i}" for i in range(n_hosts)]
+    adf = system_default_adf(hosts, app="eq1")
+    start = time.perf_counter()
+    results = run_application(adf, registry(), timeout=600)
+    elapsed = time.perf_counter() - start
+    assert results["0"] == sum(_task_work(10_000 + i) for i in range(N_TASKS))
+    return elapsed
+
+
+@pytest.mark.parametrize("n_hosts", [1, 2, 4])
+def test_scaling_benchmark(benchmark, n_hosts):
+    benchmark.pedantic(
+        run_with_workers, args=(n_hosts,), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+def test_speedup_series(benchmark):
+    """The Eq.-(1) shape: more pooled workstations → shorter completion.
+
+    GIL caveat: the simulated hosts are threads, so pure-Python CPU work
+    cannot truly parallelize; the sleep below models each task's compute
+    phase releasing the interpreter, which is what real multi-machine
+    workstations do.  The *coordination* cost stays real.
+    """
+    def sweep() -> dict[int, float]:
+        times = {}
+        for n in (1, 2, 4):
+            hosts = [f"w{i}" for i in range(n)]
+            adf = system_default_adf(hosts, app="eq1b")
+            reg = ProgramRegistry()
+
+            @reg.register("boss")
+            def boss(memo, ctx):
+                for i in range(24):
+                    memo.put(Key(JAR), {"n": i})
+                memo.flush()
+                acc = 0
+                for _ in range(24):
+                    acc += memo.get(Key(OUT))
+                for _ in range(ctx.num_workers):
+                    memo.put(Key(JAR), {"stop": True})
+                memo.flush()
+                return acc
+
+            @reg.register("worker")
+            def worker(memo, ctx):
+                while True:
+                    task = memo.get(Key(JAR))
+                    if task.get("stop"):
+                        return None
+                    time.sleep(0.01)  # off-interpreter compute phase
+                    memo.put(Key(OUT), task["n"])
+
+            start = time.perf_counter()
+            results = run_application(adf, reg, timeout=300)
+            times[n] = time.perf_counter() - start
+            assert results["0"] == sum(range(24))
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+
+    rows = [("hosts", "time (s)", "speedup")]
+    for n in (1, 2, 4):
+        rows.append((n, f"{times[n]:.3f}", f"{times[1] / times[n]:.2f}x"))
+    report("EQ1: workstation-pool speedup", rows)
+    assert times[4] < times[1]  # pooling wins
+    assert times[1] / times[4] > 1.7  # and by a material factor

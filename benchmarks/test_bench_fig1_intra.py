@@ -1,0 +1,95 @@
+"""FIG1 — intra-machine server behaviour (paper Figure 1).
+
+Figure 1 shows an application process talking to the folder server on its
+own host through the memo server, with threads and the shared-memory
+abstraction.  The bench measures that path: put/get round trips that never
+leave the host, through the full request → thread-cache → folder-server →
+reply machinery.
+
+Series reported: operation latency for put(wait), get, get_copy, get_skip
+on a single host — the baseline every inter-machine number (FIG2) is
+compared against.
+"""
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.core.keys import Key, Symbol
+
+pytestmark = pytest.mark.benchmark(group="fig1-intra-machine")
+
+
+@pytest.fixture(scope="module")
+def solo_cluster():
+    adf = system_default_adf(["solo"], app="fig1")
+    with Cluster(adf, idle_timeout=10.0) as cluster:
+        cluster.register()
+        yield cluster
+
+
+@pytest.fixture(scope="module")
+def solo_memo(solo_cluster):
+    return solo_cluster.memo_api("solo", "fig1", "bench")
+
+
+KEY = Key(Symbol("k"))
+
+
+def test_put_wait_latency(benchmark, solo_memo):
+    """Synchronous deposit: full round trip to the local folder server."""
+
+    def op():
+        solo_memo.put(KEY, {"n": 1}, wait=True)
+
+    benchmark(op)
+    # Drain what the bench deposited.
+    for _ in solo_memo.drain(KEY):
+        pass
+
+
+def test_put_get_roundtrip(benchmark, solo_memo):
+    """The Figure-1 transaction: deposit then extract, one host."""
+
+    def op():
+        solo_memo.put(KEY, {"n": 1}, wait=True)
+        return solo_memo.get(KEY)
+
+    result = benchmark(op)
+    assert result == {"n": 1}
+
+
+def test_get_copy_latency(benchmark, solo_memo):
+    solo_memo.put(KEY, "resident", wait=True)
+
+    def op():
+        return solo_memo.get_copy(KEY)
+
+    assert benchmark(op) == "resident"
+    solo_memo.get(KEY)
+
+
+def test_get_skip_miss_latency(benchmark, solo_memo):
+    """Polling an empty folder — the cheapest possible request."""
+    empty = Key(Symbol("nothing-here"))
+
+    from repro.core.api import NIL
+
+    def op():
+        return solo_memo.get_skip(empty)
+
+    assert benchmark(op) is NIL
+
+
+def test_async_put_throughput(benchmark, solo_memo):
+    """'Control is immediately returned': async puts batch on one connection."""
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        solo_memo.put(Key(Symbol("stream"), (counter[0] % 64,)), counter[0])
+
+    benchmark(op)
+    solo_memo.flush()
+    for i in range(64):
+        for _ in solo_memo.drain(Key(Symbol("stream"), (i,))):
+            pass

@@ -1,0 +1,86 @@
+"""FIG2 — inter-machine server behaviour (paper Figure 2).
+
+Figure 2 shows a request from a process on host A reaching a folder on
+host B through both memo servers.  The bench measures that transaction on
+the in-memory fabric and over real TCP sockets, and reports the intra- vs
+inter-machine latency ratio plus the hop accounting (exactly one forward,
+no broadcast).
+"""
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.core.keys import Key, Symbol
+from repro.network.protocol import StatsRequest
+
+pytestmark = pytest.mark.benchmark(group="fig2-inter-machine")
+
+
+def _local_and_remote_keys(cluster, app, here):
+    """One folder owned by `here`, one owned elsewhere, per placement."""
+    from repro.core.keys import FolderName
+
+    reg = cluster.servers[here].registration(app)
+    local = remote = None
+    for i in range(200):
+        key = Key(Symbol("probe"), (i,))
+        _sid, owner = reg.placement.place_host(FolderName(app, key))
+        if owner == here and local is None:
+            local = key
+        elif owner != here and remote is None:
+            remote = key
+        if local is not None and remote is not None:
+            return local, remote
+    raise AssertionError("placement never split across hosts")
+
+
+@pytest.fixture(scope="module", params=["memory", "tcp"])
+def duo(request):
+    adf = system_default_adf(["hostA", "hostB"], app="fig2")
+    with Cluster(adf, transport_kind=request.param, idle_timeout=10.0) as cluster:
+        cluster.register()
+        memo = cluster.memo_api("hostA", "fig2", "bench")
+        local, remote = _local_and_remote_keys(cluster, "fig2", "hostA")
+        yield cluster, memo, local, remote
+
+
+def test_intra_machine_roundtrip(benchmark, duo):
+    _cluster, memo, local, _remote = duo
+
+    def op():
+        memo.put(local, 1, wait=True)
+        return memo.get(local)
+
+    assert benchmark(op) == 1
+
+
+def test_inter_machine_roundtrip(benchmark, duo):
+    """The Figure-2 transaction: host A process → host B folder server."""
+    _cluster, memo, _local, remote = duo
+
+    def op():
+        memo.put(remote, 1, wait=True)
+        return memo.get(remote)
+
+    assert benchmark(op) == 1
+
+
+def test_inter_machine_forward_accounting(benchmark, duo):
+    """Each remote request is exactly one unicast forward — no broadcast."""
+    cluster, memo, _local, remote = duo
+    rounds = 20
+
+    def run():
+        with cluster.client_for("hostA", "stats") as client:
+            before = client.request(StatsRequest()).stats["memo.forwards_out"]
+        for _ in range(rounds):
+            memo.put(remote, 1, wait=True)
+            memo.get(remote)
+        with cluster.client_for("hostA", "stats") as client:
+            after = client.request(StatsRequest()).stats["memo.forwards_out"]
+        return after - before
+
+    forwards = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert forwards == 2 * rounds  # one forward per put, one per get
+    if cluster.fabric is not None:
+        assert cluster.fabric.broadcast_count == 0

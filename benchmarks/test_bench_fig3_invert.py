@@ -1,0 +1,157 @@
+"""FIG3 — the `invert` application on the paper's example topology.
+
+Figure 3 draws the section-4.3 ADF: three Sparc workstations and an SP-1
+in a star around glen-ellyn, the SP-1 uplink twice as expensive.  The
+bench runs the matrix-inversion application on exactly that layout and
+reports what the figure implies qualitatively:
+
+* memo traffic concentrates on the SP-1's six folder servers (its power is
+  16 of the network's 19 units → the section-5 proportional share);
+* all traffic is unicast along the star's links (no broadcast);
+* the application parallelizes across the workers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, ProgramRegistry, run_application
+from repro.adf.parser import parse_adf
+from repro.core.keys import Key, Symbol
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="fig3-invert")
+
+ADF_TEXT = """
+APP invert
+HOSTS
+glen-ellyn 1 sun4 1
+aurora     1 sun4 1
+joliet     1 sun4 1
+bonnie     8 sp1  sun4*0.5
+FOLDERS
+0   glen-ellyn
+1   aurora
+2   joliet
+3-8 bonnie
+PROCESSES
+0   boss   glen-ellyn
+1   worker aurora
+2   worker joliet
+3-6 worker bonnie
+PPC
+glen-ellyn <-> aurora 1
+glen-ellyn <-> joliet 1
+glen-ellyn <-> bonnie 2
+"""
+
+N = 12
+
+JAR, RESULT, MATRIX = Symbol("jar"), Symbol("result"), Symbol("matrix")
+
+
+def registry_for(n):
+    registry = ProgramRegistry()
+
+    @registry.register("boss")
+    def boss(memo, ctx):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-1, 1, (n, n)) + np.eye(n) * n
+        memo.put(Key(MATRIX), a.tolist(), wait=True)
+        for j in range(n):
+            memo.put(Key(JAR), {"column": j})
+        memo.flush()
+        inv = np.zeros((n, n))
+        for _ in range(n):
+            res = memo.get(Key(RESULT))
+            inv[:, res["column"]] = res["values"]
+        for _ in range(len(ctx.peers) - 1):
+            memo.put(Key(JAR), {"stop": True})
+        memo.flush()
+        return float(np.abs(a @ inv - np.eye(n)).max())
+
+    @registry.register("worker")
+    def worker(memo, ctx):
+        a = None
+        solved = 0
+        while True:
+            task = memo.get(Key(JAR))
+            if task.get("stop"):
+                return solved
+            if a is None:
+                a = np.array(memo.get_copy(Key(MATRIX)))
+            j = task["column"]
+            e = np.zeros(n)
+            e[j] = 1.0
+            memo.put(Key(RESULT), {"column": j, "values": np.linalg.solve(a, e).tolist()})
+            solved += 1
+
+    return registry
+
+
+def run_invert():
+    adf = parse_adf(ADF_TEXT)
+    adf.validate()
+    cluster = Cluster(adf, idle_timeout=10.0).start()
+    try:
+        cluster.register()
+        results = run_application(adf, registry_for(N), cluster=cluster, timeout=300)
+        metrics = cluster.metrics()
+        return adf, results, metrics
+    finally:
+        cluster.stop()
+
+
+def test_invert_application_benchmark(benchmark):
+    """Wall-clock of the whole Figure-3 application run."""
+
+    def op():
+        _adf, results, _metrics = run_invert()
+        return results
+
+    results = benchmark.pedantic(op, rounds=1, iterations=1, warmup_rounds=0)
+    assert results["0"] < 1e-8  # correct inverse
+
+
+def test_invert_traffic_shape(benchmark):
+    """The Figure-3 qualitative claims, measured."""
+    adf, results, metrics = benchmark.pedantic(
+        run_invert, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Folder *ownership* share is the section-5 proportionality claim; it
+    # is a statement over many folder names, so probe with a spray.
+    from repro.core.keys import FolderName
+    from repro.network.routing import RoutingTable
+    from repro.servers.hashing import FolderPlacement
+
+    placement = FolderPlacement(
+        adf.folder_server_placement(),
+        adf.host_power(),
+        adf.routing_table(),
+    )
+    n_probe = 2000
+    owned: dict[str, int] = {}
+    for i in range(n_probe):
+        _sid, owner = placement.place_host(
+            FolderName("invert", Key(Symbol("probe"), (i,)))
+        )
+        owned[owner] = owned.get(owner, 0) + 1
+
+    rows = [("host", "power", "folder-ownership share")]
+    power = adf.host_power()
+    for host in adf.host_names():
+        rows.append(
+            (host, f"{power[host]:.0f}", f"{owned.get(host, 0) / n_probe:.1%}")
+        )
+    rows.append(("broadcasts", "", str(metrics.broadcasts)))
+    rows.append(("inter-host msgs", "", str(metrics.inter_host_messages())))
+    report("FIG3: invert on the paper topology", rows)
+
+    # The SP-1 (16/19 of the power, discounted by its costlier link) must
+    # still dominate folder ownership.
+    assert owned["bonnie"] / n_probe > 0.5
+    assert metrics.broadcasts == 0
+    assert metrics.inter_host_messages() > 0
+    workers_used = sum(1 for pid, v in results.items() if pid != "0" and v > 0)
+    assert workers_used >= 2

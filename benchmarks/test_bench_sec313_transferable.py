@@ -1,0 +1,137 @@
+"""SEC313 — polynomial-time encoding of arbitrary structures (section 3.1.3).
+
+"All data structures have a spanning tree ... it is possible to encode
+(linearize) an arbitrary structure and to decode (de-linearize) it in
+polynomial time."
+
+The bench encodes/decodes linked lists, cyclic rings, and dense DAGs of
+growing size and fits the time-vs-size exponent: near 1 (linear) for the
+list/ring and near the edge count for the DAG — comfortably polynomial.
+It also measures what Linda-style tuples cannot express at all: a
+self-referential record crossing the wire intact.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.transferable.wire import decode, encode
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="sec313-transferable")
+
+
+def linked_list(n: int) -> list:
+    head: list = ["node-0", None]
+    cur = head
+    for i in range(1, n):
+        nxt: list = [f"node-{i}", None]
+        cur[1] = nxt
+        cur = nxt
+    return head
+
+
+def cyclic_ring(n: int) -> list:
+    head = linked_list(n)
+    cur = head
+    while cur[1] is not None:
+        cur = cur[1]
+    cur[1] = head  # close the ring
+    return head
+
+
+def dense_dag(n: int) -> dict:
+    """n shared nodes, each referenced by all later ones (O(n²) edges)."""
+    nodes: list = []
+    for i in range(n):
+        nodes.append({"id": i, "deps": list(nodes)})
+    return {"roots": nodes}
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_encode_linked_list(benchmark, size):
+    obj = linked_list(size)
+    benchmark(encode, obj)
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_roundtrip_cyclic_ring(benchmark, size):
+    obj = cyclic_ring(size)
+    data = encode(obj)
+
+    def op():
+        return decode(data)
+
+    out = benchmark(op)
+    # The cycle survived: walking n steps returns to the start object.
+    cur = out
+    for _ in range(size):
+        cur = cur[1]
+    assert cur is out
+
+
+def _fit_exponent(sizes, times):
+    """Least-squares slope of log(time) vs log(size)."""
+    lx = [math.log(s) for s in sizes]
+    ly = [math.log(t) for t in times]
+    mx, my = sum(lx) / len(lx), sum(ly) / len(ly)
+    num = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    den = sum((x - mx) ** 2 for x in lx)
+    return num / den
+
+
+def _time_roundtrip(obj, repeats=3):
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        decode(encode(obj))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_polynomial_time_exponents(benchmark):
+    sizes = [200, 400, 800, 1600]
+    dag_sizes = [20, 40, 80, 160]
+
+    def measure():
+        return (
+            [_time_roundtrip(linked_list(n)) for n in sizes],
+            [_time_roundtrip(cyclic_ring(n)) for n in sizes],
+            [_time_roundtrip(dense_dag(n)) for n in dag_sizes],
+        )
+
+    list_times, ring_times, dag_times = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    e_list = _fit_exponent(sizes, list_times)
+    e_ring = _fit_exponent(sizes, ring_times)
+    e_dag = _fit_exponent(dag_sizes, dag_times)
+
+    rows = [
+        ("structure", "sizes", "fitted exponent"),
+        ("linked list", sizes, f"{e_list:.2f}"),
+        ("cyclic ring", sizes, f"{e_ring:.2f}"),
+        ("dense DAG (n² edges)", dag_sizes, f"{e_dag:.2f}"),
+    ]
+    report("SEC313: encode+decode time scaling", rows)
+
+    # Linear structures: ~O(n).  Dense DAG: ~O(n²) in *edges* — still
+    # polynomial.  Generous bounds absorb timer noise.
+    assert e_list < 1.6
+    assert e_ring < 1.6
+    assert e_dag < 2.8
+
+
+def test_self_reference_survives_where_tuples_cannot(benchmark):
+    """A Linda tuple is a flat value sequence; D-Memo moves object graphs."""
+    record: dict = {"name": "cfg"}
+    record["self"] = record
+
+    def op():
+        return decode(encode(record))
+
+    out = benchmark(op)
+    assert out["self"] is out

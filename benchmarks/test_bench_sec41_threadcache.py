@@ -1,0 +1,82 @@
+"""SEC41 — thread caching avoids creation overhead (section 4.1).
+
+"The system uses the idea of thread caching to avoid the overhead of
+creating processes un-necessarily."
+
+The bench drives identical request bursts through a ThreadCache with
+caching enabled (2 s idle timer) and disabled (0 s — every request creates
+a thread), and reports per-request cost and the created/hit counters.
+"""
+
+import threading
+
+import pytest
+
+from repro.servers.threadcache import ThreadCache
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="sec41-threadcache")
+
+BURST = 200
+
+
+def drive(cache: ThreadCache, n: int) -> None:
+    done = threading.Semaphore(0)
+    for _ in range(n):
+        cache.submit(done.release)
+        done.acquire(timeout=10)  # sequential requests, like one connection
+
+
+def test_cached_dispatch(benchmark):
+    cache = ThreadCache(idle_timeout=2.0, name="cached")
+    drive(cache, 5)  # warm one worker
+    benchmark.pedantic(drive, args=(cache, BURST), rounds=3, iterations=1)
+    cache.shutdown()
+
+
+def test_uncached_dispatch(benchmark):
+    cache = ThreadCache(idle_timeout=0.0, name="uncached")
+    benchmark.pedantic(drive, args=(cache, BURST), rounds=3, iterations=1)
+    cache.shutdown()
+
+
+def test_cache_hit_ratio_and_speed(benchmark):
+    import time
+
+    cached = ThreadCache(idle_timeout=2.0)
+    uncached = ThreadCache(idle_timeout=0.0)
+
+    def run():
+        drive(cached, 5)  # warm-up
+        start = time.perf_counter()
+        drive(cached, BURST)
+        cached_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        drive(uncached, BURST)
+        uncached_time = time.perf_counter() - start
+        return cached_time, uncached_time
+
+    cached_time, uncached_time = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    cs = cached.stats.snapshot()
+    us = uncached.stats.snapshot()
+    rows = [
+        ("", "created", "cache hits", "time"),
+        ("cached (2s timer)", cs["threads_created"], cs["cache_hits"],
+         f"{cached_time * 1e3:.1f} ms"),
+        ("uncached (0s)", us["threads_created"], us["cache_hits"],
+         f"{uncached_time * 1e3:.1f} ms"),
+        ("speedup", "", "", f"{uncached_time / cached_time:.2f}x"),
+    ]
+    report("SEC41: thread caching", rows)
+
+    assert cs["cache_hits"] >= BURST  # sequential bursts reuse one worker
+    assert cs["threads_created"] <= 3
+    assert us["threads_created"] == BURST
+    assert cached_time < uncached_time  # caching wins
+    cached.shutdown()
+    uncached.shutdown()

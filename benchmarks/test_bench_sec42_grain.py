@@ -1,0 +1,101 @@
+"""SEC42 — grain-size trade-off (section 4.2).
+
+"Applications that use a small grain size distribution of work will have
+to consider the effects of overhead spent on communicating, versus getting
+work done.  If the grain size is too large, parallelism will have been
+lost."
+
+The bench fixes the total work (a CPU budget of unit operations) and
+sweeps the grain — how many units one memo-carried task bundles — on a
+4-worker cluster.  The completion-time curve is the paper's implied U:
+tiny grains drown in per-memo overhead, huge grains serialize onto one
+worker, the middle wins.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.core.keys import Key, Symbol
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="sec42-grain")
+
+TOTAL_UNITS = 256
+UNIT_SECONDS = 0.002  # one unit of "compute" (off-interpreter sleep)
+N_WORKERS = 4
+
+JAR, OUT = Key(Symbol("jar")), Key(Symbol("out"))
+
+
+def run_with_grain(grain: int) -> float:
+    n_tasks = TOTAL_UNITS // grain
+    adf = system_default_adf(["host"], app=f"grain{grain}")
+    with Cluster(adf, idle_timeout=5.0) as cluster:
+        cluster.register()
+        boss = cluster.memo_api("host", f"grain{grain}", "boss")
+
+        def worker(wid: int):
+            memo = cluster.memo_api("host", f"grain{grain}", f"w{wid}")
+            while True:
+                task = memo.get(JAR)
+                if task is None:
+                    return
+                time.sleep(task * UNIT_SECONDS)  # the bundled compute
+                memo.put(OUT, task)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(N_WORKERS)
+        ]
+        for t in threads:
+            t.start()
+        start = time.perf_counter()
+        for _ in range(n_tasks):
+            boss.put(JAR, grain)
+        boss.flush()
+        done = 0
+        while done < TOTAL_UNITS:
+            done += boss.get(OUT)
+        elapsed = time.perf_counter() - start
+        for _ in range(N_WORKERS):
+            boss.put(JAR, None)
+        boss.flush()
+        for t in threads:
+            t.join(timeout=10)
+        return elapsed
+
+
+GRAINS = [1, 4, 16, 64, 256]
+
+
+@pytest.mark.parametrize("grain", [1, 16, 256])
+def test_grain_benchmark(benchmark, grain):
+    benchmark.pedantic(run_with_grain, args=(grain,), rounds=1, iterations=1)
+
+
+def test_grain_tradeoff_curve(benchmark):
+    times = benchmark.pedantic(
+        lambda: {g: run_with_grain(g) for g in GRAINS},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    ideal = TOTAL_UNITS * UNIT_SECONDS / N_WORKERS
+    rows = [("grain (units/memo)", "tasks", "time (s)", "vs ideal")]
+    for g in GRAINS:
+        rows.append(
+            (g, TOTAL_UNITS // g, f"{times[g]:.3f}", f"{times[g] / ideal:.2f}x")
+        )
+    report("SEC42: grain-size trade-off (ideal = %.3fs)" % ideal, rows)
+
+    best = min(times, key=times.get)
+    # The U-shape: an interior grain beats both extremes.
+    assert times[best] <= times[1]
+    assert times[best] <= times[256]
+    # Too-large grain loses parallelism: 256 means ONE task for 4 workers.
+    assert times[256] > ideal * 2.5
+    # Medium grain lands near the parallel ideal.
+    assert times[best] < ideal * 2.0

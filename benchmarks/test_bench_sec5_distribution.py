@@ -1,0 +1,100 @@
+"""SEC5A — memo distribution proportional to processor cost (section 5).
+
+"By classifying each host with a ratio percentage of processing power, the
+system can control the distribution of memos ... the system will result in
+hashing the appropriate percentage of memos to each server.  With out this
+control, an even distribution would be seen over the folder servers."
+
+The bench hashes 100k folder names under both policies and reports each
+server's observed share vs its expected share, the total-variation error,
+and the chi-square statistic against uniformity.
+"""
+
+import pytest
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.network.routing import RoutingTable
+from repro.servers.hashing import FolderPlacement, HashWeightPolicy
+from repro.sim.metrics import chi_square_uniform, distribution_error
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="sec5a-distribution")
+
+HOSTS = {"ws1": 1.0, "ws2": 1.0, "fast": 2.0, "mpp": 4.0}
+SERVERS = [("0", "ws1"), ("1", "ws2"), ("2", "fast"), ("3", "mpp")]
+N_KEYS = 100_000
+
+
+def _routing():
+    return RoutingTable(
+        {h: {o: 1.0 for o in HOSTS if o != h} for h in HOSTS}
+    )
+
+
+def _observe(placement, n=N_KEYS):
+    counts = {sid: 0 for sid, _h in SERVERS}
+    for i in range(n):
+        name = FolderName("sec5a", Key(Symbol("k"), (i,)))
+        counts[placement.place(name)] += 1
+    return counts
+
+
+def test_hashing_throughput(benchmark):
+    placement = FolderPlacement(SERVERS, HOSTS, _routing())
+    name = FolderName("sec5a", Key(Symbol("k"), (1, 2, 3)))
+    benchmark(placement.place, name)
+
+
+def test_weighted_distribution_matches_power_ratios(benchmark):
+    placement = FolderPlacement(SERVERS, HOSTS, _routing())
+    counts = benchmark.pedantic(
+        _observe, args=(placement,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    expected = placement.expected_shares()
+
+    rows = [("server", "host", "power", "expected", "observed")]
+    for sid, host in SERVERS:
+        rows.append(
+            (
+                sid,
+                host,
+                f"{HOSTS[host]:.0f}",
+                f"{expected[sid]:.1%}",
+                f"{counts[sid] / N_KEYS:.1%}",
+            )
+        )
+    tv = distribution_error(counts, expected)
+    chi = chi_square_uniform(counts)
+    rows.append(("TV error vs expected", "", "", "", f"{tv:.4f}"))
+    rows.append(("chi-square vs uniform", "", "", "", f"{chi:.0f}"))
+    report("SEC5A: cost-weighted memo distribution", rows)
+
+    # Shape: observed tracks the power-derived expectation tightly ...
+    assert tv < 0.01
+    # ... and is decisively non-uniform (chi-square >> critical value ~7.8
+    # for 3 dof at p=0.05).
+    assert chi > 1000
+    # The 4x host gets ~4x the 1x host's share.
+    ratio = counts["3"] / counts["0"]
+    assert 3.3 < ratio < 4.8
+
+
+def test_uniform_baseline_is_even(benchmark):
+    """The paper's no-control counterfactual."""
+    placement = FolderPlacement(
+        SERVERS, HOSTS, policy=HashWeightPolicy().uniform()
+    )
+    counts = benchmark.pedantic(
+        _observe, args=(placement,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    chi = chi_square_uniform(counts)
+    rows = [("server", "observed share")]
+    for sid, _host in SERVERS:
+        rows.append((sid, f"{counts[sid] / N_KEYS:.1%}"))
+    rows.append(("chi-square vs uniform", f"{chi:.1f}"))
+    report("SEC5A baseline: uniform hashing", rows)
+    # Uniform: chi-square stays near its 3-dof expectation (< ~16 at p=.001).
+    assert chi < 25
+    for sid, _host in SERVERS:
+        assert counts[sid] / N_KEYS == pytest.approx(0.25, abs=0.02)

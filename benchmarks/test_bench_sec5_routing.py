@@ -1,0 +1,115 @@
+"""SEC5B — routing incorporates link weights; no broadcasting (section 5).
+
+"The routing class takes into consideration communication costs based on
+distances (machine localities) as specified by the ADF.  Each link in the
+topology has a weight associated with it ... No broadcasting is done by
+the system."
+
+The bench compares cost-aware shortest-path routing against hop-count
+routing on random weighted topologies (total path cost over a traffic
+matrix), and verifies the zero-broadcast invariant on a live cluster.
+"""
+
+import random
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.core.keys import Key, Symbol
+from repro.network.routing import RoutingTable
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="sec5b-routing")
+
+
+def random_topology(n: int, extra_edges: int, seed: int):
+    """A connected random graph with heterogeneous link costs."""
+    rng = random.Random(seed)
+    hosts = [f"h{i}" for i in range(n)]
+    links: dict[str, dict[str, float]] = {h: {} for h in hosts}
+
+    def add(a: str, b: str, w: float) -> None:
+        links[a][b] = w
+        links[b][a] = w
+
+    for i in range(1, n):  # random spanning tree first
+        add(hosts[i], hosts[rng.randrange(i)], rng.choice([1.0, 1.0, 2.0, 5.0]))
+    for _ in range(extra_edges):
+        a, b = rng.sample(hosts, 2)
+        if b not in links[a]:
+            add(a, b, rng.choice([1.0, 2.0, 5.0, 10.0]))
+    return hosts, links
+
+
+def hop_count_table(links):
+    """The baseline: ignore weights, route by hop count."""
+    return RoutingTable(
+        {a: {b: 1.0 for b in nbrs} for a, nbrs in links.items()}
+    )
+
+
+def path_cost(links, hops):
+    return sum(links[a][b] for a, b in zip(hops, hops[1:]))
+
+
+def test_routing_table_construction(benchmark):
+    hosts, links = random_topology(24, 40, seed=1)
+    benchmark(RoutingTable, links)
+
+
+def test_cost_aware_beats_hop_count(benchmark):
+    rows = [("topology", "hop-count cost", "cost-aware cost", "saving")]
+
+    def sweep():
+        savings = []
+        for seed in range(6):
+            hosts, links = random_topology(14, 20, seed)
+            aware = RoutingTable(links)
+            naive = hop_count_table(links)
+            aware_total = naive_total = 0.0
+            for src in hosts:
+                for dst in hosts:
+                    if src == dst:
+                        continue
+                    aware_total += aware.route(src, dst).cost
+                    naive_total += path_cost(links, naive.route(src, dst).hops)
+            saving = 1 - aware_total / naive_total
+            savings.append(saving)
+            rows.append(
+                (f"rand-{seed}", f"{naive_total:.0f}", f"{aware_total:.0f}",
+                 f"{saving:.1%}")
+            )
+        return savings
+
+    total_savings = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    report("SEC5B: cost-aware vs hop-count routing", rows)
+    # Cost-aware routing never loses and wins materially somewhere.
+    assert all(s >= -1e-9 for s in total_savings)
+    assert max(total_savings) > 0.05
+
+
+def test_no_broadcast_under_load(benchmark):
+    """Live-cluster invariant: lots of traffic, zero broadcasts."""
+    adf = system_default_adf([f"n{i}" for i in range(4)], app="sec5b")
+    with Cluster(adf) as cluster:
+        cluster.register()
+        memo = cluster.memo_api("n0", "sec5b")
+
+        def run():
+            for i in range(120):
+                memo.put(Key(Symbol("k"), (i,)), i)
+            memo.flush()
+            for i in range(120):
+                memo.get(Key(Symbol("k"), (i,)))
+
+        benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+        metrics = cluster.metrics()
+        rows = [
+            ("total messages", metrics.total_messages()),
+            ("inter-host messages", metrics.inter_host_messages()),
+            ("broadcasts", metrics.broadcasts),
+        ]
+        report("SEC5B: zero-broadcast invariant", rows)
+        assert metrics.broadcasts == 0
+        assert metrics.total_messages() > 200

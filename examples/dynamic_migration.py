@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Dynamic data migration and executable pumping — the paper's two
+work-in-progress features, working.
+
+Scene: a departmental network gains a new fast machine mid-run.
+
+1. An application fills the memo space while only workstations exist.
+2. The fast machine's price drops (the ADF is re-registered with new
+   processor costs) and ``Cluster.rebalance`` *migrates* existing folders
+   to their new owners — "dynamic data migration across HC machines"
+   (paper abstract) with ordinary routed puts, no special channel.
+3. The worker *executable* is pumped to the new host through the memo
+   space itself (section 4.4's "pumping method ... if NFS is not
+   available") and runs there against the migrated data.
+
+Run:  python examples/dynamic_migration.py
+"""
+
+from repro import Cluster, ProgramRegistry
+from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
+from repro.core.keys import FolderName, Key, Symbol
+from repro.runtime.program import ProcessContext
+from repro.runtime.pumping import pump_program, receive_programs
+
+N = 150
+
+WORKER_SOURCE = '''
+def worker(memo, ctx):
+    """Pumped executable: sums every dataset folder it can reach."""
+    from repro.core.api import NIL
+    from repro.core.keys import Key, Symbol
+
+    total = 0
+    seen = 0
+    for i in range(150):
+        value = memo.get_skip(Key(Symbol("dataset"), (i,)))
+        if value is not NIL:
+            total += value
+            seen += 1
+    return {"total": total, "seen": seen}
+'''
+
+
+def make_adf(fast_cost: float) -> ADF:
+    adf = ADF(app="expand")
+    adf.hosts = [
+        HostDecl("ws1", 1, "sun4", 1.0),
+        HostDecl("ws2", 1, "sun4", 1.0),
+        HostDecl("newbox", 4, "sp2", fast_cost),
+    ]
+    adf.folders = [
+        FolderDecl("0", "ws1"),
+        FolderDecl("1", "ws2"),
+        FolderDecl("2", "newbox"),
+    ]
+    adf.processes = [ProcessDecl("0", "boss", "ws1")]
+    adf.links = [
+        LinkDecl("ws1", "ws2", 1.0),
+        LinkDecl("ws1", "newbox", 1.0),
+        LinkDecl("ws2", "newbox", 1.0),
+    ]
+    return adf
+
+
+def ownership(cluster, app="expand"):
+    reg = cluster.servers["ws1"].registration(app)
+    counts: dict[str, int] = {}
+    for i in range(N):
+        _sid, owner = reg.placement.place_host(
+            FolderName(app, Key(Symbol("dataset"), (i,)))
+        )
+        counts[owner] = counts.get(owner, 0) + 1
+    return counts
+
+
+def show(title: str, counts: dict) -> None:
+    print(f"\n{title}")
+    for host in ("ws1", "ws2", "newbox"):
+        share = counts.get(host, 0) / N
+        print(f"  {host:<7} {share:6.1%} {'#' * int(share * 40)}")
+
+
+def main() -> None:
+    # Phase 1: the new box exists but is expensive (cost 4 => power 1).
+    cluster = Cluster(make_adf(fast_cost=4.0)).start()
+    try:
+        cluster.register()
+        boss = cluster.memo_api("ws1", "expand", "boss")
+        for i in range(N):
+            boss.put(Key(Symbol("dataset"), (i,)), i, wait=True)
+        show("folder ownership while newbox is expensive:", ownership(cluster))
+
+        # Phase 2: newbox gets cheap (cost 0.25 => power 16); rebalance.
+        stats = cluster.rebalance(make_adf(fast_cost=0.25))
+        moved = sum(s["migrated_memos"] for s in stats.values())
+        show(f"after rebalance ({moved} memos migrated):", ownership(cluster))
+
+        # Phase 3: pump the worker executable to newbox and run it there.
+        pump_program(boss, "worker", WORKER_SOURCE)
+        newbox_registry = ProgramRegistry()
+        newbox_memo = cluster.memo_api("newbox", "expand", "rx")
+        receive_programs(newbox_memo, newbox_registry, ["worker"])
+        worker = newbox_registry.lookup("worker")
+        run_memo = cluster.memo_api("newbox", "expand", "pumped-worker")
+        result = worker(run_memo, ProcessContext("expand", "9", "worker", "newbox"))
+        print(
+            f"\npumped worker on newbox consumed {result['seen']}/{N} datasets, "
+            f"sum={result['total']} (expected {sum(range(N))})"
+        )
+        assert result["seen"] == N and result["total"] == sum(range(N))
+    finally:
+        cluster.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

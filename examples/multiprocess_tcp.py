@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Real operating-system processes over real TCP sockets.
+
+Everything else in the examples runs simulated hosts as threads; this one
+is the fidelity check: the memo servers listen on loopback TCP ports, and
+the workers are genuine ``multiprocessing`` processes — separate address
+spaces, exactly like the paper's boss/worker executables — that connect
+back to the servers with nothing but host/port pairs.
+
+The workload is the classic job-jar Monte-Carlo π estimate.
+
+Run:  python examples/multiprocess_tcp.py
+"""
+
+import multiprocessing
+import random
+
+from repro import Cluster, system_default_adf
+from repro.core.api import Memo, NIL
+from repro.core.keys import Key, Symbol
+from repro.network.connection import Address
+from repro.network.tcp import TCPTransport
+from repro.runtime.client import MemoClient
+
+N_WORKERS = 3
+N_TASKS = 24
+POINTS_PER_TASK = 20_000
+
+JAR = Symbol("jar")
+OUT = Symbol("out")
+
+
+def worker_process(server_port: int, worker_id: int) -> None:
+    """Runs in a separate OS process: connect, drain the jar, deposit hits."""
+    transport = TCPTransport()
+    client = MemoClient(
+        transport, Address("hub", server_port), origin=f"worker-{worker_id}"
+    )
+    memo = Memo(client, "mcpi", process_name=f"worker-{worker_id}")
+    rng = random.Random(worker_id)
+    while True:
+        task = memo.get(Key(JAR))
+        if task is None:  # poison pill
+            client.close()
+            return
+        hits = 0
+        for _ in range(task["points"]):
+            x, y = rng.random(), rng.random()
+            if x * x + y * y <= 1.0:
+                hits += 1
+        memo.put(Key(OUT), {"hits": hits, "worker": worker_id}, wait=True)
+
+
+def main() -> None:
+    adf = system_default_adf(["hub"], app="mcpi")
+    with Cluster(adf, transport_kind="tcp") as cluster:
+        cluster.register()
+        port = cluster.servers["hub"].address.port
+        boss = cluster.memo_api("hub", "mcpi", "boss")
+
+        procs = [
+            multiprocessing.Process(target=worker_process, args=(port, i))
+            for i in range(N_WORKERS)
+        ]
+        for p in procs:
+            p.start()
+
+        for _ in range(N_TASKS):
+            boss.put(Key(JAR), {"points": POINTS_PER_TASK})
+        boss.flush()
+
+        total_hits = 0
+        per_worker: dict[int, int] = {}
+        for _ in range(N_TASKS):
+            result = boss.get(Key(OUT))
+            total_hits += result["hits"]
+            per_worker[result["worker"]] = per_worker.get(result["worker"], 0) + 1
+
+        for _ in range(N_WORKERS):
+            boss.put(Key(JAR), None)
+        boss.flush()
+        for p in procs:
+            p.join(timeout=30)
+
+        total_points = N_TASKS * POINTS_PER_TASK
+        pi = 4.0 * total_hits / total_points
+        print(f"π ≈ {pi:.4f} from {total_points:,} points "
+              f"across {N_WORKERS} OS processes over TCP")
+        for wid in sorted(per_worker):
+            print(f"  worker {wid} (pid was separate): {per_worker[wid]} tasks")
+        assert abs(pi - 3.14159) < 0.05
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

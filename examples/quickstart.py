@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: the shared directory of unordered queues in five minutes.
+
+Builds a two-"machine" D-Memo network, registers an application, and walks
+through every API primitive from section 6.1 of the paper: put, get,
+get_copy, get_skip, get_alt, and put_delayed (the dataflow trigger).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NIL, Cluster, system_default_adf
+
+
+def main() -> None:
+    # A "network" of two hosts, fully connected, one folder server each.
+    adf = system_default_adf(["alpha", "beta"], app="quickstart")
+    with Cluster(adf) as cluster:
+        cluster.register()  # section 4.4: load routing tables everywhere
+
+        # Two processes on different machines, one shared memo space.
+        producer = cluster.memo_api("alpha", "quickstart", "producer")
+        consumer = cluster.memo_api("beta", "quickstart", "consumer")
+
+        # --- put / get: any structure travels intact --------------------
+        inbox = producer.create_symbol("inbox")
+        producer.put(inbox(0), {"kind": "greeting", "text": "hello D-Memo"})
+        message = consumer.get(inbox(0))  # blocks until the memo arrives
+        print(f"get           -> {message}")
+
+        # --- get_copy: examine without consuming -------------------------
+        producer.put(inbox(1), [1, 2, 3], wait=True)
+        print(f"get_copy      -> {consumer.get_copy(inbox(1))} (still there)")
+        print(f"get           -> {consumer.get(inbox(1))} (now consumed)")
+
+        # --- get_skip: poll without blocking ------------------------------
+        empty = consumer.get_skip(inbox(2))
+        print(f"get_skip      -> {empty} (folder was empty)")
+        assert empty is NIL
+
+        # --- get_alt: wait on several folders at once ----------------------
+        producer.put(inbox(7), "from folder seven")
+        key, value = consumer.get_alt([inbox(5), inbox(6), inbox(7)])
+        print(f"get_alt       -> {value!r} out of folder {key}")
+
+        # --- put_delayed: the dataflow trigger -----------------------------
+        operand = producer.create_symbol("operand")
+        job_jar = producer.create_symbol("jobs")
+        producer.put_delayed(operand(0), job_jar(0), {"run": "op-A"})
+        print(f"delayed job visible yet? {consumer.get_skip(job_jar(0))}")
+        producer.put(operand(0), 3.14)  # data arrives -> job released
+        print(f"after arrival -> {consumer.get(job_jar(0))}")
+
+        # Self-referential structures cross the wire too (section 3.1.3).
+        cyc: list = ["self-referential"]
+        cyc.append(cyc)
+        producer.put(inbox(9), cyc, wait=True)
+        back = consumer.get(inbox(9))
+        print(f"cycle intact  -> {back[0]!r}, back[1] is back: {back[1] is back}")
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""The system default ADF and per-section merging.
+
+"Each application running in the D-Memo system can use either the system
+default ADF, or register its own. ... Any section missing will default to
+the appropriate system ADF section.  The system's default ADF is
+constructed when installing the system on a network." (section 4.3)
+
+The reproduction's "installation" is :func:`system_default_adf`, which
+builds a default description for a named set of hosts: one folder server
+and one worker per host, fully connected at unit cost — the most permissive
+topology, refined by applications that register their own sections.
+"""
+
+from __future__ import annotations
+
+from repro.adf.model import ADF, FolderDecl, HostDecl, ProcessDecl
+from repro.adf.topology import fully_connected_links
+from repro.errors import ADFError
+
+__all__ = ["system_default_adf", "merge_with_default"]
+
+
+def system_default_adf(
+    hosts: list[str] | None = None,
+    app: str = "default",
+) -> ADF:
+    """The ADF an installation would write for *hosts*.
+
+    One processor of unit cost per host, one folder server per host, one
+    ``worker`` process per host (plus a ``boss`` on the first), and a
+    fully connected unit-cost topology.
+    """
+    names = hosts or ["localhost"]
+    adf = ADF(app=app)
+    adf.hosts = [HostDecl(name) for name in names]
+    adf.folders = [FolderDecl(str(i), name) for i, name in enumerate(names)]
+    adf.processes = [ProcessDecl("0", "boss", names[0])]
+    adf.processes += [
+        ProcessDecl(str(i + 1), "worker", name) for i, name in enumerate(names)
+    ]
+    if len(names) > 1:
+        adf.links = fully_connected_links(names)
+    return adf
+
+
+def merge_with_default(partial: ADF, default: ADF) -> ADF:
+    """Fill each missing section of *partial* from *default*.
+
+    Sections are all-or-nothing, matching the paper's wording: a partial
+    ADF that declares any HOSTS line supplies the whole HOSTS section.
+    """
+    if not partial.app and not default.app:
+        raise ADFError("neither ADF declares an application name")
+    merged = ADF(app=partial.app or default.app)
+    merged.hosts = list(partial.hosts or default.hosts)
+    merged.folders = list(partial.folders or default.folders)
+    merged.processes = list(partial.processes or default.processes)
+    merged.links = list(partial.links or default.links)
+    return merged

@@ -1,0 +1,177 @@
+"""Parsed representation of an Application Description File."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ADFError, TopologyError
+from repro.network.routing import RoutingTable
+
+__all__ = ["HostDecl", "FolderDecl", "ProcessDecl", "LinkDecl", "ADF"]
+
+
+@dataclass(frozen=True)
+class HostDecl:
+    """One HOSTS line: internet address, #processors, architecture, cost.
+
+    ``cost`` is the *processor cost* — the relative price of using one
+    processor on this host; the SP-1 example (``sun4*0.5``) makes each SP-1
+    processor half the cost of a Sparc.  Lower cost + more processors ⇒
+    more effective power ⇒ a larger share of folder traffic (section 5).
+    """
+
+    name: str
+    num_procs: int = 1
+    arch: str = "generic"
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ADFError("host name must be non-empty")
+        if self.num_procs < 1:
+            raise ADFError(f"host {self.name}: #procs must be >= 1")
+        if self.cost <= 0:
+            raise ADFError(f"host {self.name}: processor cost must be > 0")
+
+    @property
+    def power(self) -> float:
+        """Effective processing power: processors per unit cost."""
+        return self.num_procs / self.cost
+
+
+@dataclass(frozen=True)
+class FolderDecl:
+    """One FOLDERS line (after range expansion): numeric server id + host."""
+
+    server_id: str
+    host: str
+
+
+@dataclass(frozen=True)
+class ProcessDecl:
+    """One PROCESSES line (after range expansion).
+
+    ``directory`` names the program (boss/worker source tree in the paper;
+    a registered program name in the reproduction — see
+    :class:`repro.runtime.program.ProgramRegistry`).
+    """
+
+    proc_id: str
+    directory: str
+    host: str
+
+
+@dataclass(frozen=True)
+class LinkDecl:
+    """One PPC line: logical point-to-point connection with cost."""
+
+    host_a: str
+    host_b: str
+    cost: float = 1.0
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ADFError(f"link {self.host_a}–{self.host_b}: cost must be >= 0")
+
+
+@dataclass
+class ADF:
+    """A complete application description."""
+
+    app: str
+    hosts: list[HostDecl] = field(default_factory=list)
+    folders: list[FolderDecl] = field(default_factory=list)
+    processes: list[ProcessDecl] = field(default_factory=list)
+    links: list[LinkDecl] = field(default_factory=list)
+
+    # -- derived views ---------------------------------------------------------
+
+    def host_names(self) -> list[str]:
+        """Declared host names in order."""
+        return [h.name for h in self.hosts]
+
+    def host_power(self) -> dict[str, float]:
+        """host → effective power (#procs / cost); feeds the hash weights."""
+        return {h.name: h.power for h in self.hosts}
+
+    def links_dict(self) -> dict[str, dict[str, float]]:
+        """Adjacency mapping for the routing table (duplex ⇒ both ways)."""
+        adj: dict[str, dict[str, float]] = {h.name: {} for h in self.hosts}
+        for link in self.links:
+            adj.setdefault(link.host_a, {})[link.host_b] = link.cost
+            if link.duplex:
+                adj.setdefault(link.host_b, {})[link.host_a] = link.cost
+        return adj
+
+    def folder_server_placement(self) -> list[tuple[str, str]]:
+        """(server_id, host) pairs for :class:`FolderPlacement`."""
+        return [(f.server_id, f.host) for f in self.folders]
+
+    def routing_table(self) -> RoutingTable:
+        """The application's routing table over its logical topology."""
+        return RoutingTable(self.links_dict(), hosts=self.host_names())
+
+    def processes_on(self, host: str) -> list[ProcessDecl]:
+        """Process declarations placed on *host*."""
+        return [p for p in self.processes if p.host == host]
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check cross-section consistency (section 4.3 semantics).
+
+        Raises:
+            ADFError: missing/duplicate declarations.
+            TopologyError: links referencing unknown hosts, or hosts that
+                cannot reach each other ("each software defined link must
+                have a corresponding physical connection" — and every pair
+                that must communicate needs a path).
+        """
+        if not self.app:
+            raise ADFError("ADF is missing the APP section")
+        if not self.hosts:
+            raise ADFError("ADF declares no hosts")
+        names = self.host_names()
+        if len(set(names)) != len(names):
+            raise ADFError(f"duplicate host declarations in {sorted(names)}")
+        known = set(names)
+
+        if not self.folders:
+            raise ADFError("ADF declares no folder servers (at least one required)")
+        seen_sids: set[str] = set()
+        for fdecl in self.folders:
+            if fdecl.host not in known:
+                raise ADFError(
+                    f"folder server {fdecl.server_id} placed on unknown host "
+                    f"{fdecl.host!r}"
+                )
+            if fdecl.server_id in seen_sids:
+                raise ADFError(f"duplicate folder server id {fdecl.server_id!r}")
+            seen_sids.add(fdecl.server_id)
+
+        seen_pids: set[str] = set()
+        for pdecl in self.processes:
+            if pdecl.host not in known:
+                raise ADFError(
+                    f"process {pdecl.proc_id} placed on unknown host {pdecl.host!r}"
+                )
+            if pdecl.proc_id in seen_pids:
+                raise ADFError(f"duplicate process id {pdecl.proc_id!r}")
+            seen_pids.add(pdecl.proc_id)
+
+        for link in self.links:
+            if link.host_a not in known or link.host_b not in known:
+                raise TopologyError(
+                    f"link {link.host_a} – {link.host_b} references an "
+                    f"undeclared host"
+                )
+            if link.host_a == link.host_b:
+                raise TopologyError(f"self-link on {link.host_a}")
+
+        if len(self.hosts) > 1:
+            table = self.routing_table()
+            if not table.is_connected():
+                raise TopologyError(
+                    "the PPC topology does not connect every pair of hosts"
+                )

@@ -1,0 +1,272 @@
+"""Parser for the ADF text format (paper section 4.3).
+
+Grammar, as exemplified in the paper::
+
+    # Application Name
+    APP invert
+
+    HOSTS
+    # Hosts              #Procs Arch  Cost
+    glen-ellyn.iit.edu   1      sun4  1
+    bonnie.mcs.anl.gov   128    sp1   sun4*0.5
+
+    FOLDERS
+    0    glen-ellyn.iit.edu
+    3-8  bonnie.mcs.anl.gov
+
+    PROCESSES
+    0    boss    glen-ellyn.iit.edu
+    3-22 worker2 bonnie.mcs.anl.gov
+
+    PPC
+    glen-ellyn.iit.edu <-> aurora.iit.edu 1
+    glen-ellyn.iit.edu -> joliet.iit.edu  2
+
+Details implemented:
+
+* ``#`` starts a comment (anywhere on a line);
+* numeric ranges ``lo-hi`` expand in FOLDERS and PROCESSES;
+* HOSTS costs are arithmetic expressions over numbers and *architecture
+  variables*: an architecture name used earlier in the section evaluates to
+  the cost of the (first) host declared with that architecture, so
+  ``sun4*0.5`` reads "half a sun4's cost";
+* ``<->`` declares a duplex link, ``->`` a simplex link, each with an
+  optional trailing cost (default 1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
+from repro.errors import ADFSyntaxError
+
+__all__ = ["parse_adf", "parse_adf_file", "evaluate_cost_expression"]
+
+_SECTIONS = ("APP", "HOSTS", "FOLDERS", "PROCESSES", "PPC")
+_RANGE_RE = re.compile(r"^(\d+)-(\d+)$")
+
+# -- cost expression evaluation ------------------------------------------------
+#
+# A tiny recursive-descent evaluator over + - * / ( ) numbers and
+# identifiers; identifiers resolve through the architecture environment.
+# No eval(), no surprises.
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>[+\-*/()]))"
+)
+
+
+def _tokenize_expr(text: str, line_no: int | None) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ADFSyntaxError(f"bad cost expression {text!r}", line_no)
+        if m.group("num") is not None:
+            tokens.append(("num", m.group("num")))
+        elif m.group("ident") is not None:
+            tokens.append(("ident", m.group("ident")))
+        else:
+            tokens.append(("op", m.group("op")))
+        pos = m.end()
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, tokens: list[tuple[str, str]], env: dict[str, float], line_no):
+        self.tokens = tokens
+        self.env = env
+        self.line_no = line_no
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ADFSyntaxError("unexpected end of cost expression", self.line_no)
+        self.pos += 1
+        return tok
+
+    def parse(self) -> float:
+        value = self.expr()
+        if self.peek() is not None:
+            raise ADFSyntaxError(
+                f"trailing tokens in cost expression: {self.tokens[self.pos:]}",
+                self.line_no,
+            )
+        return value
+
+    def expr(self) -> float:
+        value = self.term()
+        while (tok := self.peek()) is not None and tok in (("op", "+"), ("op", "-")):
+            self.take()
+            rhs = self.term()
+            value = value + rhs if tok[1] == "+" else value - rhs
+        return value
+
+    def term(self) -> float:
+        value = self.factor()
+        while (tok := self.peek()) and tok[0] == "op" and tok[1] in "*/":
+            self.take()
+            rhs = self.factor()
+            if tok[1] == "*":
+                value *= rhs
+            else:
+                if rhs == 0:
+                    raise ADFSyntaxError("division by zero in cost", self.line_no)
+                value /= rhs
+        return value
+
+    def factor(self) -> float:
+        kind, text = self.take()
+        if kind == "num":
+            return float(text)
+        if kind == "ident":
+            if text not in self.env:
+                raise ADFSyntaxError(
+                    f"unknown architecture variable {text!r} "
+                    f"(declare a host with that architecture first)",
+                    self.line_no,
+                )
+            return self.env[text]
+        if (kind, text) == ("op", "("):
+            value = self.expr()
+            close = self.take()
+            if close != ("op", ")"):
+                raise ADFSyntaxError("missing ')' in cost expression", self.line_no)
+            return value
+        if (kind, text) == ("op", "-"):
+            return -self.factor()
+        raise ADFSyntaxError(f"unexpected {text!r} in cost expression", self.line_no)
+
+
+def evaluate_cost_expression(
+    text: str, env: dict[str, float], line_no: int | None = None
+) -> float:
+    """Evaluate a HOSTS cost expression against the architecture env."""
+    return _ExprParser(_tokenize_expr(text, line_no), env, line_no).parse()
+
+
+# -- line-level parsing ----------------------------------------------------------
+
+
+def _expand_range(token: str, line_no: int) -> list[str]:
+    """Expand ``3-8`` to ``["3", ..., "8"]``; a plain id expands to itself."""
+    m = _RANGE_RE.match(token)
+    if m is None:
+        return [token]
+    lo, hi = int(m.group(1)), int(m.group(2))
+    if hi < lo:
+        raise ADFSyntaxError(f"descending range {token!r}", line_no)
+    return [str(i) for i in range(lo, hi + 1)]
+
+
+def _strip_comment(line: str) -> str:
+    idx = line.find("#")
+    return line if idx < 0 else line[:idx]
+
+
+def parse_adf(text: str) -> ADF:
+    """Parse ADF text into an (unvalidated) :class:`ADF`.
+
+    Call :meth:`ADF.validate` afterwards — parsing is purely syntactic so
+    that partial ADFs can be merged with the system default first
+    ("any section missing will default to the appropriate system ADF
+    section").
+    """
+    adf = ADF(app="")
+    arch_env: dict[str, float] = {}
+    section: str | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        fields = line.split()
+        head = fields[0].upper()
+
+        if head in _SECTIONS:
+            section = head
+            if head == "APP":
+                if len(fields) != 2:
+                    raise ADFSyntaxError("APP expects exactly one name", line_no)
+                adf.app = fields[1]
+                section = None  # APP is a one-liner
+            elif len(fields) != 1:
+                raise ADFSyntaxError(
+                    f"section header {head} takes no arguments", line_no
+                )
+            continue
+
+        if section is None:
+            raise ADFSyntaxError(f"data outside any section: {line!r}", line_no)
+
+        if section == "HOSTS":
+            if len(fields) != 4:
+                raise ADFSyntaxError(
+                    "HOSTS line needs: name #procs arch cost", line_no
+                )
+            name, procs_s, arch, cost_s = fields
+            try:
+                procs = int(procs_s)
+            except ValueError:
+                raise ADFSyntaxError(f"bad #procs {procs_s!r}", line_no) from None
+            cost = evaluate_cost_expression(cost_s, arch_env, line_no)
+            adf.hosts.append(HostDecl(name, procs, arch, cost))
+            # First host of an architecture defines its cost variable.
+            arch_env.setdefault(arch, cost)
+            continue
+
+        if section == "FOLDERS":
+            if len(fields) != 2:
+                raise ADFSyntaxError("FOLDERS line needs: id host", line_no)
+            for sid in _expand_range(fields[0], line_no):
+                adf.folders.append(FolderDecl(sid, fields[1]))
+            continue
+
+        if section == "PROCESSES":
+            if len(fields) != 3:
+                raise ADFSyntaxError(
+                    "PROCESSES line needs: id directory host", line_no
+                )
+            for pid in _expand_range(fields[0], line_no):
+                adf.processes.append(ProcessDecl(pid, fields[1], fields[2]))
+            continue
+
+        if section == "PPC":
+            adf.links.append(_parse_link(fields, line_no))
+            continue
+
+    return adf
+
+
+def _parse_link(fields: list[str], line_no: int) -> LinkDecl:
+    if len(fields) not in (3, 4):
+        raise ADFSyntaxError(
+            "PPC line needs: hostA <->|-> hostB [cost]", line_no
+        )
+    host_a, arrow, host_b = fields[:3]
+    if arrow == "<->":
+        duplex = True
+    elif arrow == "->":
+        duplex = False
+    else:
+        raise ADFSyntaxError(f"bad connector {arrow!r} (use <-> or ->)", line_no)
+    cost = 1.0
+    if len(fields) == 4:
+        try:
+            cost = float(fields[3])
+        except ValueError:
+            raise ADFSyntaxError(f"bad link cost {fields[3]!r}", line_no) from None
+    return LinkDecl(host_a, host_b, cost, duplex)
+
+
+def parse_adf_file(path: str) -> ADF:
+    """Parse an ADF from a file path."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_adf(fh.read())

@@ -1,0 +1,111 @@
+"""Generators for the logical topology families the paper names.
+
+"This provision allows the users to define any one of many topology types
+(e.g. Star, Tree, Mesh, Point-to-Point, Cube, Systolic)." (section 4.3)
+
+Each generator returns a list of :class:`LinkDecl` over the given host
+names, ready to drop into an :class:`~repro.adf.model.ADF`.  All links are
+duplex with a uniform cost unless stated otherwise; pass ``cost`` to model
+slower media.
+"""
+
+from __future__ import annotations
+
+from repro.adf.model import LinkDecl
+from repro.errors import TopologyError
+
+__all__ = [
+    "star_links",
+    "ring_links",
+    "mesh_links",
+    "cube_links",
+    "tree_links",
+    "systolic_links",
+    "fully_connected_links",
+]
+
+
+def _require(hosts: list[str], minimum: int, what: str) -> None:
+    if len(hosts) < minimum:
+        raise TopologyError(f"{what} topology needs at least {minimum} hosts")
+    if len(set(hosts)) != len(hosts):
+        raise TopologyError("duplicate host names in topology")
+
+
+def star_links(hosts: list[str], cost: float = 1.0) -> list[LinkDecl]:
+    """Hub-and-spoke: the first host is the hub (Figure 3's shape)."""
+    _require(hosts, 2, "star")
+    hub = hosts[0]
+    return [LinkDecl(hub, spoke, cost) for spoke in hosts[1:]]
+
+
+def ring_links(hosts: list[str], cost: float = 1.0) -> list[LinkDecl]:
+    """A cycle through all hosts in order."""
+    _require(hosts, 3, "ring")
+    n = len(hosts)
+    return [LinkDecl(hosts[i], hosts[(i + 1) % n], cost) for i in range(n)]
+
+
+def systolic_links(hosts: list[str], cost: float = 1.0) -> list[LinkDecl]:
+    """A linear pipeline (the systolic-array interconnect)."""
+    _require(hosts, 2, "systolic")
+    return [LinkDecl(a, b, cost) for a, b in zip(hosts, hosts[1:])]
+
+
+def mesh_links(
+    hosts: list[str], columns: int, cost: float = 1.0
+) -> list[LinkDecl]:
+    """A 2-D grid, row-major, *columns* wide; ragged last row allowed."""
+    _require(hosts, 2, "mesh")
+    if columns < 1:
+        raise TopologyError(f"mesh needs columns >= 1, got {columns}")
+    links: list[LinkDecl] = []
+    for i, host in enumerate(hosts):
+        right = i + 1
+        if right % columns != 0 and right < len(hosts):
+            links.append(LinkDecl(host, hosts[right], cost))
+        down = i + columns
+        if down < len(hosts):
+            links.append(LinkDecl(host, hosts[down], cost))
+    return links
+
+
+def cube_links(hosts: list[str], cost: float = 1.0) -> list[LinkDecl]:
+    """A hypercube; requires a power-of-two host count."""
+    n = len(hosts)
+    if n < 2 or n & (n - 1):
+        raise TopologyError(f"cube topology needs a power-of-two host count, got {n}")
+    _require(hosts, 2, "cube")
+    links: list[LinkDecl] = []
+    for i in range(n):
+        bit = 1
+        while bit < n:
+            j = i ^ bit
+            if j > i:
+                links.append(LinkDecl(hosts[i], hosts[j], cost))
+            bit <<= 1
+    return links
+
+
+def tree_links(
+    hosts: list[str], fanout: int = 2, cost: float = 1.0
+) -> list[LinkDecl]:
+    """A complete *fanout*-ary tree rooted at the first host."""
+    _require(hosts, 2, "tree")
+    if fanout < 1:
+        raise TopologyError(f"tree needs fanout >= 1, got {fanout}")
+    links: list[LinkDecl] = []
+    for i in range(1, len(hosts)):
+        parent = (i - 1) // fanout
+        links.append(LinkDecl(hosts[parent], hosts[i], cost))
+    return links
+
+
+def fully_connected_links(hosts: list[str], cost: float = 1.0) -> list[LinkDecl]:
+    """Every pair directly connected (the point-to-point extreme)."""
+    _require(hosts, 2, "fully-connected")
+    return [
+        LinkDecl(hosts[i], hosts[j], cost)
+        for i in range(len(hosts))
+        for j in range(i + 1, len(hosts))
+    ]

@@ -1,0 +1,36 @@
+"""Faithful local reimplementations of the systems the paper compares against.
+
+Section 7 positions D-Memo against Linda (tuple space), PVM (low-level
+message passing), and Mentat.  The originals are unavailable, so the
+benches run against these reimplementations, which preserve the properties
+the comparison hinges on:
+
+* :mod:`repro.baselines.linda` — a generative-communication tuple space
+  with structured matching (``out``/``in_``/``rd``/``inp``/``rdp``/
+  ``eval``).  Matching is associative (linear scan with formal/actual
+  parameters), which is exactly the cost D-Memo's "flat directory of
+  unordered queues" avoids by hashing folder names.
+* :mod:`repro.baselines.pvm` — task-id message passing (``send``/
+  ``recv``/``mcast`` with tags), the level of abstraction PVM offers;
+  the bench counts the extra coordination code an application needs
+  compared to the Memo API.
+* :mod:`repro.baselines.mentat` — Mentat-style macro-dataflow: async
+  method invocations returning futures, with implicit dependency-driven
+  scheduling, and the lack of a shared *named* space that the paper's
+  dynamic-data-migration criticism targets.
+"""
+
+from repro.baselines.linda import ANY, TupleSpace, Formal
+from repro.baselines.pvm import PVM, TaskHandle
+from repro.baselines.mentat import MentatFuture, MentatObject, MentatRuntime
+
+__all__ = [
+    "TupleSpace",
+    "ANY",
+    "Formal",
+    "PVM",
+    "TaskHandle",
+    "MentatRuntime",
+    "MentatObject",
+    "MentatFuture",
+]

@@ -1,0 +1,181 @@
+"""A Linda tuple space (Gelernter 1985), the paper's primary comparator.
+
+"The Linda research was used to create the illusion of a virtual machine,
+wherein an arbitrary number of processes communicated via a virtual shared
+memory known as a tuple space.  We believe that this tuple space is just 'a
+flat directory of unordered queues'." (paper section 7)
+
+The six classic operations are provided:
+
+* ``out(t)`` — deposit a tuple;
+* ``in_(p)`` — withdraw a tuple matching pattern *p*, blocking;
+* ``rd(p)`` — read a copy of a matching tuple, blocking;
+* ``inp(p)`` / ``rdp(p)`` — non-blocking predicate forms;
+* ``eval(fn, *args)`` — live tuple: compute ``fn(*args)`` on a fresh
+  thread and ``out`` the result.
+
+Patterns mix *actuals* (values matched by equality) and *formals* —
+:class:`Formal` type slots (match by ``isinstance``) or the wildcard
+:data:`ANY`.  Matching is **associative**: a linear scan over the space.
+That linearity is the semantic price of content addressing, and it is what
+the SEC7A bench measures against D-Memo's hashed folder lookup.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MemoError
+
+__all__ = ["Formal", "ANY", "TupleSpace"]
+
+
+@dataclass(frozen=True)
+class Formal:
+    """A typed formal parameter in a pattern: matches any value of *type*."""
+
+    type: type
+
+    def matches(self, value: object) -> bool:
+        # bool is an int subclass; treat them as distinct domains, the same
+        # discipline the transferable layer applies.
+        if self.type is int and isinstance(value, bool):
+            return False
+        return isinstance(value, self.type)
+
+
+class _Any:
+    """Wildcard formal: matches anything."""
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+#: The wildcard formal.
+ANY = _Any()
+
+
+def _matches(pattern: tuple, candidate: tuple) -> bool:
+    if len(pattern) != len(candidate):
+        return False
+    for p, c in zip(pattern, candidate):
+        if p is ANY:
+            continue
+        if isinstance(p, Formal):
+            if not p.matches(c):
+                return False
+        elif p != c:
+            return False
+    return True
+
+
+class TupleSpace:
+    """A thread-safe generative-communication tuple space."""
+
+    def __init__(self) -> None:
+        self._tuples: list[tuple] = []
+        self._cond = threading.Condition()
+        self._eval_threads: list[threading.Thread] = []
+        self._closed = False
+        #: Number of tuples scanned by matching operations (bench metric).
+        self.scan_count = 0
+
+    # -- deposit -----------------------------------------------------------
+
+    def out(self, *fields: object) -> None:
+        """Deposit the tuple *fields* into the space."""
+        if not fields:
+            raise MemoError("cannot out() an empty tuple")
+        with self._cond:
+            self._ensure_open()
+            self._tuples.append(tuple(fields))
+            self._cond.notify_all()
+
+    def eval(self, fn: Callable[..., tuple], *args: object) -> None:
+        """Live tuple: compute ``fn(*args)`` concurrently, then out it."""
+
+        def work() -> None:
+            result = fn(*args)
+            if not isinstance(result, tuple):
+                result = (result,)
+            self.out(*result)
+
+        thread = threading.Thread(target=work, daemon=True)
+        with self._cond:
+            self._ensure_open()
+            self._eval_threads.append(thread)
+        thread.start()
+
+    # -- matching ------------------------------------------------------------
+
+    def _find(self, pattern: tuple, remove: bool) -> tuple | None:
+        """Scan for a match (under the lock); optionally remove it."""
+        for i, candidate in enumerate(self._tuples):
+            self.scan_count += 1
+            if _matches(pattern, candidate):
+                if remove:
+                    # Swap-remove keeps withdrawal O(1) after the scan.
+                    self._tuples[i] = self._tuples[-1]
+                    self._tuples.pop()
+                return candidate
+        return None
+
+    def in_(self, *pattern: object, timeout: float | None = None) -> tuple:
+        """Withdraw a matching tuple; blocks until one exists."""
+        with self._cond:
+            while True:
+                self._ensure_open()
+                found = self._find(tuple(pattern), remove=True)
+                if found is not None:
+                    return found
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(f"in_{pattern} timed out")
+
+    def rd(self, *pattern: object, timeout: float | None = None) -> tuple:
+        """Read a copy of a matching tuple; blocks until one exists."""
+        with self._cond:
+            while True:
+                self._ensure_open()
+                found = self._find(tuple(pattern), remove=False)
+                if found is not None:
+                    return found
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(f"rd{pattern} timed out")
+
+    def inp(self, *pattern: object) -> tuple | None:
+        """Non-blocking withdraw; None when nothing matches."""
+        with self._cond:
+            self._ensure_open()
+            return self._find(tuple(pattern), remove=True)
+
+    def rdp(self, *pattern: object) -> tuple | None:
+        """Non-blocking read; None when nothing matches."""
+        with self._cond:
+            self._ensure_open()
+            return self._find(tuple(pattern), remove=False)
+
+    # -- housekeeping ------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of passive tuples currently in the space."""
+        with self._cond:
+            return len(self._tuples)
+
+    def join_evals(self, timeout: float | None = None) -> None:
+        """Wait for all live tuples to become passive."""
+        with self._cond:
+            threads = list(self._eval_threads)
+        for thread in threads:
+            thread.join(timeout)
+
+    def close(self) -> None:
+        """Wake all blocked operations with an error."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise MemoError("tuple space is closed")

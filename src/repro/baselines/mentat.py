@@ -1,0 +1,128 @@
+"""A Mentat-style macro-dataflow baseline (paper section 7, reference [12]).
+
+"Mentat ... offers a balance between explicit and implicit parallelism by
+providing an extended C++ development language.  Through C++ extensions
+and a run time system, Mentat is able to provide applications with an
+environment to support fine-grain and coarse-grain parallelism.  The
+coarse-grain parallelism is supported via a 'macro-dataflow' library.
+One issue, is the problem with handling dynamic data migration between HC
+machines."
+
+The reproduction captures Mentat's programming model at the level the
+comparison needs:
+
+* a :class:`MentatObject` is an actor-like object whose **method
+  invocations are asynchronous** and immediately return a
+  :class:`MentatFuture`;
+* futures may be passed as arguments to further invocations; the runtime
+  tracks the implied **macro-dataflow graph** and fires an invocation only
+  when all its operand futures have resolved — implicit coarse-grain
+  parallelism with no explicit synchronization in user code;
+* everything lives inside one runtime instance: like the original (and
+  unlike D-Memo), there is no shared *named* space — results reach only
+  whoever holds the future, which is exactly the dynamic-data-migration
+  limitation the paper points at.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import MemoError
+
+__all__ = ["MentatFuture", "MentatObject", "MentatRuntime"]
+
+
+class MentatFuture:
+    """The result of an asynchronous method invocation."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: object = None
+        self._error: BaseException | None = None
+
+    def resolve(self, value: object) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> object:
+        """Block for the value (the only synchronization Mentat offers)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("mentat future not resolved in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def resolved(self) -> bool:
+        return self._event.is_set()
+
+
+class MentatRuntime:
+    """Schedules invocations when their operand futures resolve."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Invocations fired (bench metric).
+        self.invocations = 0
+
+    def invoke(
+        self,
+        fn: Callable[..., object],
+        args: tuple,
+        target_lock: threading.Lock,
+    ) -> MentatFuture:
+        """Run ``fn(*args)`` once every :class:`MentatFuture` arg resolves.
+
+        ``target_lock`` serializes invocations on one object (Mentat
+        objects process one method at a time, like actors).
+        """
+        out = MentatFuture()
+
+        def run() -> None:
+            try:
+                concrete = [
+                    a.result() if isinstance(a, MentatFuture) else a for a in args
+                ]
+                with target_lock:
+                    with self._lock:
+                        self.invocations += 1
+                    out.resolve(fn(*concrete))
+            except BaseException as exc:  # noqa: BLE001 - surfaced via result()
+                out.fail(exc)
+
+        threading.Thread(target=run, daemon=True).start()
+        return out
+
+
+class MentatObject:
+    """Base class: subclass and call methods through :meth:`invoke`.
+
+    The original extends C++ with a ``mentat`` class keyword; here the
+    subclass is plain Python and asynchrony is explicit at the call site::
+
+        class Adder(MentatObject):
+            def add(self, a, b):
+                return a + b
+
+        adder = Adder(runtime)
+        f1 = adder.invoke("add", 1, 2)
+        f2 = adder.invoke("add", f1, 10)   # macro-dataflow dependency
+        assert f2.result() == 13
+    """
+
+    def __init__(self, runtime: MentatRuntime) -> None:
+        self._runtime = runtime
+        self._serial = threading.Lock()
+
+    def invoke(self, method: str, *args: object) -> MentatFuture:
+        """Asynchronously invoke *method*; futures in *args* are awaited."""
+        fn = getattr(self, method, None)
+        if fn is None or not callable(fn):
+            raise MemoError(f"{type(self).__name__} has no method {method!r}")
+        return self._runtime.invoke(fn, args, self._serial)

@@ -1,0 +1,181 @@
+"""A PVM-style message-passing baseline (paper section 7, reference [11]).
+
+"Parallel Virtual Machine (PVM) is a low-level approach taken to support
+the virtual machine concept. ... The limitations of this work are the
+dependence on TCP/IP ..., the lack of mechanisms to handle synchronization
+and communication reliably, and the ability to handle dynamic data
+migration."
+
+The baseline reproduces PVM's programming level — explicit task ids,
+tagged sends and receives, multicast to an explicit id list — so the SEC7B
+bench can run the same workloads on both models and compare the
+coordination burden and throughput.  True to the original, there are no
+shared data structures: anything shared must be hand-carried in messages.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import MemoError
+
+__all__ = ["PVM", "TaskHandle"]
+
+#: Wildcard for ``recv`` source/tag, as in the original ``pvm_recv(-1, -1)``.
+WILDCARD = -1
+
+
+@dataclass(frozen=True)
+class _Message:
+    src: int
+    tag: int
+    data: object
+
+
+class TaskHandle:
+    """One spawned PVM task (a thread in the reproduction)."""
+
+    def __init__(self, tid: int, thread: threading.Thread) -> None:
+        self.tid = tid
+        self._thread = thread
+        self._result: object = None
+        self._error: BaseException | None = None
+
+    def join(self, timeout: float | None = None) -> bool:
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def result(self) -> object:
+        if self._thread.is_alive():
+            raise MemoError(f"task {self.tid} still running")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class PVM:
+    """The virtual machine: task table plus per-task mailboxes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_tid = 1
+        self._mailboxes: dict[int, "queue.Queue[_Message]"] = {}
+        self._pending: dict[int, list[_Message]] = {}
+        self._tasks: dict[int, TaskHandle] = {}
+        self._tls = threading.local()
+        #: Messages sent (bench metric).
+        self.messages_sent = 0
+
+    # -- task management ---------------------------------------------------------
+
+    def mytid(self) -> int:
+        """The calling task's id (0 for the host process)."""
+        return getattr(self._tls, "tid", 0)
+
+    def _register(self, tid: int) -> None:
+        with self._lock:
+            self._mailboxes[tid] = queue.Queue()
+            self._pending[tid] = []
+
+    def spawn(self, fn: Callable[["PVM", int], object]) -> TaskHandle:
+        """Start ``fn(pvm, tid)`` as a new task; returns its handle."""
+        with self._lock:
+            tid = self._next_tid
+            self._next_tid += 1
+        self._register(tid)
+
+        def run() -> None:
+            self._tls.tid = tid
+            try:
+                handle._result = fn(self, tid)
+            except BaseException as exc:  # noqa: BLE001 - surfaced by result()
+                handle._error = exc
+
+        thread = threading.Thread(target=run, name=f"pvm-task-{tid}", daemon=True)
+        handle = TaskHandle(tid, thread)
+        with self._lock:
+            self._tasks[tid] = handle
+        thread.start()
+        return handle
+
+    def host_mailbox(self) -> None:
+        """Give the host process (tid 0) a mailbox so tasks can reply."""
+        if 0 not in self._mailboxes:
+            self._register(0)
+
+    # -- messaging -----------------------------------------------------------------
+
+    def send(self, tid: int, tag: int, data: object) -> None:
+        """Send *data* with *tag* to task *tid*."""
+        with self._lock:
+            mailbox = self._mailboxes.get(tid)
+        if mailbox is None:
+            raise MemoError(f"no task with tid {tid}")
+        with self._lock:
+            self.messages_sent += 1
+        mailbox.put(_Message(self.mytid(), tag, data))
+
+    def mcast(self, tids: list[int], tag: int, data: object) -> None:
+        """Multicast to an explicit id list (PVM has no true broadcast)."""
+        for tid in tids:
+            self.send(tid, tag, data)
+
+    def recv(
+        self,
+        src: int = WILDCARD,
+        tag: int = WILDCARD,
+        timeout: float | None = None,
+    ) -> tuple[int, int, object]:
+        """Blocking receive with source/tag selection.
+
+        Returns ``(src, tag, data)``.  Non-matching messages are queued
+        aside and re-examined by later receives (PVM's buffered-message
+        semantics).
+        """
+        tid = self.mytid()
+        with self._lock:
+            mailbox = self._mailboxes.get(tid)
+            pending = self._pending.get(tid)
+        if mailbox is None or pending is None:
+            raise MemoError(f"task {tid} has no mailbox (host_mailbox() not called?)")
+
+        def matches(msg: _Message) -> bool:
+            return (src == WILDCARD or msg.src == src) and (
+                tag == WILDCARD or msg.tag == tag
+            )
+
+        with self._lock:
+            for i, msg in enumerate(pending):
+                if matches(msg):
+                    del pending[i]
+                    return msg.src, msg.tag, msg.data
+        while True:
+            try:
+                msg = mailbox.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"recv(src={src}, tag={tag}) timed out in task {tid}"
+                ) from None
+            if matches(msg):
+                return msg.src, msg.tag, msg.data
+            with self._lock:
+                pending.append(msg)
+
+    def nrecv(self, src: int = WILDCARD, tag: int = WILDCARD):
+        """Non-blocking receive; None when nothing matches."""
+        try:
+            return self.recv(src, tag, timeout=0.000001)
+        except TimeoutError:
+            return None
+
+    # -- teardown ---------------------------------------------------------------------
+
+    def join_all(self, timeout: float | None = None) -> None:
+        """Wait for every spawned task."""
+        with self._lock:
+            tasks = list(self._tasks.values())
+        for task in tasks:
+            task.join(timeout)

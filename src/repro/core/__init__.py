@@ -1,0 +1,17 @@
+"""Core D-Memo abstractions: keys, memos, the ``Memo`` API (paper section 6),
+and the shared data structures / synchronization mechanisms built on them
+(sections 6.2 and 6.3)."""
+
+from repro.core.keys import FolderName, Key, Symbol, SymbolFactory
+from repro.core.memo import MemoRecord
+from repro.core.api import Memo, NIL
+
+__all__ = [
+    "Symbol",
+    "SymbolFactory",
+    "Key",
+    "FolderName",
+    "MemoRecord",
+    "Memo",
+    "NIL",
+]

@@ -1,0 +1,253 @@
+"""The Memo Language — the application programming interface (section 6.1).
+
+The :class:`Memo` class exposes the paper's primitives verbatim:
+
+* ``create_symbol()`` — mint a unique symbol for building keys;
+* ``put(key, value)`` — deposit, control returns immediately;
+* ``put_delayed(key1, key2, value)`` — dormant deposit released on arrival;
+* ``get(key)`` — consume, blocking;
+* ``get_copy(key)`` — examine without consuming, blocking;
+* ``get_skip(key)`` — consume or return :data:`NIL` immediately;
+* ``get_alt(array_of_keys)`` — consume from any folder, blocking,
+  nondeterministic choice;
+* ``get_alt_skip(array_of_keys)`` — like ``get_alt`` but immediate.
+
+Values may be any transferable structure: absolute-domain scalars, nested
+containers, registered structs, even self-referential graphs — "any data
+structure can be entered and extracted intact from the memo space with no
+programming effort" (section 6.1.1).
+
+Blocking ``get_alt`` is implemented as client-driven polling rounds with
+exponential backoff (each round is one ``get_alt_skip`` request that the
+memo server fans out across owning hosts).  Single-folder ``get`` blocks
+*inside* the owning folder server — no polling.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.keys import FolderName, Key, Symbol, SymbolFactory
+from repro.errors import MemoError
+from repro.network.protocol import (
+    GetAltSkipRequest,
+    GetRequest,
+    PutDelayedRequest,
+    PutRequest,
+)
+from repro.transferable.registry import TransferableRegistry
+from repro.transferable.wire import decode, encode
+
+if TYPE_CHECKING:  # import cycle: runtime.client builds on network only,
+    # but the runtime package's __init__ pulls in the cluster, which needs
+    # this module — so the name is for type checkers only.
+    from repro.runtime.client import MemoClient
+
+__all__ = ["Memo", "NIL", "Nil"]
+
+
+class Nil:
+    """The NIL sentinel returned by ``get_skip`` when a folder is empty.
+
+    Distinct from ``None`` so that applications can legitimately store
+    ``None`` inside memos.  Falsy, singleton, and repr-friendly.
+    """
+
+    _instance: "Nil | None" = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NIL"
+
+
+#: The singleton NIL value.
+NIL = Nil()
+
+#: get_alt polling backoff parameters (seconds).
+_ALT_BACKOFF_START = 0.0005
+_ALT_BACKOFF_MAX = 0.02
+
+
+class Memo:
+    """The D-Memo API bound to one application process.
+
+    Args:
+        client: connection to the process's local memo server.
+        app: application name (the folder-namespace prefix, section 4.3).
+        process_name: this process's name; scopes generated symbols and
+            tags deposited memos for diagnostics.
+        strict_domains: when True, bare ints/floats are rejected in values —
+            the full heterogeneous discipline of section 3.1.3.
+        registry: transferable struct registry (defaults to the global one).
+    """
+
+    def __init__(
+        self,
+        client: "MemoClient",
+        app: str,
+        process_name: str = "proc",
+        *,
+        strict_domains: bool = False,
+        registry: TransferableRegistry | None = None,
+    ) -> None:
+        if not app:
+            raise MemoError("application name must be non-empty")
+        self.client = client
+        self.app = app
+        self.process_name = process_name
+        self.strict_domains = strict_domains
+        self.registry = registry
+        self._symbols = SymbolFactory(scope=f"{app}.{process_name}")
+        self._rng = random.Random()
+
+    # -- keys ------------------------------------------------------------------
+
+    def create_symbol(self, hint: str = "sym") -> Symbol:
+        """Mint a symbol unique to this process (section 6.1.1)."""
+        return self._symbols.create(hint)
+
+    def _folder(self, key: Key | Symbol) -> FolderName:
+        if isinstance(key, Symbol):
+            key = Key(key)
+        if not isinstance(key, Key):
+            raise MemoError(f"expected Key or Symbol, got {type(key).__qualname__}")
+        return FolderName(self.app, key)
+
+    def _encode(self, value: object) -> bytes:
+        return encode(value, registry=self.registry, strict_domains=self.strict_domains)
+
+    def _decode(self, payload: bytes) -> object:
+        return decode(payload, registry=self.registry)
+
+    # -- basic functions (section 6.1.2) -----------------------------------------
+
+    def put(self, key: Key | Symbol, value: object, *, wait: bool = False) -> None:
+        """Put *value* in the folder labeled *key*; returns immediately.
+
+        With ``wait=True`` the call blocks until the deposit is
+        acknowledged by the owning folder server (useful in tests).
+        """
+        msg = PutRequest(
+            folder=self._folder(key),
+            payload=self._encode(value),
+            origin=self.process_name,
+        )
+        if wait:
+            self._check(self.client.request(msg))
+        else:
+            self.client.post(msg)
+
+    def put_delayed(
+        self,
+        key1: Key | Symbol,
+        key2: Key | Symbol,
+        value: object,
+        *,
+        wait: bool = False,
+    ) -> None:
+        """Park *value* on *key1*; it moves to *key2* when a memo arrives
+        in *key1* (the dataflow trigger, sections 6.1.2 and 6.3.3)."""
+        msg = PutDelayedRequest(
+            folder=self._folder(key1),
+            release_to=self._folder(key2),
+            payload=self._encode(value),
+            origin=self.process_name,
+        )
+        if wait:
+            self._check(self.client.request(msg))
+        else:
+            self.client.post(msg)
+
+    def get(self, key: Key | Symbol) -> object:
+        """Consume a memo from *key*'s folder; blocks while empty."""
+        reply = self._check(
+            self.client.request(GetRequest(self._folder(key), mode="get"))
+        )
+        return self._decode(reply.payload)
+
+    def get_copy(self, key: Key | Symbol) -> object:
+        """Return a copy of a memo without consuming it; blocks while empty."""
+        reply = self._check(
+            self.client.request(GetRequest(self._folder(key), mode="copy"))
+        )
+        return self._decode(reply.payload)
+
+    def get_skip(self, key: Key | Symbol) -> object:
+        """Consume a memo when available; :data:`NIL` immediately otherwise."""
+        reply = self._check(
+            self.client.request(GetRequest(self._folder(key), mode="skip"))
+        )
+        if not reply.found:
+            return NIL
+        return self._decode(reply.payload)
+
+    def get_alt(
+        self,
+        array_of_keys: Sequence[Key | Symbol],
+        timeout: float | None = None,
+    ) -> tuple[Key, object]:
+        """Consume from any one of several folders; blocks until a hit.
+
+        Returns ``(key, value)`` identifying which folder was chosen.  When
+        several folders hold memos the choice is nondeterministic (the poll
+        order is randomized each round).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        backoff = _ALT_BACKOFF_START
+        while True:
+            hit = self.get_alt_skip(array_of_keys)
+            if hit is not NIL:
+                return hit  # type: ignore[return-value]
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError("get_alt timed out")
+            time.sleep(backoff)
+            backoff = min(backoff * 2, _ALT_BACKOFF_MAX)
+
+    def get_alt_skip(
+        self, array_of_keys: Sequence[Key | Symbol]
+    ) -> tuple[Key, object] | Nil:
+        """Like ``get_alt`` but returns :data:`NIL` when all are empty."""
+        folders = [self._folder(k) for k in array_of_keys]
+        if not folders:
+            raise MemoError("get_alt requires at least one key")
+        self._rng.shuffle(folders)
+        reply = self._check(
+            self.client.request(
+                GetAltSkipRequest(folders=tuple(folders), origin=self.process_name)
+            )
+        )
+        if not reply.found:
+            return NIL
+        assert reply.folder is not None
+        return reply.folder.key, self._decode(reply.payload)
+
+    # -- housekeeping ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Block until every asynchronous put has been acknowledged."""
+        self.client.flush()
+
+    @staticmethod
+    def _check(reply) -> "Reply":  # type: ignore[name-defined]
+        if not reply.ok:
+            raise MemoError(reply.error)
+        return reply
+
+    # -- iteration helpers (convenience, not in the paper) --------------------------
+
+    def drain(self, key: Key | Symbol) -> Iterable[object]:
+        """Yield memos from a folder until it is empty (non-blocking)."""
+        while True:
+            value = self.get_skip(key)
+            if value is NIL:
+                return
+            yield value

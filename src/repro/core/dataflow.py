@@ -1,0 +1,160 @@
+"""Dataflow programming support (paper section 6.3.3).
+
+"Dataflow programming triggers execution of code when its operands become
+available.  The system simplifies dataflow programming by providing the
+put_delayed procedure.  Assume the operands are futures.  One simply
+arranges to have an operation dropped into a jar when an operand memo
+arrives in a folder."
+
+:func:`when_available` is that one-liner; :class:`DataflowGraph` builds on
+it to run a whole operand-driven computation: each node fires when all its
+operand futures are resolved, evaluated by a pool of workers draining the
+trigger jar.  This is the in-library scheduler that the Lucid language
+implementation reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.api import Memo
+from repro.core.keys import Key
+from repro.errors import MemoError
+
+__all__ = ["when_available", "DataflowGraph", "DataflowNode"]
+
+
+def when_available(memo: Memo, operand: Key, job_jar: Key, operation: object) -> None:
+    """Drop *operation* into *job_jar* when a memo arrives in *operand*.
+
+    Exactly the paper's ``memo.put_delayed(operand, job_jar, operation)``.
+    """
+    memo.put_delayed(operand, job_jar, operation)
+
+
+@dataclass(frozen=True)
+class DataflowNode:
+    """One operation node: named output computed from named operands."""
+
+    name: str
+    operands: tuple[str, ...]
+    fn: Callable[..., object]
+
+
+class DataflowGraph:
+    """An operand-driven computation over futures and a trigger jar.
+
+    Each node's output is a future folder keyed by the node name.  A node
+    with *k* operands registers *k* delayed trigger memos; every time an
+    operand resolves, a trigger lands in the jar and a worker re-examines
+    the node — it fires when all operands are present (``get_copy`` on
+    each).  Source values are injected with :meth:`feed`.
+
+    This deliberately uses only the public Memo API (``put``,
+    ``put_delayed``, ``get_copy``, ``get``, ``get_skip``) — it is an
+    application of the system, not an extension to it.
+    """
+
+    def __init__(self, memo: Memo, hint: str = "dflow") -> None:
+        self.memo = memo
+        self._sym = memo.create_symbol(hint)
+        self._jar = Key(self._sym, (0,))
+        self._nodes: dict[str, DataflowNode] = {}
+        self._name_ids: dict[str, int] = {}
+
+    # -- graph construction ------------------------------------------------------
+
+    def _value_key(self, name: str) -> Key:
+        if name not in self._name_ids:
+            self._name_ids[name] = len(self._name_ids) + 1
+        return Key(self._sym, (1, self._name_ids[name]))
+
+    def node(
+        self, name: str, operands: tuple[str, ...], fn: Callable[..., object]
+    ) -> DataflowNode:
+        """Declare a node computing *name* from *operands* via *fn*."""
+        if name in self._nodes:
+            raise MemoError(f"dataflow node {name!r} already declared")
+        node = DataflowNode(name, tuple(operands), fn)
+        self._nodes[name] = node
+        key = self._value_key(name)  # allocate id deterministically
+        del key
+        for operand in node.operands:
+            when_available(
+                self.memo, self._value_key(operand), self._jar, {"check": name}
+            )
+        if not node.operands:
+            # Constant node: fire immediately via a direct trigger.
+            self.memo.put(self._jar, {"check": name})
+        return node
+
+    def feed(self, name: str, value: object) -> None:
+        """Resolve a source operand."""
+        self.memo.put(self._value_key(name), value, wait=True)
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _try_fire(self, name: str) -> bool:
+        """Fire *name* if all operands are resolved and it hasn't fired."""
+        from repro.core.api import NIL
+
+        node = self._nodes[name]
+        produced = self.memo.get_skip(self._value_key(name))
+        if produced is not NIL:
+            # Already produced: restore the value and stop.
+            self.memo.put(self._value_key(name), produced, wait=True)
+            return False
+        args = []
+        for operand in node.operands:
+            value = self.memo.get_skip(self._value_key(operand))
+            if value is NIL:
+                return False  # operand not ready; a later trigger will retry
+            self.memo.put(self._value_key(operand), value, wait=True)
+            args.append(value)
+        result = node.fn(*args)
+        self.memo.put(self._value_key(name), result, wait=True)
+        return True
+
+    def run(self, outputs: list[str], max_steps: int = 100_000) -> dict[str, object]:
+        """Drain triggers until every *output* is resolved; return them.
+
+        Single-threaded driver (workers in separate processes would drain
+        the same jar identically — the integration tests do exactly that).
+        """
+        from repro.core.api import NIL
+
+        unknown = [n for n in outputs if n not in self._nodes and n not in self._name_ids]
+        if unknown:
+            raise MemoError(f"unknown dataflow outputs: {unknown}")
+        pending = set(outputs)
+        steps = 0
+        while pending:
+            steps += 1
+            if steps > max_steps:
+                raise MemoError(
+                    f"dataflow did not converge after {max_steps} steps; "
+                    f"missing outputs: {sorted(pending)}"
+                )
+            trigger = self.memo.get_skip(self._jar)
+            if trigger is NIL:
+                # No triggers outstanding: check pending outputs directly
+                # (covers sources fed after node declaration).
+                for name in list(pending):
+                    value = self.memo.get_skip(self._value_key(name))
+                    if value is not NIL:
+                        self.memo.put(self._value_key(name), value, wait=True)
+                        pending.discard(name)
+                    elif name in self._nodes:
+                        self._try_fire(name)
+                continue
+            assert isinstance(trigger, dict)
+            self._try_fire(trigger["check"])
+            for name in list(pending):
+                value = self.memo.get_skip(self._value_key(name))
+                if value is not NIL:
+                    self.memo.put(self._value_key(name), value, wait=True)
+                    pending.discard(name)
+        return {
+            name: self.memo.get_copy(self._value_key(name)) for name in outputs
+        }

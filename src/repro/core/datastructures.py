@@ -1,0 +1,274 @@
+"""Shared data structures over memos and folders (paper section 6.2).
+
+Everything here is a thin, convention-encoding layer over the
+:class:`~repro.core.api.Memo` primitives — exactly how the paper presents
+them: "many commonly used data structures can be shared through the system
+by using memos and folders".
+
+* :class:`NamedObject` — a folder holding at most one memo stands in for a
+  heap object; "instead of pointers to objects, we use folder names".
+* :class:`SharedArray` — element ``a[i, j]`` lives in folder
+  ``(a, (i, j, 0))``, the paper's own key construction.
+* :class:`UnorderedQueue` — a folder *is* an unordered queue.
+* :class:`JobJar` — the work-pile idiom, with per-process private jars and
+  a common jar drained via ``get_alt``.
+* :class:`Future` — an assign-once variable; consumers block until filled;
+  "the folder will vanish once the memo is removed".
+* :class:`IStructure` — an array of futures (dataflow's I-structures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.api import NIL, Memo, Nil
+from repro.core.keys import Key, Symbol
+from repro.errors import MemoError
+
+__all__ = [
+    "NamedObject",
+    "SharedArray",
+    "UnorderedQueue",
+    "JobJar",
+    "Future",
+    "IStructure",
+]
+
+
+class NamedObject:
+    """A dynamically allocated shared object addressed by folder name.
+
+    The folder holds at most one memo.  ``take``/``store`` give exclusive
+    update access (the implicit-lock idiom of section 6.3.1); ``peek``
+    reads a copy without taking ownership.
+    """
+
+    def __init__(self, memo: Memo, symbol: Symbol | None = None, hint: str = "obj"):
+        self.memo = memo
+        self.symbol = symbol or memo.create_symbol(hint)
+        self.key = Key(self.symbol)
+
+    def store(self, value: object, *, wait: bool = False) -> None:
+        """Deposit the object's (new) state."""
+        self.memo.put(self.key, value, wait=wait)
+
+    def take(self) -> object:
+        """Remove and return the state — implicitly locking the object."""
+        return self.memo.get(self.key)
+
+    def peek(self) -> object:
+        """Copy the state without locking; blocks until it exists."""
+        return self.memo.get_copy(self.key)
+
+    def try_take(self) -> object | Nil:
+        """Non-blocking take; NIL when absent (someone else holds it)."""
+        return self.memo.get_skip(self.key)
+
+
+class SharedArray:
+    """An n-dimensional array of shared objects (section 6.2.2).
+
+    Element keys follow the paper's construction literally: the key vector
+    is the index tuple padded with a trailing 0.
+    """
+
+    def __init__(
+        self,
+        memo: Memo,
+        shape: Sequence[int],
+        symbol: Symbol | None = None,
+        hint: str = "array",
+    ) -> None:
+        if not shape or any(s <= 0 for s in shape):
+            raise MemoError(f"array shape must be positive, got {tuple(shape)}")
+        self.memo = memo
+        self.shape = tuple(shape)
+        self.symbol = symbol or memo.create_symbol(hint)
+
+    def key_of(self, *index: int) -> Key:
+        """The folder key of element *index* (bounds-checked)."""
+        if len(index) != len(self.shape):
+            raise MemoError(
+                f"expected {len(self.shape)} indices, got {len(index)}"
+            )
+        for i, (x, bound) in enumerate(zip(index, self.shape)):
+            if not 0 <= x < bound:
+                raise MemoError(f"index {x} out of bounds for axis {i} ({bound})")
+        return Key(self.symbol, tuple(index) + (0,))
+
+    def __setitem__(self, index: int | tuple[int, ...], value: object) -> None:
+        index = index if isinstance(index, tuple) else (index,)
+        self.memo.put(self.key_of(*index), value)
+
+    def __getitem__(self, index: int | tuple[int, ...]) -> object:
+        """Read a copy of the element; blocks until it has been written."""
+        index = index if isinstance(index, tuple) else (index,)
+        return self.memo.get_copy(self.key_of(*index))
+
+    def take(self, *index: int) -> object:
+        """Remove the element (exclusive-update idiom)."""
+        return self.memo.get(self.key_of(*index))
+
+    def fill(self, values: Iterable[object]) -> None:
+        """Write a flat iterable across the array in row-major order."""
+        it = iter(values)
+        for flat in range(_prod(self.shape)):
+            index = _unflatten(flat, self.shape)
+            self.memo.put(self.key_of(*index), next(it))
+
+
+def _prod(shape: tuple[int, ...]) -> int:
+    out = 1
+    for s in shape:
+        out *= s
+    return out
+
+
+def _unflatten(flat: int, shape: tuple[int, ...]) -> tuple[int, ...]:
+    index = []
+    for s in reversed(shape):
+        index.append(flat % s)
+        flat //= s
+    return tuple(reversed(index))
+
+
+class UnorderedQueue:
+    """A folder used as a plain unordered queue (section 6.2.3)."""
+
+    def __init__(self, memo: Memo, symbol: Symbol | None = None, hint: str = "queue"):
+        self.memo = memo
+        self.symbol = symbol or memo.create_symbol(hint)
+        self.key = Key(self.symbol)
+
+    def enqueue(self, value: object, *, wait: bool = False) -> None:
+        self.memo.put(self.key, value, wait=wait)
+
+    def dequeue(self) -> object:
+        """Blocking extraction (order deliberately unspecified)."""
+        return self.memo.get(self.key)
+
+    def try_dequeue(self) -> object | Nil:
+        return self.memo.get_skip(self.key)
+
+    def drain(self) -> list[object]:
+        """Empty the queue non-blockingly; returns what was there."""
+        return list(self.memo.drain(self.key))
+
+
+class JobJar:
+    """The job-jar work pile (section 6.2.4).
+
+    "It is often convenient to have one job jar for each process and one
+    common jar for all" — :meth:`take_any` consumes from this process's
+    private jar or the common jar, whichever has work, via ``get_alt``.
+    """
+
+    def __init__(
+        self,
+        memo: Memo,
+        common_symbol: Symbol,
+        private_symbol: Symbol | None = None,
+    ) -> None:
+        self.memo = memo
+        self.common = Key(common_symbol)
+        self.private = Key(private_symbol) if private_symbol else None
+
+    def add(self, task: object, *, wait: bool = False) -> None:
+        """Drop a task into the common jar."""
+        self.memo.put(self.common, task, wait=wait)
+
+    def add_private(self, task: object, *, wait: bool = False) -> None:
+        """Drop a task into this process's private jar."""
+        if self.private is None:
+            raise MemoError("this JobJar has no private jar")
+        self.memo.put(self.private, task, wait=wait)
+
+    def take_any(self, timeout: float | None = None) -> object:
+        """Take a task from the private or common jar (blocking)."""
+        keys = [self.common] if self.private is None else [self.private, self.common]
+        _key, task = self.memo.get_alt(keys, timeout=timeout)
+        return task
+
+    def try_take_any(self) -> object | Nil:
+        keys = [self.common] if self.private is None else [self.private, self.common]
+        hit = self.memo.get_alt_skip(keys)
+        if hit is NIL:
+            return NIL
+        return hit[1]
+
+
+class Future:
+    """An assign-once variable (section 6.2.5).
+
+    The producer resolves it exactly once; consumers ``wait`` (a copying
+    read that leaves the value for other consumers) or ``claim`` it
+    (consume — after which the folder vanishes, per the paper).
+    """
+
+    def __init__(self, memo: Memo, symbol: Symbol | None = None, hint: str = "future"):
+        self.memo = memo
+        self.symbol = symbol or memo.create_symbol(hint)
+        self.key = Key(self.symbol)
+
+    def resolve(self, value: object, *, wait: bool = False) -> None:
+        """Assign the future's value (must happen at most once)."""
+        self.memo.put(self.key, value, wait=wait)
+
+    def wait(self) -> object:
+        """Block until resolved; returns a copy, value stays available."""
+        return self.memo.get_copy(self.key)
+
+    def claim(self) -> object:
+        """Block until resolved and consume the value."""
+        return self.memo.get(self.key)
+
+    def is_resolved(self) -> bool:
+        """Non-blocking check (peek-and-restore via get_skip/put)."""
+        value = self.memo.get_skip(self.key)
+        if value is NIL:
+            return False
+        self.memo.put(self.key, value, wait=True)
+        return True
+
+    def then(self, job_jar_key: Key, operation: object) -> None:
+        """Schedule *operation* into a job jar when the future resolves.
+
+        The paper's non-blocking consumer: "the consumer can delay a memo
+        (using put_delay) for a job jar in the future's folder that will
+        trigger the desired computation when the data becomes available."
+        """
+        self.memo.put_delayed(self.key, job_jar_key, operation)
+
+
+class IStructure:
+    """An incremental structure: an array of futures (section 6.2.5)."""
+
+    def __init__(
+        self,
+        memo: Memo,
+        size: int,
+        symbol: Symbol | None = None,
+        hint: str = "istruct",
+    ) -> None:
+        if size <= 0:
+            raise MemoError(f"I-structure size must be positive, got {size}")
+        self.memo = memo
+        self.size = size
+        self.symbol = symbol or memo.create_symbol(hint)
+
+    def key_of(self, i: int) -> Key:
+        if not 0 <= i < self.size:
+            raise MemoError(f"I-structure index {i} out of range [0, {self.size})")
+        return Key(self.symbol, (i,))
+
+    def __setitem__(self, i: int, value: object) -> None:
+        """Assign slot *i* (each slot is assign-once by convention)."""
+        self.memo.put(self.key_of(i), value)
+
+    def __getitem__(self, i: int) -> object:
+        """Blocking read of slot *i*; the value remains for other readers."""
+        return self.memo.get_copy(self.key_of(i))
+
+    def gather(self) -> list[object]:
+        """Blocking read of every slot in order."""
+        return [self[i] for i in range(self.size)]

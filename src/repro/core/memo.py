@@ -1,0 +1,66 @@
+"""The memo record: what a folder server actually stores.
+
+A memo's *value* is always held **encoded** (transferable wire bytes), never
+as a live Python object.  This is deliberate: on a heterogeneous network the
+folder server that owns a folder may not even be able to represent the
+value natively, and storing bytes makes ``get_copy`` semantics trivially
+correct — every extraction decodes a fresh, independent copy, so no two
+processes can ever alias folder-resident state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.transferable.registry import TransferableRegistry
+from repro.transferable.wire import decode, encode
+
+__all__ = ["MemoRecord"]
+
+_memo_ids = itertools.count(1)
+_memo_id_lock = threading.Lock()
+
+
+def _next_memo_id() -> int:
+    with _memo_id_lock:
+        return next(_memo_ids)
+
+
+@dataclass(frozen=True)
+class MemoRecord:
+    """One memo as held inside a folder.
+
+    Attributes:
+        payload: transferable wire bytes of the value.
+        origin: name of the process that deposited the memo (diagnostics).
+        memo_id: unique id used by the delayed-release bookkeeping.
+    """
+
+    payload: bytes
+    origin: str = ""
+    memo_id: int = field(default_factory=_next_memo_id)
+
+    @classmethod
+    def from_value(
+        cls,
+        value: object,
+        *,
+        origin: str = "",
+        registry: TransferableRegistry | None = None,
+        strict_domains: bool = False,
+    ) -> "MemoRecord":
+        """Encode *value* into a memo record."""
+        return cls(
+            payload=encode(value, registry=registry, strict_domains=strict_domains),
+            origin=origin,
+        )
+
+    def value(self, *, registry: TransferableRegistry | None = None) -> object:
+        """Decode a fresh copy of the stored value."""
+        return decode(self.payload, registry=registry)
+
+    def size_bytes(self) -> int:
+        """Encoded payload size (used by traffic metrics)."""
+        return len(self.payload)

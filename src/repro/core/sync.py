@@ -1,0 +1,176 @@
+"""Synchronization mechanisms over folders (paper section 6.3).
+
+* :class:`SharedRecord` — records locked implicitly by removal: "shared
+  records are accessed by getting them from their folders, examining and
+  updating them, then putting them back.  While the record is being
+  updated, its folder is empty" (section 6.3.1).
+* :class:`MemoLock` — the degenerate one-token record.
+* :class:`MemoSemaphore` — "identical to a lock, except that the semaphore
+  is initialized with as many memos as needed" (section 6.3.2).
+* :class:`MemoBarrier` — an n-party barrier built from two folders
+  (arrival tokens + a generation-stamped release future), one of the
+  "barriers" the API section lists among supported mechanisms.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.core.api import Memo
+from repro.core.keys import Key, Symbol
+from repro.errors import MemoError
+
+__all__ = ["SharedRecord", "MemoLock", "MemoSemaphore", "MemoBarrier"]
+
+
+class SharedRecord:
+    """A mutable record with implicit locking via folder emptiness."""
+
+    def __init__(self, memo: Memo, symbol: Symbol | None = None, hint: str = "record"):
+        self.memo = memo
+        self.symbol = symbol or memo.create_symbol(hint)
+        self.key = Key(self.symbol)
+
+    def initialize(self, value: object) -> None:
+        """Create the record (exactly once, by one process)."""
+        self.memo.put(self.key, value, wait=True)
+
+    @contextlib.contextmanager
+    def update(self) -> Iterator[list]:
+        """Exclusive read-modify-write.
+
+        Yields a one-element list holding the current value; assign
+        ``cell[0]`` to change it.  The record is re-deposited on exit even
+        when the body raises, so a failed update never deadlocks readers.
+        """
+        value = self.memo.get(self.key)  # folder now empty: record locked
+        cell = [value]
+        try:
+            yield cell
+        finally:
+            self.memo.put(self.key, cell[0], wait=True)
+
+    def read(self) -> object:
+        """Consistent snapshot without updating."""
+        return self.memo.get_copy(self.key)
+
+
+class MemoLock:
+    """A mutual-exclusion lock: one token memo in a folder."""
+
+    def __init__(self, memo: Memo, symbol: Symbol | None = None, hint: str = "lock"):
+        self.memo = memo
+        self.symbol = symbol or memo.create_symbol(hint)
+        self.key = Key(self.symbol)
+
+    def initialize(self) -> None:
+        """Deposit the single token (call once)."""
+        self.memo.put(self.key, True, wait=True)
+
+    def acquire(self) -> None:
+        """Take the token; blocks while another process holds it."""
+        self.memo.get(self.key)
+
+    def release(self) -> None:
+        """Return the token."""
+        self.memo.put(self.key, True, wait=True)
+
+    def __enter__(self) -> "MemoLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class MemoSemaphore:
+    """A counting semaphore: *n* token memos in a folder (section 6.3.2)."""
+
+    def __init__(
+        self, memo: Memo, symbol: Symbol | None = None, hint: str = "semaphore"
+    ) -> None:
+        self.memo = memo
+        self.symbol = symbol or memo.create_symbol(hint)
+        self.key = Key(self.symbol)
+
+    def initialize(self, permits: int) -> None:
+        """Deposit the initial tokens (call once)."""
+        if permits < 0:
+            raise MemoError(f"permits must be >= 0, got {permits}")
+        for _ in range(permits):
+            self.memo.put(self.key, True)
+        self.memo.flush()
+
+    def down(self) -> None:
+        """P: consume a token, blocking while none are available."""
+        self.memo.get(self.key)
+
+    def up(self) -> None:
+        """V: add a token."""
+        self.memo.put(self.key, True, wait=True)
+
+    def __enter__(self) -> "MemoSemaphore":
+        self.down()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.up()
+
+
+class MemoBarrier:
+    """An n-party, reusable barrier over two folders.
+
+    Protocol: every arriver deposits a token in the *arrivals* folder; one
+    coordinator (the party whose arrival token is the n-th — decided by a
+    counter record) releases everyone by depositing *n* generation-stamped
+    tokens in the *release* folder.  Reuse is safe because release tokens
+    carry the generation number, so a fast thread re-entering the barrier
+    cannot steal a token from the previous round.
+    """
+
+    def __init__(
+        self,
+        memo: Memo,
+        parties: int,
+        symbol: Symbol | None = None,
+        hint: str = "barrier",
+    ) -> None:
+        if parties < 1:
+            raise MemoError(f"barrier needs >= 1 parties, got {parties}")
+        self.memo = memo
+        self.parties = parties
+        self.symbol = symbol or memo.create_symbol(hint)
+        self._counter = Key(self.symbol, (0,))
+        self._release_sym = self.symbol
+
+    def initialize(self) -> None:
+        """Create the arrival counter (call once, by one process)."""
+        self.memo.put(self._counter, {"arrived": 0, "generation": 0}, wait=True)
+
+    def _release_key(self, generation: int) -> Key:
+        return Key(self._release_sym, (1, generation))
+
+    def wait(self) -> int:
+        """Arrive and block until all *parties* have arrived.
+
+        Returns the barrier generation (0 for the first round).
+        """
+        state = self.memo.get(self._counter)
+        assert isinstance(state, dict)
+        generation = state["generation"]
+        state["arrived"] += 1
+        if state["arrived"] == self.parties:
+            # Last arriver: open the next generation and release everyone.
+            self.memo.put(
+                self._counter,
+                {"arrived": 0, "generation": generation + 1},
+                wait=True,
+            )
+            for _ in range(self.parties - 1):
+                self.memo.put(self._release_key(generation), True)
+            self.memo.flush()
+        else:
+            self.memo.put(self._counter, state, wait=True)
+            self.memo.get(self._release_key(generation))
+        return generation

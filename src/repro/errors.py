@@ -1,0 +1,154 @@
+"""Exception hierarchy for the D-Memo system.
+
+Every error raised by the library derives from :class:`MemoError` so that
+applications can catch system failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.  The hierarchy
+mirrors the four HC foundations of the paper (communication, shared memory,
+transferable, locking) plus the server/runtime layers built on top of them.
+"""
+
+from __future__ import annotations
+
+
+class MemoError(Exception):
+    """Base class for all D-Memo errors."""
+
+
+# ---------------------------------------------------------------------------
+# Transferable foundation (paper section 3.1.3)
+# ---------------------------------------------------------------------------
+
+
+class TransferableError(MemoError):
+    """Base class for data-domain mapping and encoding failures."""
+
+
+class LossyMappingError(TransferableError):
+    """A value does not fit in the absolute domain it was declared with.
+
+    The paper's motivating example: a 64-bit Alpha sending an integer to a
+    16-bit 80486 where the value exceeds 16 bits.  D-Memo refuses to perform
+    the lossy mapping instead of silently truncating.
+    """
+
+    def __init__(self, domain: str, value: object, detail: str = "") -> None:
+        msg = f"value {value!r} does not fit domain {domain}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.domain = domain
+        self.value = value
+
+
+class EncodingError(TransferableError):
+    """An object graph could not be linearized to the wire format."""
+
+
+class DecodingError(TransferableError):
+    """A byte stream could not be de-linearized back to an object graph."""
+
+
+class UnknownTransferableError(TransferableError):
+    """A wire tag or type name has no registered transferable class."""
+
+
+# ---------------------------------------------------------------------------
+# Communication foundation (paper section 3.1.1)
+# ---------------------------------------------------------------------------
+
+
+class CommunicationError(MemoError):
+    """Base class for connection/transport/routing failures."""
+
+
+class ConnectionClosedError(CommunicationError):
+    """The peer closed the connection or the transport was shut down."""
+
+
+class RoutingError(CommunicationError):
+    """No route exists between two hosts in the application topology."""
+
+
+class FrameError(CommunicationError):
+    """A malformed frame was received (bad magic, length, or checksum)."""
+
+
+class ProtocolError(CommunicationError):
+    """A well-formed frame carried a semantically invalid message."""
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory foundation (paper section 3.1.2)
+# ---------------------------------------------------------------------------
+
+
+class SharedMemoryError(MemoError):
+    """Base class for shared-memory backend failures."""
+
+
+class OutOfSharedMemoryError(SharedMemoryError):
+    """The declared pool is exhausted (Encore-style pre-declared pools)."""
+
+
+class SegmentNotFoundError(SharedMemoryError):
+    """An attach/free referenced a segment name that does not exist."""
+
+
+# ---------------------------------------------------------------------------
+# Locking foundation (paper section 3.1.4)
+# ---------------------------------------------------------------------------
+
+
+class LockingError(MemoError):
+    """Base class for locking backend failures."""
+
+
+class LockTimeoutError(LockingError):
+    """A lock acquisition timed out."""
+
+
+class NotOwnerError(LockingError):
+    """A lock was released by a thread that does not hold it."""
+
+
+# ---------------------------------------------------------------------------
+# Servers and runtime (paper section 4)
+# ---------------------------------------------------------------------------
+
+
+class ServerError(MemoError):
+    """Base class for folder/memo server failures."""
+
+
+class FolderServerError(ServerError):
+    """A folder server rejected or failed a request."""
+
+
+class NotRegisteredError(ServerError):
+    """A request named an application that never registered (section 4.4)."""
+
+
+class ADFError(MemoError):
+    """An Application Description File is syntactically or semantically bad."""
+
+
+class ADFSyntaxError(ADFError):
+    """Lexical/parse failure inside an ADF, with line information."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class TopologyError(ADFError):
+    """The PPC section describes an unusable topology (e.g. disconnected)."""
+
+
+class RuntimeLaunchError(MemoError):
+    """The cluster/launcher could not start an application."""
+
+
+class ShutdownError(MemoError):
+    """Raised inside blocked operations when the cluster shuts down."""

@@ -1,0 +1,13 @@
+"""Languages implemented on top of the D-Memo API (paper section 2).
+
+"Languages we have implemented on top of the API include: Message Driven
+Computing language, a pattern-driven language based on Actors [4]; Lucid, a
+dataflow programming language [5]."
+
+* :mod:`repro.languages.mdc` — actors whose behaviours are pattern→handler
+  tables; mailboxes are folders, sends are puts, receipt is a blocking get.
+* :mod:`repro.languages.lucid` — a Lucid subset (streams, ``fby``,
+  ``first``/``next``, ``where`` clauses) compiled to demand-driven
+  evaluation whose memo table lives in D-Memo folders, following the
+  translation of reference [5].
+"""

@@ -1,0 +1,40 @@
+"""Lucid: a dataflow programming language on D-Memo (reference [5]).
+
+The subset implemented covers the core of Lucid's stream algebra:
+
+* every variable denotes an infinite stream of values;
+* ``e1 fby e2`` — *followed by*: the stream starting with ``e1``'s first
+  value and continuing with ``e2`` (shifted by one);
+* ``first e`` / ``next e`` — the constant stream of ``e``'s head / ``e``
+  shifted left;
+* ``e whenever p`` — the subsequence of ``e`` where ``p`` is true;
+* ``e asa p`` — *as soon as*: the constant stream of ``e``'s value at the
+  first point where ``p`` holds;
+* pointwise arithmetic, comparison, boolean operators, and
+  ``if c then a else b``.
+
+A program is a set of equations, one of which must define ``result``.
+Evaluation is demand-driven ("A Simulation of Demand Driven Dataflow"),
+and — true to the paper — the demand memo-table lives in D-Memo folders:
+the value of variable *v* at time *t* is a future in folder ``(v, t)``,
+so concurrent evaluators on different hosts share partial results through
+the directory of queues.
+"""
+
+from repro.languages.lucid.lexer import tokenize, Token
+from repro.languages.lucid.parser import parse_program, LucidProgram
+from repro.languages.lucid.evaluator import LucidEvaluator, LocalCache, MemoCache
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_program",
+    "LucidProgram",
+    "LucidEvaluator",
+    "LocalCache",
+    "MemoCache",
+]
+
+# The Lucid→MDC translation (LucidActorNetwork) lives in
+# repro.languages.lucid.mdc_bridge; import it from there to avoid pulling
+# the actor runtime into every Lucid use.

@@ -1,0 +1,117 @@
+"""AST node types for the Lucid subset.
+
+All nodes are frozen dataclasses; the evaluator dispatches on type.
+Stream operators carry their operands unevaluated — Lucid is lazy by
+definition, and the demand-driven evaluator only computes the (variable,
+time) pairs a demand actually reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Expr",
+    "Num",
+    "BoolLit",
+    "Var",
+    "UnOp",
+    "BinOp",
+    "If",
+    "Fby",
+    "First",
+    "Next",
+    "Whenever",
+    "Asa",
+]
+
+
+class Expr:
+    """Base class for every expression node."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """A numeric literal (the constant stream of that number)."""
+
+    value: float | int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    """``true`` or ``false`` (constant boolean stream)."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference, resolved against the program's equations."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Pointwise unary operator: ``-`` or ``not``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Pointwise binary operator (arithmetic/comparison/boolean)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """Pointwise conditional: ``if c then a else b``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass(frozen=True)
+class Fby(Expr):
+    """``head fby tail``: head's first value, then tail shifted right."""
+
+    head: Expr
+    tail: Expr
+
+
+@dataclass(frozen=True)
+class First(Expr):
+    """``first e``: the constant stream of e's value at time 0."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Next(Expr):
+    """``next e``: e shifted one step left."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Whenever(Expr):
+    """``e whenever p``: the subsequence of e at times where p is true."""
+
+    source: Expr
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class Asa(Expr):
+    """``e asa p``: constant stream of e at the first time p is true."""
+
+    source: Expr
+    condition: Expr

@@ -1,0 +1,210 @@
+"""Demand-driven evaluation of Lucid programs.
+
+"A Simulation of Demand Driven Dataflow: Translation of Lucid into Message
+Driven Computing Language" (paper reference [5]): a demand for ``(variable,
+time)`` either finds the value already produced or triggers computation of
+the defining expression, which recursively demands its operands.
+
+The memo table behind that sharing is pluggable:
+
+* :class:`LocalCache` — an in-process dict (fast path, single evaluator);
+* :class:`MemoCache` — D-Memo folders: the value of *v* at time *t* is a
+  single-assignment future in folder ``(v_symbol, t)``, so several
+  evaluator processes on different hosts cooperate on one evaluation by
+  sharing demands through the directory of queues, exactly the paper's
+  point about implementing dataflow languages on the API.
+
+Numeric semantics: Lucid ``/`` is true division; ``%`` follows Python.
+Boolean operators demand both operands (pointwise, non-short-circuit) —
+the streams are data, not control.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import NIL, Memo
+from repro.core.keys import Key
+from repro.errors import MemoError
+from repro.languages.lucid import ast
+from repro.languages.lucid.parser import LucidProgram
+
+__all__ = ["LocalCache", "MemoCache", "LucidEvaluator"]
+
+#: Safety rail against runaway ``whenever`` searches on false-everywhere
+#: conditions.
+_MAX_WHENEVER_SCAN = 100_000
+
+
+class LocalCache:
+    """In-process (variable, time) → value table."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[str, int], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, var: str, t: int) -> object:
+        value = self._table.get((var, t), NIL)
+        if value is NIL:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, var: str, t: int, value: object) -> None:
+        self._table[(var, t)] = value
+
+
+class MemoCache:
+    """(variable, time) futures stored in D-Memo folders.
+
+    Each variable gets one symbol; time *t* indexes the key vector.  A
+    lookup is ``get_skip`` + restore (non-destructive probe); a store is a
+    plain ``put``.  Multiple evaluators sharing the same symbols share the
+    table across hosts.
+    """
+
+    def __init__(self, memo: Memo, hint: str = "lucid") -> None:
+        self.memo = memo
+        self._sym = memo.create_symbol(hint)
+        self._var_ids: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, var: str, t: int) -> Key:
+        if var not in self._var_ids:
+            self._var_ids[var] = len(self._var_ids)
+        return Key(self._sym, (self._var_ids[var], t))
+
+    def lookup(self, var: str, t: int) -> object:
+        value = self.memo.get_skip(self._key(var, t))
+        if value is NIL:
+            self.misses += 1
+            return NIL
+        # Non-destructive probe: put the value back for other evaluators.
+        self.memo.put(self._key(var, t), value, wait=True)
+        self.hits += 1
+        return value
+
+    def store(self, var: str, t: int, value: object) -> None:
+        self.memo.put(self._key(var, t), value, wait=True)
+
+
+class LucidEvaluator:
+    """Evaluates a :class:`LucidProgram` demand by demand."""
+
+    def __init__(self, program: LucidProgram, cache: LocalCache | MemoCache | None = None):
+        self.program = program
+        self.cache = cache if cache is not None else LocalCache()
+
+    # -- public API ---------------------------------------------------------------
+
+    def value_of(self, var: str, t: int) -> object:
+        """The value of stream *var* at time *t* (computed on demand)."""
+        if t < 0:
+            raise MemoError(f"negative time index {t}")
+        cached = self.cache.lookup(var, t)
+        if cached is not NIL:
+            return cached
+        value = self._eval(self.program.expr_for(var), t)
+        self.cache.store(var, t, value)
+        return value
+
+    def take(self, var: str, n: int) -> list[object]:
+        """The first *n* values of stream *var*.
+
+        Evaluated in time order so that recurrences like
+        ``n = 0 fby n + 1`` run with O(1) recursion depth per step.
+        """
+        return [self.value_of(var, t) for t in range(n)]
+
+    def run(self, n: int) -> list[object]:
+        """The first *n* values of ``result``."""
+        return self.take("result", n)
+
+    # -- expression evaluation ----------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, t: int) -> object:
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            return self.value_of(expr.name, t)
+        if isinstance(expr, ast.UnOp):
+            return self._unop(expr.op, self._eval(expr.operand, t))
+        if isinstance(expr, ast.BinOp):
+            return self._binop(
+                expr.op, self._eval(expr.left, t), self._eval(expr.right, t)
+            )
+        if isinstance(expr, ast.If):
+            cond = self._eval(expr.cond, t)
+            branch = expr.then if cond else expr.otherwise
+            return self._eval(branch, t)
+        if isinstance(expr, ast.Fby):
+            if t == 0:
+                return self._eval(expr.head, 0)
+            return self._eval(expr.tail, t - 1)
+        if isinstance(expr, ast.First):
+            return self._eval(expr.operand, 0)
+        if isinstance(expr, ast.Next):
+            return self._eval(expr.operand, t + 1)
+        if isinstance(expr, ast.Whenever):
+            return self._eval(expr.source, self._whenever_index(expr.condition, t))
+        if isinstance(expr, ast.Asa):
+            return self._eval(expr.source, self._whenever_index(expr.condition, 0))
+        raise MemoError(f"unknown AST node {type(expr).__qualname__}")
+
+    def _whenever_index(self, condition: ast.Expr, t: int) -> int:
+        """The time of the (t+1)-th True in *condition*'s stream."""
+        seen = 0
+        for j in range(_MAX_WHENEVER_SCAN):
+            if self._eval(condition, j):
+                if seen == t:
+                    return j
+                seen += 1
+        raise MemoError(
+            f"whenever/asa condition was true fewer than {t + 1} times in the "
+            f"first {_MAX_WHENEVER_SCAN} steps"
+        )
+
+    @staticmethod
+    def _unop(op: str, value: object) -> object:
+        if op == "-":
+            return -value  # type: ignore[operator]
+        if op == "not":
+            return not value
+        raise MemoError(f"unknown unary operator {op!r}")
+
+    @staticmethod
+    def _binop(op: str, a: object, b: object) -> object:
+        if op == "+":
+            return a + b  # type: ignore[operator]
+        if op == "-":
+            return a - b  # type: ignore[operator]
+        if op == "*":
+            return a * b  # type: ignore[operator]
+        if op == "/":
+            if b == 0:
+                raise MemoError("Lucid division by zero")
+            return a / b  # type: ignore[operator]
+        if op == "%":
+            if b == 0:
+                raise MemoError("Lucid modulo by zero")
+            return a % b  # type: ignore[operator]
+        if op == "<":
+            return a < b  # type: ignore[operator]
+        if op == "<=":
+            return a <= b  # type: ignore[operator]
+        if op == ">":
+            return a > b  # type: ignore[operator]
+        if op == ">=":
+            return a >= b  # type: ignore[operator]
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "and":
+            return bool(a) and bool(b)
+        if op == "or":
+            return bool(a) or bool(b)
+        raise MemoError(f"unknown binary operator {op!r}")

@@ -1,0 +1,86 @@
+"""Tokenizer for the Lucid subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import MemoError
+
+__all__ = ["Token", "LucidSyntaxError", "tokenize", "KEYWORDS"]
+
+
+class LucidSyntaxError(MemoError):
+    """Lexical or parse error in a Lucid program."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind, text, and source line."""
+
+    kind: str  # "num", "ident", "kw", "op"
+    text: str
+    line: int
+
+
+KEYWORDS = frozenset(
+    {
+        "fby",
+        "first",
+        "next",
+        "whenever",
+        "asa",
+        "if",
+        "then",
+        "else",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>//[^\n]*)
+  | (?P<newline>\n)
+  | (?P<num>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|[-+*/%<>=();])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Lucid source; ``//`` comments run to end of line."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LucidSyntaxError(f"unexpected character {source[pos]!r}", line)
+        pos = m.end()
+        if m.group("ws") or m.group("comment"):
+            continue
+        if m.group("newline"):
+            line += 1
+            continue
+        if m.group("num"):
+            tokens.append(Token("num", m.group("num"), line))
+        elif m.group("ident"):
+            text = m.group("ident")
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token("op", m.group("op"), line))
+    return tokens

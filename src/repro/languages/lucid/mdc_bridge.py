@@ -1,0 +1,230 @@
+"""Lucid compiled onto MDC actors (paper reference [5]).
+
+"A Simulation of Demand Driven Dataflow: Translation of Lucid into Message
+Driven Computing Language" — the authors' own bridge between their two
+languages.  This module reproduces that translation on top of this
+repository's MDC runtime:
+
+* every Lucid **variable becomes an actor** whose mailbox is a folder;
+* a ``demand`` message asks a variable-actor for its value at time *t*;
+* the actor evaluates its defining expression; when evaluation needs
+  another stream's value it **suspends** the computation, sends a demand
+  to that variable's actor, and continues serving its mailbox — nothing
+  ever blocks;
+* a ``value`` message resumes every suspended computation that was waiting
+  on it; completed values are cached and announced to all requesters.
+
+The observable result equals the sequential
+:class:`~repro.languages.lucid.evaluator.LucidEvaluator`, but the
+computation is message-driven end to end: demands and values are memos
+flowing through folders, and the variable-actors can live on any hosts of
+the cluster.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import MemoError
+from repro.languages.lucid import ast
+from repro.languages.lucid.evaluator import LucidEvaluator
+from repro.languages.lucid.parser import LucidProgram
+from repro.languages.mdc import ActorSystem, Behavior
+from repro.languages.mdc.actors import ActorRef
+
+__all__ = ["LucidActorNetwork"]
+
+#: Bound on whenever/asa scans, mirroring the sequential evaluator.
+_MAX_SCAN = 10_000
+
+
+class _Need(Exception):
+    """Raised by the pure evaluator when a (variable, time) is missing."""
+
+    def __init__(self, var: str, t: int) -> None:
+        super().__init__(f"need {var}@{t}")
+        self.var = var
+        self.t = t
+
+
+def _eval_expr(expr: ast.Expr, t: int, lookup) -> object:
+    """Evaluate *expr* at time *t*; ``lookup(var, t)`` may raise :class:`_Need`.
+
+    Pure and restartable: the actor re-runs it after each missing value
+    arrives (the env makes replays cheap), which is the simplest faithful
+    realization of a suspended demand-driven computation.
+    """
+    if isinstance(expr, (ast.Num, ast.BoolLit)):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        return lookup(expr.name, t)
+    if isinstance(expr, ast.UnOp):
+        return LucidEvaluator._unop(expr.op, _eval_expr(expr.operand, t, lookup))
+    if isinstance(expr, ast.BinOp):
+        return LucidEvaluator._binop(
+            expr.op,
+            _eval_expr(expr.left, t, lookup),
+            _eval_expr(expr.right, t, lookup),
+        )
+    if isinstance(expr, ast.If):
+        cond = _eval_expr(expr.cond, t, lookup)
+        return _eval_expr(expr.then if cond else expr.otherwise, t, lookup)
+    if isinstance(expr, ast.Fby):
+        if t == 0:
+            return _eval_expr(expr.head, 0, lookup)
+        return _eval_expr(expr.tail, t - 1, lookup)
+    if isinstance(expr, ast.First):
+        return _eval_expr(expr.operand, 0, lookup)
+    if isinstance(expr, ast.Next):
+        return _eval_expr(expr.operand, t + 1, lookup)
+    if isinstance(expr, (ast.Whenever, ast.Asa)):
+        target = 0 if isinstance(expr, ast.Asa) else t
+        seen = 0
+        for j in range(_MAX_SCAN):
+            if _eval_expr(expr.condition, j, lookup):
+                if seen == target:
+                    return _eval_expr(expr.source, j, lookup)
+                seen += 1
+        raise MemoError("whenever/asa condition true too few times")
+    raise MemoError(f"unknown AST node {type(expr).__qualname__}")
+
+
+@dataclass
+class _Task:
+    """One suspended computation of (this variable, t)."""
+
+    t: int
+    reply_to: list[ActorRef] = field(default_factory=list)
+    env: dict[tuple[str, int], object] = field(default_factory=dict)
+    requested: set[tuple[str, int]] = field(default_factory=set)
+
+
+def _variable_behavior(name: str, expr: ast.Expr, refs: dict[str, ActorRef]) -> Behavior:
+    """The pattern table of one variable-actor."""
+    behavior = Behavior()
+
+    def try_run(actor, task: _Task) -> None:
+        cache: dict[int, object] = actor.state.setdefault("cache", {})
+
+        def lookup(var: str, tt: int) -> object:
+            if var == name and tt in cache:
+                return cache[tt]
+            if (var, tt) in task.env:
+                return task.env[(var, tt)]
+            raise _Need(var, tt)
+
+        try:
+            value = _eval_expr(expr, task.t, lookup)
+        except _Need as need:
+            key = (need.var, need.t)
+            if key not in task.requested:
+                task.requested.add(key)
+                actor.send(
+                    refs[need.var],
+                    {"type": "demand", "t": need.t, "reply_to": actor.ref},
+                )
+            return  # suspended; a value message will resume us
+        cache[task.t] = value
+        actor.state.setdefault("tasks", {}).pop(task.t, None)
+        for ref in task.reply_to:
+            actor.send(
+                ref, {"type": "value", "var": name, "t": task.t, "value": value}
+            )
+
+    @behavior.on({"type": "demand"})
+    def on_demand(actor, msg):
+        t = msg["t"]
+        cache = actor.state.setdefault("cache", {})
+        if t in cache:
+            actor.send(
+                msg["reply_to"],
+                {"type": "value", "var": name, "t": t, "value": cache[t]},
+            )
+            return
+        tasks = actor.state.setdefault("tasks", {})
+        task = tasks.get(t)
+        if task is None:
+            task = _Task(t=t)
+            tasks[t] = task
+        task.reply_to.append(msg["reply_to"])
+        try_run(actor, task)
+
+    @behavior.on({"type": "value"})
+    def on_value(actor, msg):
+        key = (msg["var"], msg["t"])
+        tasks = actor.state.setdefault("tasks", {})
+        for task in list(tasks.values()):
+            if key in task.requested:
+                task.env[key] = msg["value"]
+                try_run(actor, task)
+
+    return behavior
+
+
+class LucidActorNetwork:
+    """A Lucid program running as a network of MDC variable-actors.
+
+    Args:
+        program: the parsed equations.
+        system: the actor system to spawn variable-actors into.  Spread
+            evaluation across hosts by handing in a system whose
+            ``memo_factory`` allocates APIs on different hosts.
+        prefix: actor-name prefix (several networks may share a system).
+    """
+
+    def __init__(
+        self,
+        program: LucidProgram,
+        system: ActorSystem,
+        prefix: str = "lucid",
+    ) -> None:
+        self.program = program
+        self.system = system
+        self._refs: dict[str, ActorRef] = {}
+        # Two-phase spawn: refs first (actors need the full name->ref map).
+        behaviors: dict[str, Behavior] = {}
+        for var, expr in program.equations.items():
+            behaviors[var] = _variable_behavior(var, expr, self._refs)
+        for var, behavior in behaviors.items():
+            self._refs[var] = system.spawn(f"{prefix}.{var}", behavior)
+
+        self._results: dict[int, object] = {}
+        self._results_lock = threading.Lock()
+        collector = Behavior()
+
+        @collector.on({"type": "value"})
+        def on_value(actor, msg):
+            with self._results_lock:
+                self._results[msg["t"]] = msg["value"]
+
+        self._collector = system.spawn(f"{prefix}.__collector__", collector)
+
+    def demand(self, var: str, t: int) -> None:
+        """Fire one asynchronous demand (the answer lands in the collector)."""
+        if var not in self._refs:
+            raise MemoError(f"undefined Lucid variable {var!r}")
+        self.system.send(
+            self._refs[var], {"type": "demand", "t": t, "reply_to": self._collector}
+        )
+
+    def take(self, var: str, n: int, timeout: float = 30.0) -> list[object]:
+        """The first *n* values of *var*, computed by the actor network."""
+        with self._results_lock:
+            self._results.clear()
+        for t in range(n):
+            self.demand(var, t)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._results_lock:
+                if len(self._results) >= n:
+                    return [self._results[t] for t in range(n)]
+            time.sleep(0.005)
+        with self._results_lock:
+            missing = [t for t in range(n) if t not in self._results]
+        raise TimeoutError(f"actor network never produced {var}@{missing}")
+
+    def run(self, n: int, timeout: float = 30.0) -> list[object]:
+        """The first *n* values of ``result``."""
+        return self.take("result", n, timeout)

@@ -1,0 +1,225 @@
+"""Recursive-descent parser for the Lucid subset.
+
+Grammar (lowest precedence first)::
+
+    program  := equation+
+    equation := IDENT "=" expr ";"
+    expr     := fby
+    fby      := cond ("fby" fby)?            # right-associative
+    cond     := "if" expr "then" expr "else" expr | filt
+    filt     := disj (("whenever" | "asa") disj)*
+    disj     := conj ("or" conj)*
+    conj     := cmp ("and" cmp)*
+    cmp      := add (("<"|"<="|">"|">="|"=="|"!=") add)?
+    add      := mul (("+"|"-") mul)*
+    mul      := unary (("*"|"/"|"%") unary)*
+    unary    := ("-" | "not" | "first" | "next") unary | atom
+    atom     := NUM | "true" | "false" | IDENT | "(" expr ")"
+
+``fby`` binds loosest (so ``n = 0 fby n + 1`` parses as ``0 fby (n+1)``),
+matching Lucid convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.languages.lucid import ast
+from repro.languages.lucid.lexer import LucidSyntaxError, Token, tokenize
+
+__all__ = ["LucidProgram", "parse_program", "parse_expression"]
+
+
+@dataclass
+class LucidProgram:
+    """A set of equations; ``result`` is the conventional output stream."""
+
+    equations: dict[str, ast.Expr] = field(default_factory=dict)
+
+    def expr_for(self, name: str) -> ast.Expr:
+        try:
+            return self.equations[name]
+        except KeyError:
+            raise LucidSyntaxError(f"undefined variable {name!r}") from None
+
+    def validate(self) -> None:
+        """Check every referenced variable is defined."""
+        for name, expr in self.equations.items():
+            for var in _free_vars(expr):
+                if var not in self.equations:
+                    raise LucidSyntaxError(
+                        f"equation for {name!r} references undefined {var!r}"
+                    )
+
+
+def _free_vars(expr: ast.Expr) -> set[str]:
+    if isinstance(expr, ast.Var):
+        return {expr.name}
+    out: set[str] = set()
+    for attr in getattr(expr, "__dataclass_fields__", {}):
+        value = getattr(expr, attr)
+        if isinstance(value, ast.Expr):
+            out |= _free_vars(value)
+    return out
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise LucidSyntaxError("unexpected end of program")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.take()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise LucidSyntaxError(f"expected {want!r}, got {tok.text!r}", tok.line)
+        return tok
+
+    def at(self, kind: str, text: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == kind and tok.text == text
+
+    # -- grammar -----------------------------------------------------------------
+
+    def program(self) -> LucidProgram:
+        prog = LucidProgram()
+        while self.peek() is not None:
+            name_tok = self.expect("ident")
+            if name_tok.text in prog.equations:
+                raise LucidSyntaxError(
+                    f"duplicate equation for {name_tok.text!r}", name_tok.line
+                )
+            self.expect("op", "=")
+            expr = self.expr()
+            self.expect("op", ";")
+            prog.equations[name_tok.text] = expr
+        if not prog.equations:
+            raise LucidSyntaxError("empty program")
+        return prog
+
+    def expr(self) -> ast.Expr:
+        return self.fby()
+
+    def fby(self) -> ast.Expr:
+        left = self.cond()
+        if self.at("kw", "fby"):
+            self.take()
+            return ast.Fby(left, self.fby())  # right-associative
+        return left
+
+    def cond(self) -> ast.Expr:
+        if self.at("kw", "if"):
+            self.take()
+            c = self.expr()
+            self.expect("kw", "then")
+            a = self.expr()
+            self.expect("kw", "else")
+            b = self.expr()
+            return ast.If(c, a, b)
+        return self.filt()
+
+    def filt(self) -> ast.Expr:
+        left = self.disj()
+        while self.at("kw", "whenever") or self.at("kw", "asa"):
+            op = self.take().text
+            right = self.disj()
+            left = ast.Whenever(left, right) if op == "whenever" else ast.Asa(left, right)
+        return left
+
+    def disj(self) -> ast.Expr:
+        left = self.conj()
+        while self.at("kw", "or"):
+            self.take()
+            left = ast.BinOp("or", left, self.conj())
+        return left
+
+    def conj(self) -> ast.Expr:
+        left = self.cmp()
+        while self.at("kw", "and"):
+            self.take()
+            left = ast.BinOp("and", left, self.cmp())
+        return left
+
+    def cmp(self) -> ast.Expr:
+        left = self.add()
+        tok = self.peek()
+        if tok is not None and tok.kind == "op" and tok.text in (
+            "<", "<=", ">", ">=", "==", "!=",
+        ):
+            self.take()
+            return ast.BinOp(tok.text, left, self.add())
+        return left
+
+    def add(self) -> ast.Expr:
+        left = self.mul()
+        while (tok := self.peek()) is not None and tok.kind == "op" and tok.text in "+-":
+            self.take()
+            left = ast.BinOp(tok.text, left, self.mul())
+        return left
+
+    def mul(self) -> ast.Expr:
+        left = self.unary()
+        while (tok := self.peek()) is not None and tok.kind == "op" and tok.text in (
+            "*", "/", "%",
+        ):
+            self.take()
+            left = ast.BinOp(tok.text, left, self.unary())
+        return left
+
+    def unary(self) -> ast.Expr:
+        if self.at("op", "-"):
+            self.take()
+            return ast.UnOp("-", self.unary())
+        if self.at("kw", "not"):
+            self.take()
+            return ast.UnOp("not", self.unary())
+        if self.at("kw", "first"):
+            self.take()
+            return ast.First(self.unary())
+        if self.at("kw", "next"):
+            self.take()
+            return ast.Next(self.unary())
+        return self.atom()
+
+    def atom(self) -> ast.Expr:
+        tok = self.take()
+        if tok.kind == "num":
+            text = tok.text
+            return ast.Num(float(text) if "." in text else int(text))
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            return ast.BoolLit(tok.text == "true")
+        if tok.kind == "ident":
+            return ast.Var(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        raise LucidSyntaxError(f"unexpected {tok.text!r}", tok.line)
+
+
+def parse_program(source: str) -> LucidProgram:
+    """Parse and validate a Lucid program."""
+    prog = _Parser(tokenize(source)).program()
+    prog.validate()
+    return prog
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (tests and the REPL example)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    if parser.peek() is not None:
+        raise LucidSyntaxError(f"trailing tokens after expression: {parser.peek().text!r}")
+    return expr

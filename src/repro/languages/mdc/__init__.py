@@ -1,0 +1,13 @@
+"""Message Driven Computing: a pattern-driven actor language (reference [4]).
+
+An :class:`Actor` owns a mailbox folder; its *behaviour* is an ordered list
+of ``(pattern, handler)`` rules.  Delivery is message-driven: the actor
+blocks on its mailbox, matches each arriving message against its patterns,
+and runs the first matching handler, which may ``send`` to other actors,
+``create`` new actors, and ``become`` a new behaviour — the three
+capabilities of Agha-style actors.
+"""
+
+from repro.languages.mdc.actors import Actor, ActorRef, ActorSystem, Behavior, rule
+
+__all__ = ["Actor", "ActorRef", "ActorSystem", "Behavior", "rule"]

@@ -1,0 +1,89 @@
+"""Abstract lock contract and the run-time lock registry."""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Callable
+
+from repro.errors import LockingError, LockTimeoutError
+
+__all__ = ["LockBase", "register_lock", "lock_factory", "available_lock_kinds"]
+
+
+class LockBase(abc.ABC):
+    """The common protocol every locking derivation implements.
+
+    The contract deliberately matches the *intersection* of platform lock
+    semantics (paper section 3): ``acquire`` with optional timeout,
+    ``release``, and context-manager use.  Reentrancy is NOT part of the
+    contract; derivations that support it document so.
+    """
+
+    @abc.abstractmethod
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Acquire the lock.
+
+        Args:
+            timeout: ``None`` blocks indefinitely; ``0`` is a try-lock;
+                a positive value waits at most that many seconds.
+
+        Returns:
+            True when acquired; False only when ``timeout == 0`` failed.
+
+        Raises:
+            LockTimeoutError: a positive timeout elapsed.
+        """
+
+    @abc.abstractmethod
+    def release(self) -> None:
+        """Release the lock; raises :class:`NotOwnerError` where detectable."""
+
+    def __enter__(self) -> "LockBase":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    @staticmethod
+    def _wait_outcome(acquired: bool, timeout: float | None, what: str) -> bool:
+        """Shared timeout bookkeeping for derivations built on wait calls."""
+        if acquired:
+            return True
+        if timeout == 0:
+            return False
+        raise LockTimeoutError(f"{what}: timed out after {timeout}s")
+
+
+_REGISTRY: dict[str, Callable[[], LockBase]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_lock(kind: str, factory: Callable[[], LockBase]) -> None:
+    """Register a lock derivation under a policy name (run-time dispatch)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[kind] = factory
+
+
+def lock_factory(kind: str = "mutex") -> LockBase:
+    """Instantiate a lock by policy name.
+
+    Mirrors the paper's virtual-function platform selection: callers name a
+    *policy* ("mutex", "spin", ...) and receive whatever derivation the
+    platform registered for it.
+    """
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(kind)
+    if factory is None:
+        raise LockingError(
+            f"no lock registered for kind {kind!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        )
+    return factory()
+
+
+def available_lock_kinds() -> tuple[str, ...]:
+    """Names of all registered lock derivations."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))

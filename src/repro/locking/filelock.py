@@ -1,0 +1,68 @@
+"""Filesystem advisory lock usable across OS processes.
+
+This derivation covers the paper's "System V" style platforms where
+coordination must survive process boundaries.  It uses an atomically-created
+lock file (``O_CREAT | O_EXCL``), which is the most portable cross-process
+exclusion primitive available without platform-specific ``fcntl``/``flock``
+semantics, and therefore the right *base* derivation; a platform port would
+derive again and override with ``fcntl`` where available.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+from repro.errors import NotOwnerError
+from repro.locking.base import LockBase, register_lock
+
+__all__ = ["FileLock"]
+
+
+class FileLock(LockBase):
+    """Advisory lock backed by an exclusive-create lock file."""
+
+    POLL_INTERVAL = 0.002
+
+    def __init__(self, path: str | None = None) -> None:
+        if path is None:
+            path = os.path.join(
+                tempfile.gettempdir(), f"dmemo-{os.getpid()}-{id(self):x}.lock"
+            )
+        self.path = path
+        self._owner: int | None = None
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if timeout == 0:
+                    return False
+                if deadline is not None and time.monotonic() >= deadline:
+                    return self._wait_outcome(False, timeout, "FileLock.acquire")
+                time.sleep(self.POLL_INTERVAL)
+                continue
+            os.write(fd, f"{os.getpid()}:{threading.get_ident()}".encode())
+            os.close(fd)
+            self._owner = threading.get_ident()
+            return True
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise NotOwnerError("FileLock released by a thread that is not the owner")
+        self._owner = None
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError as exc:
+            raise NotOwnerError(f"lock file {self.path} vanished") from exc
+
+    def locked(self) -> bool:
+        """True while the lock file exists (held by someone)."""
+        return os.path.exists(self.path)
+
+
+register_lock("file", FileLock)

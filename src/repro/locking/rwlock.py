@@ -1,0 +1,106 @@
+"""Reader-writer lock derivation.
+
+Folder servers read folder metadata far more often than they mutate it, so
+the locking foundation includes a multiple-reader / single-writer lock.
+Writer-preference is used to keep `put` latency bounded under a stream of
+`get_copy` readers (readers arriving while a writer waits are queued behind
+it).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import LockingError
+from repro.locking.base import LockBase, register_lock
+
+__all__ = ["ReaderWriterLock"]
+
+
+class ReaderWriterLock:
+    """Writer-preferring reader-writer lock.
+
+    Not itself a :class:`LockBase` (the contract is two-sided); instead it
+    exposes two `LockBase` *views*, :attr:`reader` and :attr:`writer`, so
+    existing code written against the one-sided contract composes with it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self.reader: LockBase = _ReaderView(self)
+        self.writer: LockBase = _WriterView(self)
+
+    # -- reader side -------------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer_active and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise LockingError("release_read without a matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side -------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise LockingError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+
+class _ReaderView(LockBase):
+    def __init__(self, rw: ReaderWriterLock) -> None:
+        self._rw = rw
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        ok = self._rw.acquire_read(timeout)
+        return self._wait_outcome(ok, timeout, "ReaderWriterLock.acquire_read")
+
+    def release(self) -> None:
+        self._rw.release_read()
+
+
+class _WriterView(LockBase):
+    def __init__(self, rw: ReaderWriterLock) -> None:
+        self._rw = rw
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        ok = self._rw.acquire_write(timeout)
+        return self._wait_outcome(ok, timeout, "ReaderWriterLock.acquire_write")
+
+    def release(self) -> None:
+        self._rw.release_write()
+
+
+register_lock("rw-writer", lambda: ReaderWriterLock().writer)

@@ -1,0 +1,62 @@
+"""Counting-semaphore derivation of the locking foundation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import LockingError
+from repro.locking.base import LockBase, register_lock
+
+__all__ = ["CountingSemaphore"]
+
+
+class CountingSemaphore(LockBase):
+    """Classic counting semaphore with an optional ceiling.
+
+    ``acquire`` is P (down) and ``release`` is V (up).  With
+    ``initial=1`` it degenerates to a (non-owner-checked) binary lock,
+    matching the paper's observation that "the simplest implementation of a
+    counting semaphore is identical to a lock, except that the semaphore is
+    initialized with as many memos as needed".
+    """
+
+    def __init__(self, initial: int = 1, *, max_value: int | None = None) -> None:
+        if initial < 0:
+            raise LockingError(f"semaphore initial value must be >= 0, got {initial}")
+        if max_value is not None and initial > max_value:
+            raise LockingError("semaphore initial value exceeds max_value")
+        self._sem = threading.Semaphore(initial)
+        self._max = max_value
+        self._count = initial
+        self._count_lock = threading.Lock()
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        if timeout is None:
+            ok = self._sem.acquire()
+        elif timeout > 0:
+            ok = self._sem.acquire(timeout=timeout)
+        else:
+            ok = self._sem.acquire(blocking=False)
+        result = self._wait_outcome(ok, timeout, "CountingSemaphore.acquire")
+        if result:
+            with self._count_lock:
+                self._count -= 1
+        return result
+
+    def release(self) -> None:
+        with self._count_lock:
+            if self._max is not None and self._count >= self._max:
+                raise LockingError(
+                    f"semaphore released above its ceiling of {self._max}"
+                )
+            self._count += 1
+        self._sem.release()
+
+    @property
+    def value(self) -> int:
+        """Current counter value (free permits)."""
+        with self._count_lock:
+            return self._count
+
+
+register_lock("semaphore", CountingSemaphore)

@@ -1,0 +1,71 @@
+"""OS-mutex lock derivations built on :mod:`threading`."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import NotOwnerError
+from repro.locking.base import LockBase, register_lock
+
+__all__ = ["MutexLock", "RLockLock"]
+
+
+class MutexLock(LockBase):
+    """Non-reentrant OS mutex — the portable default derivation.
+
+    Tracks the owning thread so that a release by a non-owner raises
+    :class:`NotOwnerError` instead of silently corrupting the lock, a
+    failure mode the bare ``threading.Lock`` permits.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        if timeout is None:
+            ok = self._lock.acquire()
+        else:
+            ok = self._lock.acquire(timeout=timeout) if timeout > 0 else (
+                self._lock.acquire(blocking=False)
+            )
+        result = self._wait_outcome(ok, timeout, "MutexLock.acquire")
+        if result:
+            self._owner = threading.get_ident()
+        return result
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise NotOwnerError("MutexLock released by a thread that is not the owner")
+        self._owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        """True while some thread holds the mutex."""
+        return self._lock.locked()
+
+
+class RLockLock(LockBase):
+    """Reentrant mutex derivation (documented extension to the contract)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        if timeout is None:
+            ok = self._lock.acquire()
+        elif timeout > 0:
+            ok = self._lock.acquire(timeout=timeout)
+        else:
+            ok = self._lock.acquire(blocking=False)
+        return self._wait_outcome(ok, timeout, "RLockLock.acquire")
+
+    def release(self) -> None:
+        try:
+            self._lock.release()
+        except RuntimeError as exc:
+            raise NotOwnerError(str(exc)) from exc
+
+
+register_lock("mutex", MutexLock)
+register_lock("rlock", RLockLock)

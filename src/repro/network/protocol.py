@@ -1,0 +1,235 @@
+"""Typed request/reply messages of the D-Memo server protocol.
+
+Every message is a frozen dataclass registered as a transferable struct and
+moved as transferable wire bytes — the system's own data-domain machinery
+carries its control plane, so a heterogeneous port only ever has to
+implement the transferable codec once.
+
+Message flow (Figures 1 and 2 of the paper):
+
+* application process → local memo server: any of the ``*Request`` types;
+* memo server → folder server (same host): the same request, unwrapped;
+* memo server → next-hop memo server (inter-machine): the request wrapped
+  in a :class:`ForwardEnvelope` carrying the final destination host and the
+  accumulated hop trail (for metrics);
+* the reply retraces the connection path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.keys import FolderName
+from repro.errors import ProtocolError
+from repro.network.connection import Connection
+from repro.transferable.registry import default_registry
+from repro.transferable.wire import decode, encode
+
+__all__ = [
+    "PutRequest",
+    "MigrateRequest",
+    "PutDelayedRequest",
+    "GetRequest",
+    "GetAltSkipRequest",
+    "RegisterRequest",
+    "StatsRequest",
+    "ShutdownRequest",
+    "ForwardEnvelope",
+    "Reply",
+    "send_message",
+    "recv_message",
+    "GET_MODES",
+]
+
+#: Valid modes for :class:`GetRequest`.
+GET_MODES = ("get", "copy", "skip")
+
+
+@dataclass(frozen=True)
+class PutRequest:
+    """Deposit a memo: ``put(key, value)``."""
+
+    folder: FolderName
+    payload: bytes
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class PutDelayedRequest:
+    """Deposit a dormant memo released to *release_to* on the next arrival.
+
+    Implements ``put_delayed(key1, key2, value)`` (section 6.1.2): the value
+    sits invisibly in *folder* until another memo arrives there, then moves
+    to *release_to* where it becomes gettable.
+    """
+
+    folder: FolderName
+    release_to: FolderName
+    payload: bytes
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    """Extract or examine a memo.
+
+    ``mode``:
+        * ``"get"``  — consume; block until a memo is available.
+        * ``"copy"`` — return a copy without consuming; block when empty.
+        * ``"skip"`` — consume when available, otherwise return not-found
+          immediately (``get_skip``).
+    """
+
+    folder: FolderName
+    mode: str = "get"
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in GET_MODES:
+            raise ProtocolError(f"invalid get mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class GetAltSkipRequest:
+    """One polling round of ``get_alt``/``get_alt_skip`` for co-located folders.
+
+    The folder server checks each folder (in the given order, which the
+    client randomizes for nondeterminism) and consumes from the first
+    non-empty one.
+    """
+
+    folders: tuple[FolderName, ...]
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.folders:
+            raise ProtocolError("get_alt requires at least one folder")
+        object.__setattr__(self, "folders", tuple(self.folders))
+
+
+@dataclass(frozen=True)
+class RegisterRequest:
+    """Application registration (section 4.4).
+
+    Loads the memo server with the application's routing table and the
+    information the cost-weighted hash needs: host costs and folder-server
+    placement.
+    """
+
+    app: str
+    links: dict  # host -> {neighbor: cost}
+    host_costs: dict  # host -> effective processor cost (cost × #procs)
+    folder_servers: tuple  # ((server_id, host), ...)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "folder_servers", tuple(tuple(fs) for fs in self.folder_servers)
+        )
+
+
+@dataclass(frozen=True)
+class MigrateRequest:
+    """Rebalance folder ownership after a re-registration.
+
+    The memo server extracts every folder of *app* whose owner under the
+    *current* placement is no longer the local folder server that holds it,
+    and re-deposits the contents through normal routing — the system's
+    "dynamic data migration across HC machines".
+    """
+
+    app: str
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask a server for its counters (diagnostics and benches)."""
+
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Orderly shutdown; blocked getters are woken with an error reply."""
+
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class ForwardEnvelope:
+    """A request in transit between memo servers (Figure 2).
+
+    Attributes:
+        app: application whose routing table governs the forwarding.
+        target_host: host owning the destination folder server.
+        inner: the encoded original request.
+        trail: hosts traversed so far (metrics; also a loop guard).
+    """
+
+    app: str
+    target_host: str
+    inner: bytes
+    trail: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "trail", tuple(self.trail))
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Universal response.
+
+    Attributes:
+        ok: False means *error* describes a failure.
+        found: for get-style requests, whether a memo was returned
+            (``get_skip`` on an empty folder yields ``ok=True, found=False``).
+        payload: the memo's transferable bytes when found.
+        folder: which folder satisfied a ``get_alt`` round.
+        error: human-readable failure description.
+        stats: counter mapping for :class:`StatsRequest`.
+    """
+
+    ok: bool = True
+    found: bool = False
+    payload: bytes = b""
+    folder: FolderName | None = None
+    error: str = ""
+    stats: dict = field(default_factory=dict)
+
+
+_MESSAGE_TYPES = (
+    PutRequest,
+    PutDelayedRequest,
+    GetRequest,
+    GetAltSkipRequest,
+    RegisterRequest,
+    MigrateRequest,
+    StatsRequest,
+    ShutdownRequest,
+    ForwardEnvelope,
+    Reply,
+)
+
+for _cls in _MESSAGE_TYPES:
+    default_registry.register_struct(_cls, name=f"dmemo.proto.{_cls.__name__}")
+
+
+def send_message(conn: Connection, message: object) -> int:
+    """Encode and send one protocol message; returns encoded size."""
+    data = encode(message)
+    conn.send(data)
+    return len(data)
+
+
+def recv_message(conn: Connection, timeout: float | None = None) -> object:
+    """Receive and decode one protocol message.
+
+    Raises:
+        ProtocolError: the bytes decoded to something that is not a
+            registered protocol message.
+    """
+    data = conn.recv(timeout)
+    msg = decode(data)
+    if not isinstance(msg, _MESSAGE_TYPES):
+        raise ProtocolError(f"unexpected message type {type(msg).__qualname__}")
+    return msg

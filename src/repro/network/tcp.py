@@ -1,0 +1,138 @@
+"""Real TCP/IP transport over loopback sockets.
+
+The same framed protocol the in-memory transport carries runs here over
+genuine OS sockets, demonstrating the paper's claim that the Connection
+abstraction "can be defined independent of any known networking protocol":
+not one line of server code changes between the two media.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import CommunicationError, ConnectionClosedError
+from repro.network.connection import Address, Connection, Listener, Transport
+from repro.network.frames import read_frame, write_frame
+
+__all__ = ["TCPTransport", "TCPConnection", "TCPListener"]
+
+
+class TCPConnection(Connection):
+    """A framed message channel over one TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosedError("send on closed connection")
+        try:
+            with self._send_lock:
+                write_frame(self._sock.sendall, payload)
+        except OSError as exc:
+            self._closed = True
+            raise ConnectionClosedError(f"socket send failed: {exc}") from exc
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout:
+                raise  # handled by recv()
+            except OSError as exc:
+                raise ConnectionClosedError(f"socket recv failed: {exc}") from exc
+            if not chunk:
+                raise ConnectionClosedError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        if self._closed:
+            raise ConnectionClosedError("recv on closed connection")
+        with self._recv_lock:
+            self._sock.settimeout(timeout)
+            try:
+                return read_frame(self._recv_exact)
+            except socket.timeout:
+                raise TimeoutError("recv timed out") from None
+            except ConnectionClosedError:
+                self._closed = True
+                raise
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class TCPListener(Listener):
+    """Accepting socket bound to loopback."""
+
+    def __init__(self, address: Address) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind(("127.0.0.1", address.port))
+        except OSError as exc:
+            raise CommunicationError(f"cannot bind {address}: {exc}") from exc
+        self._sock.listen(64)
+        # Port 0 means "pick one"; expose the real port.
+        self._address = Address(address.host, self._sock.getsockname()[1])
+        self._closed = False
+
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    def accept(self, timeout: float | None = None) -> Connection:
+        if self._closed:
+            raise ConnectionClosedError("listener closed")
+        self._sock.settimeout(timeout)
+        try:
+            sock, _peer = self._sock.accept()
+        except socket.timeout:
+            raise TimeoutError("accept timed out") from None
+        except OSError as exc:
+            raise ConnectionClosedError(f"accept failed: {exc}") from exc
+        return TCPConnection(sock)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+
+class TCPTransport(Transport):
+    """Transport whose addresses resolve to 127.0.0.1 ports.
+
+    Logical host names are kept in the :class:`Address` for diagnostics but
+    every endpoint binds to loopback — the reproduction runs a whole
+    "network" on one machine.
+    """
+
+    def listen(self, address: Address) -> Listener:
+        return TCPListener(address)
+
+    def connect(self, address: Address, timeout: float | None = None) -> Connection:
+        try:
+            sock = socket.create_connection(("127.0.0.1", address.port), timeout)
+        except OSError as exc:
+            raise ConnectionClosedError(f"cannot connect to {address}: {exc}") from exc
+        sock.settimeout(None)
+        return TCPConnection(sock)

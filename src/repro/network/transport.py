@@ -1,0 +1,240 @@
+"""In-memory transport over a simulated network fabric.
+
+The :class:`NetworkFabric` plays the rôle of the physical network in the
+reproduction: it owns the address space, delivers messages between paired
+queue endpoints, injects per-link latency derived from the ADF connection
+costs, and feeds the traffic metrics that the benches report (bytes and
+messages per link — the quantities section 5 of the paper reasons about).
+
+Latency model: a message sent at time *t* over a link with latency *d*
+becomes readable at *t + d*.  Ordering per connection is preserved (FIFO
+queues), matching a TCP-like virtual circuit.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import CommunicationError, ConnectionClosedError
+from repro.network.connection import Address, Connection, Listener, Transport
+
+__all__ = ["NetworkFabric", "InMemoryTransport", "InMemoryConnection"]
+
+
+@dataclass
+class LinkStats:
+    """Per-(src,dst) traffic counters, symmetric counterpart kept separately."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+class NetworkFabric:
+    """The simulated medium: listeners, latency, and traffic accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._listeners: dict[Address, "InMemoryListener"] = {}
+        self._latency: dict[tuple[str, str], float] = {}
+        self._stats: dict[tuple[str, str], LinkStats] = {}
+        #: Count of broadcast operations; D-Memo never broadcasts, and the
+        #: integration tests assert this stays zero.
+        self.broadcast_count = 0
+
+    # -- latency configuration ----------------------------------------------
+
+    def set_latency(self, host_a: str, host_b: str, seconds: float) -> None:
+        """Set symmetric link latency between two hosts."""
+        if seconds < 0:
+            raise CommunicationError(f"latency must be >= 0, got {seconds}")
+        with self._lock:
+            self._latency[(host_a, host_b)] = seconds
+            self._latency[(host_b, host_a)] = seconds
+
+    def latency(self, host_a: str, host_b: str) -> float:
+        """Current latency between two hosts (0 when unset or same host)."""
+        if host_a == host_b:
+            return 0.0
+        with self._lock:
+            return self._latency.get((host_a, host_b), 0.0)
+
+    # -- traffic metrics ------------------------------------------------------
+
+    def record_traffic(self, src: str, dst: str, nbytes: int) -> None:
+        """Account one message of *nbytes* from *src* to *dst*."""
+        with self._lock:
+            stats = self._stats.setdefault((src, dst), LinkStats())
+            stats.messages += 1
+            stats.bytes += nbytes
+
+    def traffic(self) -> dict[tuple[str, str], LinkStats]:
+        """Snapshot of all per-link counters."""
+        with self._lock:
+            return {k: LinkStats(v.messages, v.bytes) for k, v in self._stats.items()}
+
+    def reset_traffic(self) -> None:
+        """Zero all counters (used between bench phases)."""
+        with self._lock:
+            self._stats.clear()
+
+    # -- listener registry ----------------------------------------------------
+
+    def bind(self, listener: "InMemoryListener") -> None:
+        with self._lock:
+            if listener.address in self._listeners:
+                raise CommunicationError(f"address {listener.address} already bound")
+            self._listeners[listener.address] = listener
+
+    def unbind(self, address: Address) -> None:
+        with self._lock:
+            self._listeners.pop(address, None)
+
+    def lookup(self, address: Address) -> "InMemoryListener":
+        with self._lock:
+            listener = self._listeners.get(address)
+        if listener is None or listener.is_closed:
+            raise ConnectionClosedError(f"no listener at {address}")
+        return listener
+
+
+@dataclass
+class _Envelope:
+    """A message in flight: payload plus its earliest delivery time."""
+
+    payload: bytes
+    deliver_at: float
+    closed: bool = False
+
+
+class InMemoryConnection(Connection):
+    """One endpoint of a paired-queue connection."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        local_host: str,
+        remote_host: str,
+        inbox: "queue.Queue[_Envelope]",
+        outbox: "queue.Queue[_Envelope]",
+    ) -> None:
+        self._fabric = fabric
+        self.local_host = local_host
+        self.remote_host = remote_host
+        self._inbox = inbox
+        self._outbox = outbox
+        self._closed = threading.Event()
+
+    def send(self, payload: bytes) -> None:
+        if self._closed.is_set():
+            raise ConnectionClosedError("send on closed connection")
+        latency = self._fabric.latency(self.local_host, self.remote_host)
+        self._fabric.record_traffic(self.local_host, self.remote_host, len(payload))
+        self._outbox.put(_Envelope(payload, time.monotonic() + latency))
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._closed.is_set():
+                raise ConnectionClosedError("recv on closed connection")
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("recv timed out")
+            try:
+                env = self._inbox.get(timeout=remaining if remaining is not None else 0.2)
+            except queue.Empty:
+                if deadline is None:
+                    continue  # re-check closed flag, keep waiting
+                raise TimeoutError("recv timed out") from None
+            if env.closed:
+                self._closed.set()
+                raise ConnectionClosedError("peer closed the connection")
+            delay = env.deliver_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            return env.payload
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            # Wake the peer's recv with a close marker.
+            self._outbox.put(_Envelope(b"", time.monotonic(), closed=True))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class InMemoryListener(Listener):
+    """Accept queue for one bound address."""
+
+    def __init__(self, fabric: NetworkFabric, address: Address) -> None:
+        self._fabric = fabric
+        self._address = address
+        self._backlog: "queue.Queue[InMemoryConnection]" = queue.Queue()
+        self._closed = threading.Event()
+        fabric.bind(self)
+
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed.is_set()
+
+    def enqueue(self, conn: InMemoryConnection) -> None:
+        if self._closed.is_set():
+            raise ConnectionClosedError(f"listener at {self._address} is closed")
+        self._backlog.put(conn)
+
+    def accept(self, timeout: float | None = None) -> Connection:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._closed.is_set():
+                raise ConnectionClosedError("listener closed")
+            remaining = 0.2
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    raise TimeoutError("accept timed out")
+            try:
+                return self._backlog.get(timeout=remaining)
+            except queue.Empty:
+                continue
+
+    def close(self) -> None:
+        self._closed.set()
+        self._fabric.unbind(self._address)
+
+
+class InMemoryTransport(Transport):
+    """Transport over a :class:`NetworkFabric`.
+
+    Each transport instance is bound to the host name it "runs on", so the
+    fabric can attribute traffic and latency to the right link.
+    """
+
+    def __init__(self, fabric: NetworkFabric, local_host: str) -> None:
+        self.fabric = fabric
+        self.local_host = local_host
+
+    def listen(self, address: Address) -> Listener:
+        return InMemoryListener(self.fabric, address)
+
+    def connect(self, address: Address, timeout: float | None = None) -> Connection:
+        listener = self.fabric.lookup(address)
+        a_to_b: "queue.Queue[_Envelope]" = queue.Queue()
+        b_to_a: "queue.Queue[_Envelope]" = queue.Queue()
+        client = InMemoryConnection(
+            self.fabric, self.local_host, address.host, inbox=b_to_a, outbox=a_to_b
+        )
+        server = InMemoryConnection(
+            self.fabric, address.host, self.local_host, inbox=a_to_b, outbox=b_to_a
+        )
+        listener.enqueue(server)
+        return client

@@ -1,0 +1,30 @@
+"""Runtime layer: the virtual machine an application sees.
+
+* :mod:`repro.runtime.client` — a process's connection to its local memo
+  server (every application process talks only to the memo server on its
+  own host, as in Figure 1).
+* :mod:`repro.runtime.cluster` — builds the simulated heterogeneous network
+  from an ADF: one memo server per host over a shared fabric (or TCP).
+* :mod:`repro.runtime.registration` — the section-4.4 registration protocol.
+* :mod:`repro.runtime.program` / :mod:`repro.runtime.process` — the
+  boss/worker program registry and process harness (section 4.2).
+* :mod:`repro.runtime.launcher` — the ``memo adf`` entry point: register,
+  start processes, collect results.
+"""
+
+from repro.runtime.client import MemoClient
+from repro.runtime.cluster import Cluster
+from repro.runtime.program import ProcessContext, ProgramRegistry
+from repro.runtime.process import ProcessHandle
+from repro.runtime.registration import registration_request_for
+from repro.runtime.launcher import run_application
+
+__all__ = [
+    "MemoClient",
+    "Cluster",
+    "ProcessContext",
+    "ProgramRegistry",
+    "ProcessHandle",
+    "registration_request_for",
+    "run_application",
+]

@@ -1,0 +1,87 @@
+"""A process's connection to its local memo server.
+
+Every application process owns one connection to the memo server on its
+host (Figure 1) and issues synchronous request/reply calls over it — except
+``put``/``put_delayed``, whose acknowledgements are *deferred*: the call
+returns as soon as the request bytes are sent ("control is immediately
+returned", section 6.1.2) and the pending acknowledgements are drained
+before the next synchronous call, preserving read-your-writes ordering and
+still surfacing any asynchronous put failure on the very next API call.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import MemoError, ProtocolError
+from repro.network.connection import Address, Transport
+from repro.network.protocol import Reply, recv_message, send_message
+
+__all__ = ["MemoClient"]
+
+
+class MemoClient:
+    """Request/reply client with deferred-acknowledgement writes."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        server_address: Address,
+        origin: str = "",
+    ) -> None:
+        self.origin = origin
+        self.server_address = server_address
+        self._conn = transport.connect(server_address)
+        self._lock = threading.Lock()
+        self._pending_acks = 0
+        self._deferred_error: str | None = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _drain_locked(self) -> None:
+        """Read acknowledgements for all outstanding async requests."""
+        while self._pending_acks:
+            reply = recv_message(self._conn)
+            self._pending_acks -= 1
+            if isinstance(reply, Reply) and not reply.ok and self._deferred_error is None:
+                self._deferred_error = reply.error
+        if self._deferred_error is not None:
+            error, self._deferred_error = self._deferred_error, None
+            raise MemoError(f"asynchronous put failed: {error}")
+
+    def request(self, msg: object, timeout: float | None = None) -> Reply:
+        """Send *msg* and wait for its reply (draining async acks first)."""
+        with self._lock:
+            self._drain_locked()
+            send_message(self._conn, msg)
+            reply = recv_message(self._conn, timeout)
+        if not isinstance(reply, Reply):
+            raise ProtocolError(f"expected Reply, got {type(reply).__qualname__}")
+        return reply
+
+    def post(self, msg: object) -> None:
+        """Send *msg* without waiting; its ack is drained later."""
+        with self._lock:
+            send_message(self._conn, msg)
+            self._pending_acks += 1
+
+    def flush(self) -> None:
+        """Wait for all outstanding async acknowledgements."""
+        with self._lock:
+            self._drain_locked()
+
+    @property
+    def pending_acks(self) -> int:
+        """Outstanding un-drained acknowledgements (diagnostics)."""
+        with self._lock:
+            return self._pending_acks
+
+    def close(self) -> None:
+        """Close the connection; outstanding acks are abandoned."""
+        self._conn.close()
+
+    def __enter__(self) -> "MemoClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,217 @@
+"""The simulated heterogeneous cluster.
+
+A :class:`Cluster` is the reproduction's network installation: it builds
+one memo server per ADF host — over the in-memory fabric (default, with
+optional link latency from the ADF costs) or over real TCP loopback sockets
+— starts them, and hands out per-process clients and Memo APIs.
+
+This substitutes for the paper's departmental network + inetd: where the
+paper's servers are spawned by ``inetd`` on first contact, the cluster
+starts them eagerly at construction; the registration protocol and
+everything above it is identical.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.adf.model import ADF
+from repro.core.api import Memo
+from repro.errors import RuntimeLaunchError
+from repro.network.connection import Address, Transport
+from repro.network.protocol import StatsRequest
+from repro.network.tcp import TCPTransport
+from repro.network.transport import InMemoryTransport, NetworkFabric
+from repro.runtime.client import MemoClient
+from repro.runtime.registration import register_everywhere
+from repro.servers.hashing import HashWeightPolicy
+from repro.servers.memo_server import MEMO_PORT, MemoServer
+from repro.sim.metrics import ClusterMetrics
+from repro.sim.netsim import LatencyModel, apply_latency
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """One memo server per host, plus the fabric they communicate over.
+
+    Args:
+        adf: the description whose HOSTS/PPC sections shape the network.
+            (Folder servers are created at application registration.)
+        transport_kind: ``"memory"`` (default) or ``"tcp"``.
+        latency: latency model applied to the in-memory fabric.
+        policy: hash-weight policy installed on every memo server
+            (ablation knob for SEC5A/ABL1).
+        idle_timeout: thread-cache idle timer for all servers.
+    """
+
+    def __init__(
+        self,
+        adf: ADF,
+        *,
+        transport_kind: str = "memory",
+        latency: LatencyModel | None = None,
+        policy: HashWeightPolicy | None = None,
+        idle_timeout: float = 2.0,
+    ) -> None:
+        adf.validate()
+        self.adf = adf
+        self.transport_kind = transport_kind
+        self.address_book: dict[str, Address] = {}
+        self.servers: dict[str, MemoServer] = {}
+        self.fabric: NetworkFabric | None = None
+        self._transports: dict[str, Transport] = {}
+        self._registered_apps: set[str] = set()
+        self._lock = threading.Lock()
+        self._started = False
+
+        if transport_kind == "memory":
+            self.fabric = NetworkFabric()
+            if latency is not None:
+                apply_latency(self.fabric, adf, latency)
+            for host in adf.host_names():
+                transport = InMemoryTransport(self.fabric, host)
+                self._transports[host] = transport
+                self.servers[host] = MemoServer(
+                    host,
+                    transport,
+                    address_book=self.address_book,
+                    idle_timeout=idle_timeout,
+                    policy=policy,
+                    listen_port=MEMO_PORT,
+                )
+        elif transport_kind == "tcp":
+            if latency is not None and not latency.is_zero:
+                raise RuntimeLaunchError(
+                    "latency injection is only supported on the memory transport"
+                )
+            transport = TCPTransport()
+            for host in adf.host_names():
+                self._transports[host] = transport
+                self.servers[host] = MemoServer(
+                    host,
+                    transport,
+                    address_book=self.address_book,
+                    idle_timeout=idle_timeout,
+                    policy=policy,
+                    listen_port=0,  # OS-assigned; recorded in the book
+                )
+        else:
+            raise RuntimeLaunchError(f"unknown transport kind {transport_kind!r}")
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "Cluster":
+        """Start every memo server."""
+        if self._started:
+            return self
+        for server in self.servers.values():
+            server.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop every memo server; blocked getters are woken with errors."""
+        for server in self.servers.values():
+            server.stop()
+        self._started = False
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, adf: ADF | None = None) -> None:
+        """Run the section-4.4 registration for *adf* (default: the cluster's).
+
+        The ADF may differ from the cluster's (e.g. a second application
+        sharing the servers) but must name a subset of the cluster's hosts.
+        """
+        target = adf if adf is not None else self.adf
+        unknown = set(target.host_names()) - set(self.servers)
+        if unknown:
+            raise RuntimeLaunchError(
+                f"ADF names hosts with no memo server: {sorted(unknown)}"
+            )
+        anchor = target.host_names()[0]
+        register_everywhere(target, self._transports[anchor], self.address_book)
+        with self._lock:
+            self._registered_apps.add(target.app)
+
+    @property
+    def registered_apps(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._registered_apps))
+
+    def rebalance(self, adf: ADF) -> dict[str, dict]:
+        """Re-register *adf* and migrate folder contents to their new owners.
+
+        This is the "dynamic data migration" workflow: update every memo
+        server's registration (new host costs / folder servers / links),
+        then ask each server to move the folders it no longer owns.  Call
+        at a quiescent point — folders with blocked getters stay put until
+        the getter is served.
+
+        Returns per-host migration stats (``migrated_folders`` /
+        ``migrated_memos``).
+        """
+        from repro.network.protocol import MigrateRequest
+
+        self.register(adf)
+        stats: dict[str, dict] = {}
+        for host in adf.host_names():
+            with self.client_for(host, origin="rebalance") as client:
+                reply = client.request(MigrateRequest(app=adf.app))
+            if not reply.ok:
+                raise RuntimeLaunchError(
+                    f"migration failed on {host}: {reply.error}"
+                )
+            stats[host] = dict(reply.stats)
+        return stats
+
+    # -- clients -------------------------------------------------------------------
+
+    def client_for(self, host: str, origin: str = "") -> MemoClient:
+        """A client connected to *host*'s memo server."""
+        server = self.servers.get(host)
+        if server is None:
+            raise RuntimeLaunchError(f"no memo server on host {host!r}")
+        return MemoClient(self._transports[host], server.address, origin=origin)
+
+    def memo_api(
+        self,
+        host: str,
+        app: str,
+        process_name: str = "proc",
+        *,
+        strict_domains: bool = False,
+    ) -> Memo:
+        """A ready-to-use Memo API bound to *host* for application *app*."""
+        client = self.client_for(host, origin=process_name)
+        return Memo(
+            client, app, process_name=process_name, strict_domains=strict_domains
+        )
+
+    # -- observability ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict]:
+        """Per-host stats via the wire protocol (host → counter map)."""
+        out: dict[str, dict] = {}
+        for host in self.servers:
+            with self.client_for(host, origin="stats") as client:
+                reply = client.request(StatsRequest(origin="stats"))
+            out[host] = reply.stats
+        return out
+
+    def metrics(self) -> ClusterMetrics:
+        """Aggregate fabric traffic and server counters for the benches."""
+        if self.fabric is not None:
+            metrics = ClusterMetrics.from_fabric(self.fabric)
+        else:
+            metrics = ClusterMetrics()
+        for stats in self.stats().values():
+            metrics.add_server_stats(stats)
+        return metrics

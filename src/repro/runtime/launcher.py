@@ -1,0 +1,154 @@
+"""The ``memo adf`` launcher (paper section 4.4).
+
+"To start the registration process, the user enters 'memo adf' on the
+command line. ... Once the application has been registered with the system,
+the requested number of application processes will be started on each of
+the host machines."
+
+:func:`run_application` performs the full sequence against a cluster:
+register the ADF with every memo server, start one process per PROCESSES
+line on its declared host, wait for completion, and return per-process
+results.  The CLI entry point (:func:`main`) parses an ADF file and loads
+programs from a user module — the reproduction of the out-of-date-binaries
+recompilation is simply Python's import machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.adf.model import ADF
+from repro.adf.parser import parse_adf_file
+from repro.errors import RuntimeLaunchError
+from repro.runtime.cluster import Cluster
+from repro.runtime.process import ProcessHandle
+from repro.runtime.program import ProcessContext, ProgramRegistry
+
+__all__ = ["run_application", "start_processes", "main"]
+
+
+def start_processes(
+    cluster: Cluster,
+    adf: ADF,
+    registry: ProgramRegistry,
+    params: dict | None = None,
+    *,
+    strict_domains: bool = False,
+) -> list[ProcessHandle]:
+    """Start every declared process; returns handles in ADF order."""
+    peers = tuple(p.proc_id for p in adf.processes)
+    handles: list[ProcessHandle] = []
+    for decl in adf.processes:
+        program = registry.lookup(decl.directory)
+        context = ProcessContext(
+            app=adf.app,
+            proc_id=decl.proc_id,
+            program=decl.directory,
+            host=decl.host,
+            peers=peers,
+            params=dict(params or {}),
+        )
+        api = cluster.memo_api(
+            decl.host,
+            adf.app,
+            process_name=f"{decl.directory}.{decl.proc_id}",
+            strict_domains=strict_domains,
+        )
+        handles.append(ProcessHandle(program, api, context))
+    for handle in handles:
+        handle.start()
+    return handles
+
+
+def run_application(
+    adf: ADF,
+    registry: ProgramRegistry,
+    *,
+    cluster: Cluster | None = None,
+    params: dict | None = None,
+    timeout: float | None = 120.0,
+    strict_domains: bool = False,
+) -> dict[str, object]:
+    """Register, start, and wait for an application; return its results.
+
+    Args:
+        adf: the application description (validated here).
+        registry: program table resolving the PROCESSES directory names.
+        cluster: reuse an existing cluster; when omitted a fresh in-memory
+            cluster is built from the ADF and torn down afterwards.
+        params: free-form parameters exposed via ``ProcessContext.params``.
+        timeout: per-application wall-clock budget.
+        strict_domains: enforce absolute domains in all process APIs.
+
+    Returns:
+        Mapping of process id → program return value.
+
+    Raises:
+        RuntimeLaunchError: a process did not finish in time.
+        Exception: the first failed process's exception, re-raised.
+    """
+    own_cluster = cluster is None
+    if cluster is None:
+        cluster = Cluster(adf).start()
+    try:
+        if adf.app not in cluster.registered_apps:
+            cluster.register(adf)
+        handles = start_processes(
+            cluster, adf, registry, params, strict_domains=strict_domains
+        )
+        results: dict[str, object] = {}
+        for handle in handles:
+            if not handle.join(timeout):
+                raise RuntimeLaunchError(
+                    f"process {handle.context.proc_id} "
+                    f"({handle.context.program} on {handle.context.host}) "
+                    f"did not finish within {timeout}s"
+                )
+            results[handle.context.proc_id] = handle.result()
+        return results
+    finally:
+        if own_cluster:
+            cluster.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``memo <adf-file> --programs package.module``.
+
+    The programs module must expose a ``registry`` attribute of type
+    :class:`ProgramRegistry` (the stand-in for the compiled boss/worker
+    executables the paper ships over NFS).
+    """
+    parser = argparse.ArgumentParser(
+        prog="memo", description="Run a D-Memo application from an ADF file."
+    )
+    parser.add_argument("adf", help="path to the application description file")
+    parser.add_argument(
+        "--programs",
+        required=True,
+        help="importable module exposing a `registry` ProgramRegistry",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="application time budget"
+    )
+    args = parser.parse_args(argv)
+
+    adf = parse_adf_file(args.adf)
+    module = importlib.import_module(args.programs)
+    registry = getattr(module, "registry", None)
+    if not isinstance(registry, ProgramRegistry):
+        print(
+            f"error: module {args.programs!r} has no ProgramRegistry `registry`",
+            file=sys.stderr,
+        )
+        return 2
+
+    results = run_application(adf, registry, timeout=args.timeout)
+    for proc_id in sorted(results, key=lambda p: (len(p), p)):
+        print(f"process {proc_id}: {results[proc_id]!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Application process harness.
+
+Each declared process runs its program on a dedicated thread with its own
+:class:`Memo` API instance bound to its host's memo server.  The handle
+captures the program's return value or exception, so the launcher can
+report per-process outcomes — the reproduction's analogue of the boss
+"determin[ing] when all necessary work has been completed".
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.api import Memo
+from repro.errors import RuntimeLaunchError
+from repro.runtime.program import ProcessContext, Program
+
+__all__ = ["ProcessHandle"]
+
+
+class ProcessHandle:
+    """One running (or finished) application process."""
+
+    def __init__(
+        self,
+        program: Program,
+        api: Memo,
+        context: ProcessContext,
+    ) -> None:
+        self.context = context
+        self._api = api
+        self._program = program
+        self._result: object = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"{context.app}-{context.program}-{context.proc_id}",
+            daemon=True,
+        )
+
+    def _run(self) -> None:
+        try:
+            self._result = self._program(self._api, self.context)
+            self._api.flush()
+        except BaseException as exc:  # noqa: BLE001 - reported via result()
+            self._error = exc
+        finally:
+            self._api.client.close()
+
+    def start(self) -> "ProcessHandle":
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for completion; True when the process finished."""
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    @property
+    def finished(self) -> bool:
+        return not self._thread.is_alive() and self._thread.ident is not None
+
+    def result(self) -> object:
+        """The program's return value; re-raises its exception.
+
+        Raises:
+            RuntimeLaunchError: the process has not finished yet.
+        """
+        if not self.finished:
+            raise RuntimeLaunchError(
+                f"process {self.context.proc_id} has not finished"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def failed(self) -> bool:
+        """True when the program raised."""
+        return self.finished and self._error is not None

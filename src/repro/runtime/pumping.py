@@ -1,0 +1,133 @@
+"""Executable pumping (paper section 4.4, the authors' work-in-progress).
+
+"The current version does not support dynamic application cross-compiling
+and pumping of the executables to the destination remote machines.  A
+current version is in design that will fully support the cross-compiling
+of the boss and worker executables by using a pumping method to get them
+to the appropriate remote host if NFS is not available."
+
+The reproduction implements that design: programs are *pumped* through the
+memo space itself.  The launching host deposits each program's source into
+a well-known folder (one per program name, in a reserved ``__pump__``
+namespace inside the application); every remote host extracts a copy,
+"cross-compiles" it (``compile`` + ``exec`` into a fresh namespace — the
+Python analogue of building for the local architecture), and registers the
+result in its local :class:`~repro.runtime.program.ProgramRegistry`.
+
+No NFS, no side channel: the same folders-and-memos machinery that carries
+application data carries the executables.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+
+from repro.core.api import Memo
+from repro.core.keys import Key, Symbol
+from repro.errors import RuntimeLaunchError
+from repro.runtime.program import Program, ProgramRegistry
+
+__all__ = ["PUMP_SYMBOL", "pump_program", "pump_registry", "receive_programs"]
+
+#: Reserved symbol under which pumped sources travel.
+PUMP_SYMBOL = Symbol("__pump__")
+
+
+def _pump_key(name: str) -> Key:
+    # One folder per program name; the name itself rides inside the memo
+    # because key vectors are numeric.
+    return Key(PUMP_SYMBOL, (_stable_hash(name),))
+
+
+def _stable_hash(name: str) -> int:
+    """A platform-stable 63-bit hash (interpreter hash() is randomized)."""
+    import hashlib
+
+    return int.from_bytes(
+        hashlib.sha256(name.encode("utf-8")).digest()[:8], "big"
+    ) >> 1
+
+
+def source_of(program: Program) -> str:
+    """Extract a program's shippable source text.
+
+    The function must be self-contained up to its imports: it is compiled
+    on the receiving host in a namespace that contains only what it
+    imports itself (the cross-compile discipline — you cannot link against
+    the sending host's memory).
+    """
+    try:
+        source = inspect.getsource(program)
+    except (OSError, TypeError) as exc:
+        raise RuntimeLaunchError(
+            f"cannot extract source for {program!r}: {exc}"
+        ) from exc
+    source = textwrap.dedent(source)
+    # Strip decorators (e.g. @registry.register(...)) — the receiving side
+    # registers explicitly.
+    lines = source.splitlines()
+    start = 0
+    while start < len(lines) and lines[start].lstrip().startswith("@"):
+        start += 1
+    return "\n".join(lines[start:])
+
+
+def pump_program(memo: Memo, name: str, program: Program | str) -> None:
+    """Deposit one program's source into the pump folder for *name*."""
+    source = program if isinstance(program, str) else source_of(program)
+    memo.put(_pump_key(name), {"name": name, "source": source}, wait=True)
+
+
+def pump_registry(memo: Memo, registry: ProgramRegistry, names: list[str]) -> None:
+    """Pump several registered programs (the boss-side launch step)."""
+    for name in names:
+        pump_program(memo, name, registry.lookup(name))
+
+
+def receive_programs(
+    memo: Memo,
+    registry: ProgramRegistry,
+    names: list[str],
+    *,
+    extra_globals: dict | None = None,
+) -> None:
+    """Extract, compile, and register pumped programs on this host.
+
+    ``get_copy`` is used so every host can receive the same executables —
+    the pump folder acts as the distribution point, exactly like the
+    NFS-mounted build tree it replaces.
+
+    Args:
+        memo: this host's API for the application being launched.
+        registry: local registry to install the programs into.
+        names: program (directory) names expected.
+        extra_globals: names made visible to the compiled source (the
+            "system libraries" of the target machine).
+    """
+    for name in names:
+        bundle = memo.get_copy(_pump_key(name))
+        if not isinstance(bundle, dict) or bundle.get("name") != name:
+            raise RuntimeLaunchError(
+                f"pump folder for {name!r} held unexpected content"
+            )
+        source = bundle["source"]
+        namespace: dict = {"__builtins__": __builtins__}
+        if extra_globals:
+            namespace.update(extra_globals)
+        try:
+            code = compile(source, filename=f"<pumped:{name}>", mode="exec")
+            exec(code, namespace)  # noqa: S102 - the pump ships trusted app code
+        except SyntaxError as exc:
+            raise RuntimeLaunchError(
+                f"pumped program {name!r} failed to cross-compile: {exc}"
+            ) from exc
+        functions = [
+            v for v in namespace.values() if inspect.isfunction(v)
+        ]
+        if len(functions) != 1:
+            raise RuntimeLaunchError(
+                f"pumped source for {name!r} must define exactly one "
+                f"function, found {len(functions)}"
+            )
+        registry.register(name, functions[0])

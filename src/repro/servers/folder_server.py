@@ -1,0 +1,308 @@
+"""The folder server: a directory of unordered queues (paper section 4.1).
+
+"The folder servers maintain a directory of unordered queues on selected
+hosts (each queue representing a folder).  There can be 0, 1, or more folder
+servers per machine, each having exclusive access to its folders."
+
+Semantics implemented here, straight from section 6:
+
+* ``put`` — deposit; wakes one blocked getter; releases any delayed memos
+  parked on the folder (the ``put_delayed`` trigger).
+* ``get`` — consume; blocks while empty.
+* ``get_copy`` — return a copy without consuming; blocks while empty.
+* ``get_skip`` — consume or return not-found immediately.
+* ``get_alt_skip`` over co-located folders — first non-empty wins.
+* A folder "vanishes" when it holds no memos, no delayed memos, and no
+  blocked waiters (the future-folder lifecycle of section 6.2.5).
+
+*Unordered* queue: extraction order is deliberately not FIFO — a seeded RNG
+picks a victim index, so applications cannot accidentally depend on an
+ordering the paper does not promise.  The RNG is owned by the server and
+seeded per-folder-name for reproducible tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.keys import FolderName
+from repro.core.memo import MemoRecord
+from repro.errors import FolderServerError, ShutdownError
+
+__all__ = ["Folder", "FolderServer", "FolderServerStats"]
+
+
+@dataclass
+class FolderServerStats:
+    """Counters the SEC5A/FIG3 benches read per server."""
+
+    puts: int = 0
+    gets: int = 0
+    copies: int = 0
+    skips: int = 0
+    skip_misses: int = 0
+    blocked_waits: int = 0
+    delayed_parked: int = 0
+    delayed_released: int = 0
+    folders_created: int = 0
+    folders_vanished: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class Folder:
+    """One unordered queue plus its delayed-memo parking lot."""
+
+    name: FolderName
+    memos: list[MemoRecord] = field(default_factory=list)
+    #: Parked ``put_delayed`` memos: (record, release-to folder).
+    delayed: list[tuple[MemoRecord, FolderName]] = field(default_factory=list)
+    waiters: int = 0
+
+    def is_vanished(self) -> bool:
+        """True when nothing keeps this folder alive."""
+        return not self.memos and not self.delayed and self.waiters == 0
+
+
+class FolderServer:
+    """Exclusive owner of a set of folders.
+
+    Args:
+        server_id: the numeric-name id from the ADF FOLDERS section.
+        host: host this server runs on (diagnostics/metrics).
+        emit_put: callback used when a delayed memo must be released into a
+            folder this server does *not* own; the hosting memo server
+            routes it as an ordinary put.  Wiring it as a callback keeps the
+            folder server free of any routing knowledge.
+        seed: RNG seed for the unordered-extraction order.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        host: str = "localhost",
+        emit_put: Callable[[FolderName, MemoRecord], None] | None = None,
+        seed: int = 0x94,
+    ) -> None:
+        self.server_id = server_id
+        self.host = host
+        self.emit_put = emit_put
+        self.stats = FolderServerStats()
+        self._folders: dict[FolderName, Folder] = {}
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._rng = random.Random(seed)
+        self._shutdown = False
+
+    # -- folder bookkeeping (all under self._lock) ---------------------------
+
+    def _folder(self, name: FolderName) -> Folder:
+        folder = self._folders.get(name)
+        if folder is None:
+            folder = Folder(name)
+            self._folders[name] = folder
+            self.stats.folders_created += 1
+        return folder
+
+    def _maybe_vanish(self, folder: Folder) -> None:
+        if folder.is_vanished() and folder.name in self._folders:
+            del self._folders[folder.name]
+            self.stats.folders_vanished += 1
+
+    def _pick(self, folder: Folder) -> MemoRecord:
+        """Remove and return one memo, unordered."""
+        idx = self._rng.randrange(len(folder.memos)) if len(folder.memos) > 1 else 0
+        return folder.memos.pop(idx)
+
+    def _peek(self, folder: Folder) -> MemoRecord:
+        idx = self._rng.randrange(len(folder.memos)) if len(folder.memos) > 1 else 0
+        return folder.memos[idx]
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, name: FolderName, record: MemoRecord) -> None:
+        """Deposit *record* into folder *name*; never blocks.
+
+        Arrival also triggers release of every delayed memo parked on the
+        folder (section 6.1.2: "It will remain in the folder key1 until
+        another memo arrives into that folder").
+        """
+        to_release: list[tuple[MemoRecord, FolderName]] = []
+        with self._cond:
+            self._ensure_up()
+            folder = self._folder(name)
+            folder.memos.append(record)
+            self.stats.puts += 1
+            if folder.delayed:
+                to_release = folder.delayed
+                folder.delayed = []
+            self._cond.notify_all()
+        # Release outside the lock: the target may be a local folder (plain
+        # recursive put) or remote (emit_put -> memo server routing).
+        for rec, target in to_release:
+            with self._lock:
+                self.stats.delayed_released += 1
+            self._release(target, rec)
+
+    def _release(self, target: FolderName, record: MemoRecord) -> None:
+        if self.emit_put is not None:
+            self.emit_put(target, record)
+        else:
+            self.put(target, record)
+
+    def put_delayed(
+        self, name: FolderName, release_to: FolderName, record: MemoRecord
+    ) -> None:
+        """Park *record* on *name*; it moves to *release_to* on next arrival."""
+        with self._cond:
+            self._ensure_up()
+            folder = self._folder(name)
+            folder.delayed.append((record, release_to))
+            self.stats.delayed_parked += 1
+
+    def get(self, name: FolderName, timeout: float | None = None) -> MemoRecord:
+        """Consume a memo; blocks while the folder is empty."""
+        with self._cond:
+            self._ensure_up()
+            folder = self._folder(name)
+            folder.waiters += 1
+            try:
+                if not folder.memos:
+                    self.stats.blocked_waits += 1
+                ok = self._cond.wait_for(
+                    lambda: bool(folder.memos) or self._shutdown, timeout=timeout
+                )
+                self._ensure_up()
+                if not ok:
+                    raise TimeoutError(f"get({name}) timed out")
+                record = self._pick(folder)
+                self.stats.gets += 1
+                return record
+            finally:
+                folder.waiters -= 1
+                self._maybe_vanish(folder)
+
+    def get_copy(self, name: FolderName, timeout: float | None = None) -> MemoRecord:
+        """Return a memo without consuming it; blocks while empty."""
+        with self._cond:
+            self._ensure_up()
+            folder = self._folder(name)
+            folder.waiters += 1
+            try:
+                if not folder.memos:
+                    self.stats.blocked_waits += 1
+                ok = self._cond.wait_for(
+                    lambda: bool(folder.memos) or self._shutdown, timeout=timeout
+                )
+                self._ensure_up()
+                if not ok:
+                    raise TimeoutError(f"get_copy({name}) timed out")
+                record = self._peek(folder)
+                self.stats.copies += 1
+                return record
+            finally:
+                folder.waiters -= 1
+                self._maybe_vanish(folder)
+
+    def get_skip(self, name: FolderName) -> MemoRecord | None:
+        """Consume a memo when available; None immediately otherwise."""
+        with self._cond:
+            self._ensure_up()
+            folder = self._folders.get(name)
+            if folder is None or not folder.memos:
+                self.stats.skip_misses += 1
+                if folder is not None:
+                    self._maybe_vanish(folder)
+                return None
+            record = self._pick(folder)
+            self.stats.skips += 1
+            self._maybe_vanish(folder)
+            return record
+
+    def get_alt_skip(
+        self, names: tuple[FolderName, ...]
+    ) -> tuple[FolderName, MemoRecord] | None:
+        """One non-blocking round over several co-owned folders.
+
+        Checks the folders in the caller-provided order (the client
+        randomizes it, giving the nondeterministic choice the paper
+        specifies for ``get_alt``) and consumes from the first non-empty.
+        """
+        with self._cond:
+            self._ensure_up()
+            for name in names:
+                folder = self._folders.get(name)
+                if folder is not None and folder.memos:
+                    record = self._pick(folder)
+                    self.stats.skips += 1
+                    self._maybe_vanish(folder)
+                    return name, record
+            self.stats.skip_misses += 1
+            return None
+
+    # -- migration (dynamic data migration, paper section 1 / abstract) --------
+
+    def extract_folders(
+        self,
+        should_move: Callable[[FolderName], bool],
+    ) -> list[tuple[FolderName, list[MemoRecord], list[tuple[MemoRecord, FolderName]]]]:
+        """Atomically remove and return every folder *should_move* selects.
+
+        Used by ownership rebalancing: when an application re-registers
+        with new host costs, folders whose new owner is elsewhere are
+        extracted here and re-deposited through normal routing.  Folders
+        with blocked waiters are skipped — a waiter is pinned to this
+        server's condition variable, so migrating underneath it would
+        strand it; such folders migrate when the waiter leaves.
+        """
+        moved = []
+        with self._cond:
+            self._ensure_up()
+            for name in list(self._folders):
+                folder = self._folders[name]
+                if folder.waiters > 0 or not should_move(name):
+                    continue
+                del self._folders[name]
+                self.stats.folders_vanished += 1
+                moved.append((name, folder.memos, folder.delayed))
+        return moved
+
+    # -- introspection ----------------------------------------------------------
+
+    def folder_count(self) -> int:
+        """Number of live folders (benches use this for distribution)."""
+        with self._lock:
+            return len(self._folders)
+
+    def memo_count(self) -> int:
+        """Total memos currently stored across folders."""
+        with self._lock:
+            return sum(len(f.memos) for f in self._folders.values())
+
+    def folder_names(self) -> tuple[FolderName, ...]:
+        """Snapshot of live folder names."""
+        with self._lock:
+            return tuple(self._folders)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_up(self) -> None:
+        if self._shutdown:
+            raise ShutdownError(f"folder server {self.server_id} is shut down")
+
+    def shutdown(self) -> None:
+        """Wake every blocked getter with :class:`ShutdownError`."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FolderServer {self.server_id} on {self.host}: "
+            f"{len(self._folders)} folders>"
+        )

@@ -1,0 +1,187 @@
+"""Cost-weighted folder-name hashing (paper sections 4.1 and 5).
+
+"As an application attempts to deposit/retrieve memos to/from a given
+folder, that folder name is hashed to a folder server on a particular
+machine. ... When hashing the folder name to a particular server, the costs
+associated with the machines' processor(s) speed and communication links
+are considered."
+
+Two requirements shape the implementation:
+
+1. **Consistency without coordination** — every host must map a folder name
+   to the *same* owning server, because a folder is owned exclusively
+   (section 4.1).  So the hash may only depend on globally agreed inputs:
+   the folder name, the server list, host costs, and the topology — all of
+   which come from the application's ADF.
+2. **Proportional distribution** — "the system will result in hashing the
+   appropriate percentage of memos to each server" (section 5), the
+   percentage being the host's share of processing power, discounted by how
+   expensive the host is to reach ("machine localities").
+
+Weighted rendezvous (highest-random-weight) hashing provides exactly this:
+each server *s* gets score ``-w_s / ln(u_s)`` where ``u_s`` is a uniform
+hash of (folder name, server id); the argmax wins.  The probability that
+*s* wins is ``w_s / Σw`` — the proportional-share property the paper
+claims — and the mapping is a pure function of shared data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.core.keys import FolderName
+from repro.errors import ServerError
+from repro.network.routing import RoutingTable
+
+__all__ = ["weighted_rendezvous", "HashWeightPolicy", "FolderPlacement"]
+
+_HASH_DENOM = float(1 << 64)
+
+
+def _unit_hash(key: bytes, salt: bytes) -> float:
+    """Uniform (0, 1) hash of key+salt, identical on every platform."""
+    digest = hashlib.sha256(key + b"\x00" + salt).digest()
+    # Use the top 64 bits; add 1 to avoid exactly 0 (log(0) below).
+    x = int.from_bytes(digest[:8], "big") + 1
+    return x / (_HASH_DENOM + 2.0)
+
+
+def weighted_rendezvous(key: bytes, weights: dict[str, float]) -> str:
+    """Pick the winning server id for *key* under rendezvous weights.
+
+    Args:
+        key: canonical folder-name bytes.
+        weights: server id → positive weight.
+
+    Returns:
+        The server id with the highest score; ties are impossible in
+        practice (256-bit hash) but broken deterministically by id.
+    """
+    if not weights:
+        raise ServerError("weighted_rendezvous requires at least one server")
+    best_id: str | None = None
+    best_score = -math.inf
+    for sid in sorted(weights):
+        w = weights[sid]
+        if w <= 0:
+            raise ServerError(f"server {sid!r} has non-positive weight {w}")
+        u = _unit_hash(key, sid.encode("utf-8"))
+        score = -w / math.log(u)
+        if score > best_score:
+            best_score = score
+            best_id = sid
+    assert best_id is not None
+    return best_id
+
+
+@dataclass(frozen=True)
+class HashWeightPolicy:
+    """Which cost signals feed the hash weights (ablation knobs).
+
+    Attributes:
+        use_processor_cost: weight servers by their host's effective
+            processing power (``#procs / cost`` — the ADF's SP-1 example
+            gives each SP-1 processor cost ``sun4*0.5``, i.e. twice the
+            power per processor unit of money).
+        use_link_cost: discount hosts by mean path cost from the rest of
+            the network (section 5's "distances (machine localities)").
+        link_cost_bias: strength of the locality discount; weight is
+            divided by ``1 + bias * mean_path_cost``.
+    """
+
+    use_processor_cost: bool = True
+    use_link_cost: bool = True
+    link_cost_bias: float = 1.0
+
+    def uniform(self) -> "HashWeightPolicy":
+        """The no-control baseline: "an even distribution would be seen"."""
+        return HashWeightPolicy(use_processor_cost=False, use_link_cost=False)
+
+
+class FolderPlacement:
+    """Maps folder names to owning folder servers for one application.
+
+    Args:
+        folder_servers: ``(server_id, host)`` pairs from the ADF FOLDERS
+            section.  Several servers may share a host; they split the
+            host's weight equally, so adding servers to a host spreads its
+            load across more queues without changing the host's share.
+        host_power: host → effective processing power (``#procs / cost``).
+        routing: the application's routing table (for the locality
+            discount); optional when the policy disables link costs.
+        policy: which signals to use.
+    """
+
+    def __init__(
+        self,
+        folder_servers: list[tuple[str, str]],
+        host_power: dict[str, float],
+        routing: RoutingTable | None = None,
+        policy: HashWeightPolicy | None = None,
+    ) -> None:
+        if not folder_servers:
+            raise ServerError("an application needs at least one folder server")
+        self.policy = policy or HashWeightPolicy()
+        self.servers: dict[str, str] = {}
+        for sid, host in folder_servers:
+            if sid in self.servers:
+                raise ServerError(f"duplicate folder server id {sid!r}")
+            self.servers[sid] = host
+        self._weights = self._compute_weights(host_power, routing)
+
+    def _compute_weights(
+        self,
+        host_power: dict[str, float],
+        routing: RoutingTable | None,
+    ) -> dict[str, float]:
+        per_host_count: dict[str, int] = {}
+        for host in self.servers.values():
+            per_host_count[host] = per_host_count.get(host, 0) + 1
+
+        weights: dict[str, float] = {}
+        for sid, host in self.servers.items():
+            w = 1.0
+            if self.policy.use_processor_cost:
+                power = host_power.get(host)
+                if power is None or power <= 0:
+                    raise ServerError(
+                        f"host {host!r} has no positive power in the ADF"
+                    )
+                w *= power
+            if self.policy.use_link_cost:
+                if routing is None:
+                    raise ServerError(
+                        "link-cost policy requires a routing table"
+                    )
+                w /= 1.0 + self.policy.link_cost_bias * routing.mean_cost_from_all(host)
+            w /= per_host_count[host]
+            weights[sid] = w
+        return weights
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """The effective rendezvous weight of each server (copy)."""
+        return dict(self._weights)
+
+    def expected_shares(self) -> dict[str, float]:
+        """Expected fraction of folders each server should own."""
+        total = sum(self._weights.values())
+        return {sid: w / total for sid, w in self._weights.items()}
+
+    def place(self, folder: FolderName) -> str:
+        """The server id owning *folder* — identical on every host."""
+        return weighted_rendezvous(folder.canonical(), self._weights)
+
+    def host_of(self, server_id: str) -> str:
+        """Which host a folder server lives on."""
+        try:
+            return self.servers[server_id]
+        except KeyError:
+            raise ServerError(f"unknown folder server {server_id!r}") from None
+
+    def place_host(self, folder: FolderName) -> tuple[str, str]:
+        """Convenience: ``(server_id, host)`` owning *folder*."""
+        sid = self.place(folder)
+        return sid, self.servers[sid]

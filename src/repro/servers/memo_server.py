@@ -1,0 +1,593 @@
+"""The memo server: one per machine, routing memos between processes.
+
+"The memo servers are responsible for message routing between processes
+(there is one memo server per machine). ... Each memo server listens for
+connection requests from either other memo servers (inter-machine traffic)
+or user applications.  As requests arrive, the server will create a thread
+(if no cached thread is available) to handle the request while it goes back
+to listening for more requests." (paper section 4.1)
+
+Request life cycle:
+
+1. An application process sends a request over its connection to the local
+   memo server (Figure 1).
+2. The serving thread (from the :class:`ThreadCache`) resolves the folder's
+   owner via the application's :class:`FolderPlacement`.
+3. Owned locally → direct call into the local :class:`FolderServer`.
+   Owned remotely → the request is wrapped in a
+   :class:`~repro.network.protocol.ForwardEnvelope` and sent to the *next
+   hop* memo server on the cost-weighted shortest path (Figure 2); every
+   hop relays the reply back.  No broadcasting, ever.
+
+Every request receives exactly one :class:`~repro.network.protocol.Reply`
+on its connection; asynchronous ``put`` is a *client-side* behaviour (the
+client defers reading the acknowledgement), so the server protocol stays
+strictly request/reply.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.keys import FolderName
+from repro.core.memo import MemoRecord
+from repro.errors import (
+    CommunicationError,
+    ConnectionClosedError,
+    NotRegisteredError,
+    ProtocolError,
+    RoutingError,
+    ServerError,
+    ShutdownError,
+)
+from repro.network.connection import Address, Connection, Transport
+from repro.network.protocol import (
+    ForwardEnvelope,
+    GetAltSkipRequest,
+    GetRequest,
+    MigrateRequest,
+    PutDelayedRequest,
+    PutRequest,
+    RegisterRequest,
+    Reply,
+    ShutdownRequest,
+    StatsRequest,
+    recv_message,
+    send_message,
+)
+from repro.network.routing import RoutingTable
+from repro.servers.folder_server import FolderServer
+from repro.servers.hashing import FolderPlacement, HashWeightPolicy
+from repro.servers.threadcache import ThreadCache
+from repro.transferable.wire import decode, encode
+
+__all__ = ["MemoServer", "MemoServerStats", "AppRegistration", "MEMO_PORT"]
+
+#: Well-known memo server port on the logical network.
+MEMO_PORT = 7094
+
+
+@dataclass
+class MemoServerStats:
+    """Counters for the FIG1/FIG2 benches and stats replies."""
+
+    requests: int = 0
+    local_dispatches: int = 0
+    forwards_out: int = 0
+    forwards_relayed: int = 0
+    forwards_in: int = 0
+    registrations: int = 0
+    errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                k: getattr(self, k)
+                for k in self.__dataclass_fields__
+                if not k.startswith("_")
+            }
+
+
+@dataclass
+class AppRegistration:
+    """Everything a memo server knows about one registered application."""
+
+    app: str
+    routing: RoutingTable
+    placement: FolderPlacement
+
+
+class _ConnectionPool:
+    """Exclusive-use connection pool keyed by destination address.
+
+    A forwarded request owns its connection for the full request/reply
+    round (blocking gets can hold it for a long time); concurrent requests
+    to the same next hop get their own connections, so there is no
+    head-of-line blocking or deadlock.
+    """
+
+    def __init__(self, transport: Transport, max_idle: int = 4) -> None:
+        self._transport = transport
+        self._max_idle = max_idle
+        self._idle: dict[Address, list[Connection]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self, address: Address) -> Connection:
+        with self._lock:
+            if self._closed:
+                raise ShutdownError("connection pool is closed")
+            bucket = self._idle.get(address)
+            while bucket:
+                conn = bucket.pop()
+                if not conn.closed:
+                    return conn
+        return self._transport.connect(address)
+
+    def release(self, address: Address, conn: Connection) -> None:
+        if conn.closed:
+            return
+        with self._lock:
+            if self._closed:
+                conn.close()
+                return
+            bucket = self._idle.setdefault(address, [])
+            if len(bucket) < self._max_idle:
+                bucket.append(conn)
+                return
+        conn.close()
+
+    def discard(self, conn: Connection) -> None:
+        conn.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._closed = True
+            buckets = list(self._idle.values())
+            self._idle.clear()
+        for bucket in buckets:
+            for conn in bucket:
+                conn.close()
+
+
+class MemoServer:
+    """The per-host memo server.
+
+    Args:
+        host: logical host name (from the ADF HOSTS section).
+        transport: medium to listen/connect on.
+        address_book: logical host name → memo-server address.  The cluster
+            fills it in after all listeners are bound (needed for TCP where
+            ports are dynamic); for the in-memory fabric it is simply
+            ``Address(host, MEMO_PORT)`` for every host.
+        idle_timeout: thread-cache idle timer (section 4.1).
+        policy: hash-weight policy for folder placement (ablation knob).
+        listen_port: port to bind; defaults to :data:`MEMO_PORT` (use 0 for
+            OS-assigned TCP ports).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        transport: Transport,
+        address_book: dict[str, Address] | None = None,
+        idle_timeout: float = 2.0,
+        policy: HashWeightPolicy | None = None,
+        listen_port: int = MEMO_PORT,
+    ) -> None:
+        self.host = host
+        self.transport = transport
+        self.address_book = address_book if address_book is not None else {}
+        self.policy = policy
+        self.stats = MemoServerStats()
+        self._registrations: dict[str, AppRegistration] = {}
+        self._folder_servers: dict[str, FolderServer] = {}
+        self._reg_lock = threading.Lock()
+        self._cache = ThreadCache(idle_timeout, name=f"memo-{host}")
+        self._pool = _ConnectionPool(transport)
+        self._listener = transport.listen(Address(host, listen_port))
+        self.address_book.setdefault(host, self._listener.address)
+        self._accept_thread: threading.Thread | None = None
+        self._running = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """Where applications and peer servers connect."""
+        return self._listener.address
+
+    def start(self) -> None:
+        """Begin accepting connections."""
+        if self._running.is_set():
+            raise ServerError(f"memo server {self.host} already started")
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"memo-{self.host}-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Shut down: wake blocked getters, close listener and pool."""
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        with self._reg_lock:
+            folder_servers = list(self._folder_servers.values())
+        for fs in folder_servers:
+            fs.shutdown()
+        self._listener.close()
+        self._pool.close_all()
+        self._cache.shutdown()
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn = self._listener.accept(timeout=0.5)
+            except TimeoutError:
+                continue
+            except ConnectionClosedError:
+                break
+            try:
+                self._cache.submit(self._serve_connection, conn)
+            except ServerError:  # stop() raced us: the cache just shut down
+                conn.close()
+                break
+
+    # -- connection service -----------------------------------------------------
+
+    def _serve_connection(self, conn: Connection) -> None:
+        """Handle requests on one connection sequentially until it closes."""
+        try:
+            while self._running.is_set():
+                try:
+                    msg = recv_message(conn, timeout=0.5)
+                except TimeoutError:
+                    continue
+                except (ConnectionClosedError, ProtocolError):
+                    break
+                self.stats.bump("requests")
+                reply = self._handle(msg)
+                try:
+                    send_message(conn, reply)
+                except ConnectionClosedError:
+                    break
+        finally:
+            conn.close()
+
+    def _handle(self, msg: object) -> Reply:
+        try:
+            if isinstance(msg, RegisterRequest):
+                return self._handle_register(msg)
+            if isinstance(msg, ForwardEnvelope):
+                return self._handle_envelope(msg)
+            if isinstance(msg, (PutRequest, PutDelayedRequest, GetRequest)):
+                return self._route(msg.folder, msg)
+            if isinstance(msg, GetAltSkipRequest):
+                return self._handle_get_alt(msg)
+            if isinstance(msg, MigrateRequest):
+                return self._handle_migrate(msg)
+            if isinstance(msg, StatsRequest):
+                return Reply(ok=True, stats=self._collect_stats())
+            if isinstance(msg, ShutdownRequest):
+                threading.Thread(target=self.stop, daemon=True).start()
+                return Reply(ok=True)
+            raise ProtocolError(f"unhandled message {type(msg).__qualname__}")
+        except ShutdownError as exc:
+            return Reply(ok=False, error=f"shutdown: {exc}")
+        except (NotRegisteredError, RoutingError, ServerError, ProtocolError) as exc:
+            self.stats.bump("errors")
+            return Reply(ok=False, error=f"{type(exc).__name__}: {exc}")
+        except CommunicationError as exc:
+            self.stats.bump("errors")
+            return Reply(ok=False, error=f"communication failure: {exc}")
+
+    # -- registration (section 4.4) ------------------------------------------------
+
+    def _handle_register(self, msg: RegisterRequest) -> Reply:
+        routing = RoutingTable(
+            {src: dict(nbrs) for src, nbrs in msg.links.items()},
+            hosts=list(msg.host_costs),
+        )
+        placement = FolderPlacement(
+            [(sid, host) for sid, host in msg.folder_servers],
+            host_power=dict(msg.host_costs),
+            routing=routing,
+            policy=self.policy,
+        )
+        with self._reg_lock:
+            self._registrations[msg.app] = AppRegistration(msg.app, routing, placement)
+            # Materialize folder servers placed on this host (shared across
+            # applications: identity is the server id, data is disjoint
+            # because folder names are app-qualified).
+            for sid, host in msg.folder_servers:
+                if host == self.host and sid not in self._folder_servers:
+                    self._folder_servers[sid] = FolderServer(
+                        sid, host=self.host, emit_put=self._emit_put
+                    )
+        self.stats.bump("registrations")
+        return Reply(ok=True)
+
+    def registration(self, app: str) -> AppRegistration:
+        with self._reg_lock:
+            reg = self._registrations.get(app)
+        if reg is None:
+            raise NotRegisteredError(
+                f"application {app!r} is not registered with memo server {self.host}"
+            )
+        return reg
+
+    # -- dynamic data migration -------------------------------------------------
+
+    def _handle_migrate(self, msg: MigrateRequest) -> Reply:
+        """Move locally held folders whose owner changed at re-registration.
+
+        For every local folder server, folders belonging to *msg.app* whose
+        current placement names a *different* (server, host) are extracted
+        and their memos re-deposited through ordinary routing — no special
+        transfer channel, "dynamic data migration" is just puts.
+        """
+        reg = self.registration(msg.app)
+        with self._reg_lock:
+            folder_servers = dict(self._folder_servers)
+        moved_memos = 0
+        moved_folders = 0
+        for sid, fs in folder_servers.items():
+            def should_move(name: FolderName, sid: str = sid) -> bool:
+                if name.app != msg.app:
+                    return False
+                new_sid, new_host = reg.placement.place_host(name)
+                return new_sid != sid or new_host != self.host
+
+            for name, memos, delayed in fs.extract_folders(should_move):
+                moved_folders += 1
+                for record in memos:
+                    moved_memos += 1
+                    reply = self._route(
+                        name,
+                        PutRequest(
+                            folder=name, payload=record.payload, origin=record.origin
+                        ),
+                    )
+                    if not reply.ok:
+                        return Reply(
+                            ok=False,
+                            error=f"migration of {name} failed: {reply.error}",
+                        )
+                for record, release_to in delayed:
+                    moved_memos += 1
+                    reply = self._route(
+                        name,
+                        PutDelayedRequest(
+                            folder=name,
+                            release_to=release_to,
+                            payload=record.payload,
+                            origin=record.origin,
+                        ),
+                    )
+                    if not reply.ok:
+                        return Reply(
+                            ok=False,
+                            error=f"migration of delayed {name} failed: {reply.error}",
+                        )
+        return Reply(
+            ok=True,
+            stats={"migrated_folders": moved_folders, "migrated_memos": moved_memos},
+        )
+
+    def _emit_put(self, folder: FolderName, record: MemoRecord) -> None:
+        """Route a delayed-release put whose target folder lives elsewhere."""
+        reply = self._route(
+            folder, PutRequest(folder=folder, payload=record.payload, origin=record.origin)
+        )
+        if not reply.ok:
+            self.stats.bump("errors")
+
+    # -- routing (sections 4.1 and 5) ----------------------------------------------
+
+    def _route(self, folder: FolderName, msg: object) -> Reply:
+        reg = self.registration(folder.app)
+        sid, owner_host = reg.placement.place_host(folder)
+        if owner_host == self.host:
+            self.stats.bump("local_dispatches")
+            return self._dispatch_local(sid, msg)
+        self.stats.bump("forwards_out")
+        return self._forward(reg, owner_host, msg)
+
+    def _forward(self, reg: AppRegistration, owner_host: str, msg: object) -> Reply:
+        envelope = ForwardEnvelope(
+            app=reg.app,
+            target_host=owner_host,
+            inner=encode(msg),
+            trail=(self.host,),
+        )
+        return self._send_envelope(reg, envelope)
+
+    def _send_envelope(self, reg: AppRegistration, envelope: ForwardEnvelope) -> Reply:
+        next_hop = reg.routing.next_hop(self.host, envelope.target_host)
+        address = self.address_book.get(next_hop)
+        if address is None:
+            raise RoutingError(f"no address known for host {next_hop!r}")
+        conn = self._pool.acquire(address)
+        try:
+            send_message(conn, envelope)
+            reply = recv_message(conn)
+        except (ConnectionClosedError, TimeoutError) as exc:
+            self._pool.discard(conn)
+            raise CommunicationError(
+                f"forward to {envelope.target_host} via {next_hop} failed: {exc}"
+            ) from exc
+        self._pool.release(address, conn)
+        if not isinstance(reply, Reply):
+            raise ProtocolError(
+                f"expected Reply from {next_hop}, got {type(reply).__qualname__}"
+            )
+        return reply
+
+    def _handle_envelope(self, envelope: ForwardEnvelope) -> Reply:
+        self.stats.bump("forwards_in")
+        if self.host in envelope.trail:
+            raise RoutingError(
+                f"routing loop: {self.host} already in trail {envelope.trail}"
+            )
+        inner = decode(envelope.inner)
+        if envelope.target_host == self.host:
+            if isinstance(inner, (PutRequest, PutDelayedRequest, GetRequest)):
+                reg = self.registration(envelope.app)
+                sid, owner_host = reg.placement.place_host(inner.folder)
+                if owner_host != self.host:
+                    raise RoutingError(
+                        f"folder {inner.folder} hashed to {owner_host}, "
+                        f"but envelope targeted {self.host} — inconsistent ADFs?"
+                    )
+                self.stats.bump("local_dispatches")
+                return self._dispatch_local(sid, inner)
+            if isinstance(inner, GetAltSkipRequest):
+                return self._get_alt_local(inner)
+            raise ProtocolError(
+                f"envelope carried unexpected {type(inner).__qualname__}"
+            )
+        # Relay toward the target along the application's topology.
+        self.stats.bump("forwards_relayed")
+        reg = self.registration(envelope.app)
+        relayed = ForwardEnvelope(
+            app=envelope.app,
+            target_host=envelope.target_host,
+            inner=envelope.inner,
+            trail=envelope.trail + (self.host,),
+        )
+        return self._send_envelope(reg, relayed)
+
+    # -- local dispatch -------------------------------------------------------------
+
+    def _folder_server(self, sid: str) -> FolderServer:
+        with self._reg_lock:
+            fs = self._folder_servers.get(sid)
+        if fs is None:
+            raise ServerError(f"host {self.host} has no folder server {sid!r}")
+        return fs
+
+    def _dispatch_local(self, sid: str, msg: object) -> Reply:
+        fs = self._folder_server(sid)
+        if isinstance(msg, PutRequest):
+            fs.put(msg.folder, MemoRecord(payload=msg.payload, origin=msg.origin))
+            return Reply(ok=True, found=True)
+        if isinstance(msg, PutDelayedRequest):
+            fs.put_delayed(
+                msg.folder,
+                msg.release_to,
+                MemoRecord(payload=msg.payload, origin=msg.origin),
+            )
+            return Reply(ok=True, found=True)
+        if isinstance(msg, GetRequest):
+            if msg.mode == "get":
+                record = fs.get(msg.folder)
+                return Reply(ok=True, found=True, payload=record.payload, folder=msg.folder)
+            if msg.mode == "copy":
+                record = fs.get_copy(msg.folder)
+                return Reply(ok=True, found=True, payload=record.payload, folder=msg.folder)
+            record_or_none = fs.get_skip(msg.folder)
+            if record_or_none is None:
+                return Reply(ok=True, found=False)
+            return Reply(
+                ok=True, found=True, payload=record_or_none.payload, folder=msg.folder
+            )
+        raise ProtocolError(f"cannot dispatch {type(msg).__qualname__} locally")
+
+    # -- get_alt (section 6.1.2) -------------------------------------------------------
+
+    def _handle_get_alt(self, msg: GetAltSkipRequest) -> Reply:
+        """One non-blocking round over folders that may span hosts.
+
+        Folders are grouped by owning host preserving first-occurrence
+        order (the client already randomized the folder order, providing
+        the nondeterministic choice).  Local groups are checked by direct
+        calls; remote groups by forwarding a sub-request.  First hit wins.
+        """
+        apps = {f.app for f in msg.folders}
+        if len(apps) != 1:
+            raise ProtocolError("get_alt folders must belong to one application")
+        reg = self.registration(next(iter(apps)))
+
+        groups: dict[str, list[FolderName]] = {}
+        order: list[str] = []
+        for folder in msg.folders:
+            _sid, owner = reg.placement.place_host(folder)
+            if owner not in groups:
+                groups[owner] = []
+                order.append(owner)
+            groups[owner].append(folder)
+
+        for owner in order:
+            subset = tuple(groups[owner])
+            if owner == self.host:
+                reply = self._get_alt_local(
+                    GetAltSkipRequest(folders=subset, origin=msg.origin)
+                )
+            else:
+                self.stats.bump("forwards_out")
+                envelope = ForwardEnvelope(
+                    app=reg.app,
+                    target_host=owner,
+                    inner=encode(GetAltSkipRequest(folders=subset, origin=msg.origin)),
+                    trail=(self.host,),
+                )
+                reply = self._send_envelope(reg, envelope)
+            if reply.ok and reply.found:
+                return reply
+            if not reply.ok:
+                return reply
+        return Reply(ok=True, found=False)
+
+    def _get_alt_local(self, msg: GetAltSkipRequest) -> Reply:
+        """Check co-located folders, grouped per owning folder server."""
+        reg = self.registration(msg.folders[0].app)
+        by_sid: dict[str, list[FolderName]] = {}
+        order: list[str] = []
+        for folder in msg.folders:
+            sid, owner = reg.placement.place_host(folder)
+            if owner != self.host:
+                raise RoutingError(
+                    f"folder {folder} is owned by {owner}, not {self.host}"
+                )
+            if sid not in by_sid:
+                by_sid[sid] = []
+                order.append(sid)
+            by_sid[sid].append(folder)
+        for sid in order:
+            fs = self._folder_server(sid)
+            hit = fs.get_alt_skip(tuple(by_sid[sid]))
+            if hit is not None:
+                name, record = hit
+                return Reply(ok=True, found=True, payload=record.payload, folder=name)
+        return Reply(ok=True, found=False)
+
+    # -- stats -----------------------------------------------------------------------
+
+    def _collect_stats(self) -> dict:
+        stats: dict = {f"memo.{k}": v for k, v in self.stats.snapshot().items()}
+        stats.update(
+            {f"cache.{k}": v for k, v in self._cache.stats.snapshot().items()}
+        )
+        with self._reg_lock:
+            folder_servers = dict(self._folder_servers)
+        for sid, fs in folder_servers.items():
+            for k, v in fs.stats.snapshot().items():
+                stats[f"folder.{sid}.{k}"] = v
+            stats[f"folder.{sid}.live_folders"] = fs.folder_count()
+            stats[f"folder.{sid}.live_memos"] = fs.memo_count()
+        return stats
+
+    def local_folder_servers(self) -> dict[str, FolderServer]:
+        """Direct handles to this host's folder servers (tests/benches)."""
+        with self._reg_lock:
+            return dict(self._folder_servers)
+
+    def __repr__(self) -> str:
+        return f"<MemoServer {self.host} at {self.address}>"

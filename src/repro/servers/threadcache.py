@@ -1,0 +1,149 @@
+"""Thread caching (paper section 4.1).
+
+"Each request to a server will cause a thread to be created to handle the
+request, thus exploiting parallelism.  The system uses the idea of thread
+caching to avoid the overhead of creating processes un-necessarily.  When a
+thread completes its transactions, it will set a timer and wait for
+additional requests.  If a request comes in, the thread will handle it.  If
+not, it will terminate."
+
+:class:`ThreadCache` implements exactly that lifecycle: ``submit`` hands a
+task to an idle cached thread when one exists, otherwise creates a thread;
+an idle thread waits ``idle_timeout`` seconds for the next task and then
+dies.  The SEC41 bench measures the saved creation overhead.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ServerError
+
+__all__ = ["ThreadCache", "ThreadCacheStats"]
+
+
+@dataclass
+class ThreadCacheStats:
+    """Counters exposed for the SEC41 bench and server stats replies."""
+
+    submitted: int = 0
+    threads_created: int = 0
+    cache_hits: int = 0
+    threads_expired: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "threads_created": self.threads_created,
+                "cache_hits": self.cache_hits,
+                "threads_expired": self.threads_expired,
+            }
+
+
+class _Worker(threading.Thread):
+    """One cached thread: run a task, then idle-wait for the next."""
+
+    def __init__(self, cache: "ThreadCache", task: tuple) -> None:
+        super().__init__(name=f"{cache.name}-worker", daemon=True)
+        self._cache = cache
+        self._tasks: "queue.Queue[tuple | None]" = queue.Queue(maxsize=1)
+        self._tasks.put(task)
+
+    def assign(self, task: tuple) -> None:
+        self._tasks.put(task)
+
+    def run(self) -> None:
+        cache = self._cache
+        while True:
+            try:
+                task = self._tasks.get(timeout=cache.idle_timeout)
+            except queue.Empty:
+                # Timer expired: leave the cache unless a submitter grabbed
+                # us between the timeout and this check (it removed us from
+                # the idle list under the lock, so a task is imminent).
+                with cache._lock:
+                    if self in cache._idle:
+                        cache._idle.remove(self)
+                        with cache.stats._lock:
+                            cache.stats.threads_expired += 1
+                        return
+                continue
+            if task is None:  # shutdown poison pill
+                return
+            fn, args, kwargs = task
+            try:
+                fn(*args, **kwargs)
+            except Exception:  # noqa: BLE001 - server tasks own their errors
+                cache.on_task_error(fn)
+            if cache._shutdown.is_set():
+                return
+            with cache._lock:
+                cache._idle.append(self)
+
+
+class ThreadCache:
+    """Pool of idle-expiring threads serving server requests.
+
+    Args:
+        idle_timeout: seconds an idle thread waits before terminating
+            (the paper's "timer").  Setting it to 0 disables caching —
+            every request creates a fresh thread — which is the baseline
+            leg of the SEC41 bench.
+        name: thread-name prefix for diagnostics.
+    """
+
+    def __init__(self, idle_timeout: float = 2.0, name: str = "dmemo") -> None:
+        if idle_timeout < 0:
+            raise ServerError(f"idle_timeout must be >= 0, got {idle_timeout}")
+        self.idle_timeout = idle_timeout
+        self.name = name
+        self.stats = ThreadCacheStats()
+        self._idle: list[_Worker] = []
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._error_hook: Callable[[object], None] | None = None
+
+    def set_error_hook(self, hook: Callable[[object], None]) -> None:
+        """Install a callback invoked when a task raises (for tests/logs)."""
+        self._error_hook = hook
+
+    def on_task_error(self, fn: object) -> None:
+        if self._error_hook is not None:
+            self._error_hook(fn)
+
+    def submit(self, fn: Callable, *args: object, **kwargs: object) -> None:
+        """Run ``fn(*args, **kwargs)`` on a cached or fresh thread."""
+        if self._shutdown.is_set():
+            raise ServerError("thread cache is shut down")
+        task = (fn, args, kwargs)
+        with self.stats._lock:
+            self.stats.submitted += 1
+        if self.idle_timeout > 0:
+            with self._lock:
+                worker = self._idle.pop() if self._idle else None
+            if worker is not None:
+                with self.stats._lock:
+                    self.stats.cache_hits += 1
+                worker.assign(task)
+                return
+        with self.stats._lock:
+            self.stats.threads_created += 1
+        _Worker(self, task).start()
+
+    def idle_count(self) -> int:
+        """Number of threads currently parked in the cache."""
+        with self._lock:
+            return len(self._idle)
+
+    def shutdown(self) -> None:
+        """Stop accepting work and dismiss idle threads."""
+        self._shutdown.set()
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            worker.assign(None)  # type: ignore[arg-type]

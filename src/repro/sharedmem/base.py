@@ -1,0 +1,156 @@
+"""Abstract shared-memory contract and run-time backend registry."""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SegmentNotFoundError, SharedMemoryError
+
+__all__ = [
+    "Segment",
+    "SharedMemoryBase",
+    "register_sharedmem",
+    "sharedmem_factory",
+    "available_sharedmem_kinds",
+]
+
+
+@dataclass
+class Segment:
+    """A named, fixed-size region handed out by a shared-memory backend."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SharedMemoryError(f"segment size must be positive, got {self.size}")
+
+
+class SharedMemoryBase(abc.ABC):
+    """The common protocol of every shared-memory derivation.
+
+    The contract is the intersection the paper identifies across Encore and
+    System V: allocate named segments, attach, read/write, free, and a final
+    ``release_all`` at termination.  Backends that require pre-declared
+    pools enforce the declaration; backends that do not simply ignore it —
+    "the abstract class must be able to cope with both cases".
+    """
+
+    @abc.abstractmethod
+    def allocate(self, name: str, size: int) -> Segment:
+        """Create a new named segment of *size* bytes (zero-filled)."""
+
+    @abc.abstractmethod
+    def attach(self, name: str) -> Segment:
+        """Look up an existing segment by name."""
+
+    @abc.abstractmethod
+    def write(self, segment: Segment, offset: int, data: bytes) -> None:
+        """Write *data* into the segment at *offset* (bounds-checked)."""
+
+    @abc.abstractmethod
+    def read(self, segment: Segment, offset: int, length: int) -> bytes:
+        """Read *length* bytes from the segment at *offset*."""
+
+    @abc.abstractmethod
+    def free(self, segment: Segment) -> None:
+        """Destroy a segment and reclaim its space."""
+
+    @abc.abstractmethod
+    def release_all(self) -> None:
+        """Release every live segment (the on-termination pool release)."""
+
+    # -- shared bounds checking --------------------------------------------
+
+    @staticmethod
+    def _check_bounds(segment: Segment, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > segment.size:
+            raise SharedMemoryError(
+                f"access [{offset}, {offset + length}) outside segment "
+                f"{segment.name!r} of size {segment.size}"
+            )
+
+    def __enter__(self) -> "SharedMemoryBase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release_all()
+
+
+_REGISTRY: dict[str, Callable[..., SharedMemoryBase]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_sharedmem(kind: str, factory: Callable[..., SharedMemoryBase]) -> None:
+    """Register a shared-memory derivation under a backend name."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[kind] = factory
+
+
+def sharedmem_factory(kind: str = "local", **kwargs: object) -> SharedMemoryBase:
+    """Instantiate a backend by name (run-time platform selection)."""
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(kind)
+    if factory is None:
+        raise SharedMemoryError(
+            f"no shared-memory backend registered for {kind!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        )
+    return factory(**kwargs)
+
+
+def available_sharedmem_kinds() -> tuple[str, ...]:
+    """Names of all registered backends."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+class SegmentTable:
+    """Thread-safe name→buffer table shared by the in-process backends."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._segments: dict[str, bytearray] = {}
+
+    def create(self, name: str, size: int) -> None:
+        with self._lock:
+            if name in self._segments:
+                raise SharedMemoryError(f"segment {name!r} already exists")
+            self._segments[name] = bytearray(size)
+
+    def buffer(self, name: str) -> bytearray:
+        with self._lock:
+            buf = self._segments.get(name)
+        if buf is None:
+            raise SegmentNotFoundError(f"no segment named {name!r}")
+        return buf
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._segments
+
+    def size(self, name: str) -> int:
+        return len(self.buffer(name))
+
+    def drop(self, name: str) -> int:
+        """Remove a segment; returns its size for pool accounting."""
+        with self._lock:
+            buf = self._segments.pop(name, None)
+        if buf is None:
+            raise SegmentNotFoundError(f"no segment named {name!r}")
+        return len(buf)
+
+    def drop_all(self) -> int:
+        """Remove every segment; returns total reclaimed bytes."""
+        with self._lock:
+            total = sum(len(b) for b in self._segments.values())
+            self._segments.clear()
+        return total
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._segments)

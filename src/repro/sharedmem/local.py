@@ -1,0 +1,57 @@
+"""Heap-backed shared memory for threads sharing an address space.
+
+This is the fast path of Figure 1: the application process, the memo server
+thread, and the folder server thread on one host exchange memo payloads
+through a shared-memory region instead of copying them through the network
+stack.  In the reproduction, "one host" is a group of threads, so a plain
+in-process byte table implements the contract exactly.
+"""
+
+from __future__ import annotations
+
+from repro.sharedmem.base import (
+    Segment,
+    SegmentTable,
+    SharedMemoryBase,
+    register_sharedmem,
+)
+
+__all__ = ["LocalSharedMemory"]
+
+
+class LocalSharedMemory(SharedMemoryBase):
+    """Dictionary-of-bytearrays backend (System V style: no pre-declared pool)."""
+
+    def __init__(self) -> None:
+        self._table = SegmentTable()
+
+    def allocate(self, name: str, size: int) -> Segment:
+        seg = Segment(name, size)
+        self._table.create(name, size)
+        return seg
+
+    def attach(self, name: str) -> Segment:
+        return Segment(name, self._table.size(name))
+
+    def write(self, segment: Segment, offset: int, data: bytes) -> None:
+        self._check_bounds(segment, offset, len(data))
+        buf = self._table.buffer(segment.name)
+        buf[offset : offset + len(data)] = data
+
+    def read(self, segment: Segment, offset: int, length: int) -> bytes:
+        self._check_bounds(segment, offset, length)
+        buf = self._table.buffer(segment.name)
+        return bytes(buf[offset : offset + length])
+
+    def free(self, segment: Segment) -> None:
+        self._table.drop(segment.name)
+
+    def release_all(self) -> None:
+        self._table.drop_all()
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of all live segments (diagnostics)."""
+        return self._table.names()
+
+
+register_sharedmem("local", LocalSharedMemory)

@@ -1,0 +1,87 @@
+"""Encore-Multimax-style pooled shared memory.
+
+"On the Encore Multimax, one must specify the maximum amount of shared
+memory the application intends to use, then allocate and free pieces of it
+using specially named primitives.  Then on termination, it must release the
+pool of shared memory." (paper section 3)
+
+This derivation enforces exactly that protocol: the pool ceiling is declared
+at construction, allocations draw it down, frees return space, and
+exhaustion raises :class:`OutOfSharedMemoryError` — the case the abstract
+class "must be able to cope with".
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import OutOfSharedMemoryError, SharedMemoryError
+from repro.sharedmem.base import (
+    Segment,
+    SegmentTable,
+    SharedMemoryBase,
+    register_sharedmem,
+)
+
+__all__ = ["PooledSharedMemory"]
+
+
+class PooledSharedMemory(SharedMemoryBase):
+    """Fixed-pool backend with Encore-style declare/allocate/free/release."""
+
+    def __init__(self, pool_size: int = 1 << 20) -> None:
+        if pool_size <= 0:
+            raise SharedMemoryError(f"pool size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self._free_bytes = pool_size
+        self._accounting = threading.Lock()
+        self._table = SegmentTable()
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available in the declared pool."""
+        with self._accounting:
+            return self._free_bytes
+
+    def allocate(self, name: str, size: int) -> Segment:
+        seg = Segment(name, size)
+        with self._accounting:
+            if size > self._free_bytes:
+                raise OutOfSharedMemoryError(
+                    f"pool exhausted: requested {size}, "
+                    f"free {self._free_bytes} of {self.pool_size}"
+                )
+            self._free_bytes -= size
+        try:
+            self._table.create(name, size)
+        except SharedMemoryError:
+            with self._accounting:
+                self._free_bytes += size
+            raise
+        return seg
+
+    def attach(self, name: str) -> Segment:
+        return Segment(name, self._table.size(name))
+
+    def write(self, segment: Segment, offset: int, data: bytes) -> None:
+        self._check_bounds(segment, offset, len(data))
+        buf = self._table.buffer(segment.name)
+        buf[offset : offset + len(data)] = data
+
+    def read(self, segment: Segment, offset: int, length: int) -> bytes:
+        self._check_bounds(segment, offset, length)
+        buf = self._table.buffer(segment.name)
+        return bytes(buf[offset : offset + length])
+
+    def free(self, segment: Segment) -> None:
+        reclaimed = self._table.drop(segment.name)
+        with self._accounting:
+            self._free_bytes += reclaimed
+
+    def release_all(self) -> None:
+        reclaimed = self._table.drop_all()
+        with self._accounting:
+            self._free_bytes += reclaimed
+
+
+register_sharedmem("pooled", PooledSharedMemory)

@@ -1,0 +1,102 @@
+"""Real OS shared memory via :mod:`multiprocessing.shared_memory`.
+
+The System V analogue: keyed segments visible to other OS processes.  Used
+by the multiprocessing examples; the threaded cluster prefers
+:class:`~repro.sharedmem.local.LocalSharedMemory` for speed, exercising the
+same abstract contract — which is precisely the portability claim of the
+paper's SharedMemory discussion.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+from repro.errors import SegmentNotFoundError, SharedMemoryError
+from repro.sharedmem.base import Segment, SharedMemoryBase, register_sharedmem
+
+__all__ = ["PosixSharedMemory"]
+
+
+class PosixSharedMemory(SharedMemoryBase):
+    """Backend over POSIX shared memory objects.
+
+    Segment names are prefixed per-instance so that concurrent test runs on
+    one machine cannot collide in the global namespace.
+    """
+
+    def __init__(self, prefix: str = "dmemo") -> None:
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._handles: dict[str, shared_memory.SharedMemory] = {}
+
+    def _os_name(self, name: str) -> str:
+        return f"{self._prefix}_{name}"
+
+    def allocate(self, name: str, size: int) -> Segment:
+        seg = Segment(name, size)
+        with self._lock:
+            if name in self._handles:
+                raise SharedMemoryError(f"segment {name!r} already exists")
+            try:
+                handle = shared_memory.SharedMemory(
+                    name=self._os_name(name), create=True, size=size
+                )
+            except FileExistsError as exc:
+                raise SharedMemoryError(f"OS segment {name!r} already exists") from exc
+            handle.buf[:size] = b"\x00" * size
+            self._handles[name] = handle
+        return seg
+
+    def attach(self, name: str) -> Segment:
+        with self._lock:
+            handle = self._handles.get(name)
+            if handle is None:
+                try:
+                    handle = shared_memory.SharedMemory(name=self._os_name(name))
+                except FileNotFoundError as exc:
+                    raise SegmentNotFoundError(f"no segment named {name!r}") from exc
+                self._handles[name] = handle
+            return Segment(name, handle.size)
+
+    def _handle(self, name: str) -> shared_memory.SharedMemory:
+        with self._lock:
+            handle = self._handles.get(name)
+        if handle is None:
+            raise SegmentNotFoundError(f"segment {name!r} is not attached")
+        return handle
+
+    def write(self, segment: Segment, offset: int, data: bytes) -> None:
+        self._check_bounds(segment, offset, len(data))
+        handle = self._handle(segment.name)
+        handle.buf[offset : offset + len(data)] = data
+
+    def read(self, segment: Segment, offset: int, length: int) -> bytes:
+        self._check_bounds(segment, offset, length)
+        handle = self._handle(segment.name)
+        return bytes(handle.buf[offset : offset + length])
+
+    def free(self, segment: Segment) -> None:
+        with self._lock:
+            handle = self._handles.pop(segment.name, None)
+        if handle is None:
+            raise SegmentNotFoundError(f"no segment named {segment.name!r}")
+        handle.close()
+        try:
+            handle.unlink()
+        except FileNotFoundError:
+            pass
+
+    def release_all(self) -> None:
+        with self._lock:
+            handles = list(self._handles.items())
+            self._handles.clear()
+        for _name, handle in handles:
+            handle.close()
+            try:
+                handle.unlink()
+            except FileNotFoundError:
+                pass
+
+
+register_sharedmem("posix", PosixSharedMemory)

@@ -1,0 +1,28 @@
+"""Simulated heterogeneous-hardware substrate.
+
+The paper ran on real Sparcs, an Encore Multimax, a 486, and an SP-1; the
+reproduction substitutes simulated hosts (threads over a
+:class:`~repro.network.transport.NetworkFabric`).  This package holds the
+knobs and meters of that substitution:
+
+* :mod:`repro.sim.host` — per-host descriptors (architecture, processor
+  count/cost, service-rate model used by the hashing ablation);
+* :mod:`repro.sim.netsim` — the latency model mapping ADF link costs to
+  wall-clock delay on the fabric;
+* :mod:`repro.sim.metrics` — traffic/ownership summaries the benches print
+  (per-link bytes, per-server memo share, hop counts, broadcast count).
+"""
+
+from repro.sim.host import SimHost, hosts_from_adf
+from repro.sim.netsim import LatencyModel, apply_latency
+from repro.sim.metrics import ClusterMetrics, distribution_error, chi_square_uniform
+
+__all__ = [
+    "SimHost",
+    "hosts_from_adf",
+    "LatencyModel",
+    "apply_latency",
+    "ClusterMetrics",
+    "distribution_error",
+    "chi_square_uniform",
+]

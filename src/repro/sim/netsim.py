@@ -1,0 +1,51 @@
+"""Latency model: ADF link costs → wall-clock delay on the fabric.
+
+ADF link costs are dimensionless ("the value represents the cost in using
+this link.  This reflects distance and transmission speed", section 4.3).
+The simulation gives them teeth by mapping cost *c* to a one-way message
+latency ``base + c * per_cost`` seconds and installing it on the
+:class:`~repro.network.transport.NetworkFabric`, so a topology with an
+expensive SP-1 uplink really does slow round trips that cross it — the
+effect the FIG2/SEC5B benches measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adf.model import ADF
+from repro.errors import MemoError
+from repro.network.transport import NetworkFabric
+
+__all__ = ["LatencyModel", "apply_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Affine map from link cost to seconds of one-way latency."""
+
+    base_seconds: float = 0.0
+    seconds_per_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0 or self.seconds_per_cost < 0:
+            raise MemoError("latency parameters must be >= 0")
+
+    def latency_for_cost(self, cost: float) -> float:
+        """One-way latency for a link of the given ADF cost."""
+        return self.base_seconds + cost * self.seconds_per_cost
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the model adds no delay at all."""
+        return self.base_seconds == 0 and self.seconds_per_cost == 0
+
+
+def apply_latency(fabric: NetworkFabric, adf: ADF, model: LatencyModel) -> None:
+    """Install per-link latencies for every PPC link of *adf*."""
+    if model.is_zero:
+        return
+    for link in adf.links:
+        fabric.set_latency(
+            link.host_a, link.host_b, model.latency_for_cost(link.cost)
+        )

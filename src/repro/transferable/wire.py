@@ -1,0 +1,311 @@
+"""Tag-length-value wire codec for linearized graphs.
+
+The byte format is ASN.1/XDR-inspired (paper section 3.1.3): every node is a
+tag byte followed by a kind-specific payload, all integers big-endian, all
+strings UTF-8 with explicit lengths.  The format is fully self-describing —
+a receiver needs only the shared struct registry, never the sender's memory
+layout, word size, or byte order, which is the whole point of the
+transferable foundation.
+
+Layout::
+
+    magic   2 bytes  b"DM"
+    version 1 byte   0x01
+    count   u32      number of nodes
+    root    u32      root node id
+    nodes   count ×  (tag u8, kind-specific payload)
+
+Node payloads::
+
+    NONE          —
+    NATIVE_BOOL   u8 (0 or 1)
+    NATIVE_INT    u32 byte-length, two's-complement big-endian bytes
+    NATIVE_FLOAT  8-byte IEEE-754 binary64
+    NATIVE_STR    u32 byte-length, UTF-8 bytes
+    NATIVE_BYTES  u32 byte-length, raw bytes
+    SCALAR        u8 domain-name length, name, u32 payload length, payload
+    LIST/TUPLE/SET/FROZENSET
+                  u32 count, count × u32 child ids
+    DICT          u32 count, count × (u32 key id, u32 value id)
+    STRUCT        u16 name length, name, u16 field count,
+                  fields × (u16 name length, name, u32 child id)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DecodingError, EncodingError
+from repro.transferable.graph import (
+    Delinearizer,
+    LinearGraph,
+    Linearizer,
+    Node,
+    NodeKind,
+)
+from repro.transferable.registry import TransferableRegistry
+from repro.transferable.scalars import SCALAR_TYPES, Scalar
+
+__all__ = ["MAGIC", "VERSION", "encode", "decode", "encoded_size"]
+
+MAGIC = b"DM"
+VERSION = 1
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+_CONTAINER_KINDS = (
+    NodeKind.LIST,
+    NodeKind.TUPLE,
+    NodeKind.SET,
+    NodeKind.FROZENSET,
+)
+
+
+def encode(
+    obj: object,
+    *,
+    registry: TransferableRegistry | None = None,
+    strict_domains: bool = False,
+) -> bytes:
+    """Linearize *obj* and serialize it to the wire format.
+
+    This is the single call an application (or the memo server) makes to
+    move "arbitrary data structures, even self-referential structures ...
+    with ease".
+    """
+    graph = Linearizer(registry, strict_domains=strict_domains).linearize(obj)
+    return serialize_graph(graph)
+
+
+def decode(
+    data: bytes | memoryview,
+    *,
+    registry: TransferableRegistry | None = None,
+) -> object:
+    """Parse wire bytes and rebuild the original object graph."""
+    graph = parse_graph(data)
+    return Delinearizer(registry).delinearize(graph)
+
+
+def encoded_size(
+    obj: object,
+    *,
+    registry: TransferableRegistry | None = None,
+) -> int:
+    """Number of bytes :func:`encode` would produce for *obj*."""
+    return len(encode(obj, registry=registry))
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def serialize_graph(graph: LinearGraph) -> bytes:
+    """Serialize a :class:`LinearGraph` to bytes."""
+    out = bytearray()
+    out += MAGIC
+    out += _U8.pack(VERSION)
+    out += _U32.pack(len(graph.nodes))
+    out += _U32.pack(graph.root)
+    for i, node in enumerate(graph.nodes):
+        out += _U8.pack(int(node.kind))
+        _serialize_payload(out, node, i)
+    return bytes(out)
+
+
+def _serialize_payload(out: bytearray, node: Node, idx: int) -> None:
+    kind = node.kind
+    payload = node.payload
+    if kind is NodeKind.NONE:
+        return
+    if kind is NodeKind.NATIVE_BOOL:
+        out += _U8.pack(1 if payload else 0)
+        return
+    if kind is NodeKind.NATIVE_INT:
+        assert isinstance(payload, int)
+        length = max(1, (payload.bit_length() + 8) // 8)  # +8 keeps sign bit
+        raw = payload.to_bytes(length, "big", signed=True)
+        out += _U32.pack(len(raw))
+        out += raw
+        return
+    if kind is NodeKind.NATIVE_FLOAT:
+        out += _F64.pack(payload)
+        return
+    if kind is NodeKind.NATIVE_STR:
+        assert isinstance(payload, str)
+        raw = payload.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+        return
+    if kind is NodeKind.NATIVE_BYTES:
+        assert isinstance(payload, bytes)
+        out += _U32.pack(len(payload))
+        out += payload
+        return
+    if kind is NodeKind.SCALAR:
+        domain, value = payload  # type: ignore[misc]
+        name_raw = domain.encode("ascii")
+        if len(name_raw) > 0xFF:
+            raise EncodingError(f"domain name too long: {domain!r}")
+        packed = value.pack() if isinstance(value, Scalar) else bytes(value)
+        out += _U8.pack(len(name_raw))
+        out += name_raw
+        out += _U32.pack(len(packed))
+        out += packed
+        return
+    if kind in _CONTAINER_KINDS:
+        ids = payload
+        assert isinstance(ids, list)
+        out += _U32.pack(len(ids))
+        for cid in ids:
+            out += _U32.pack(cid)
+        return
+    if kind is NodeKind.DICT:
+        pairs = payload
+        assert isinstance(pairs, list)
+        out += _U32.pack(len(pairs))
+        for kid, vid in pairs:
+            out += _U32.pack(kid)
+            out += _U32.pack(vid)
+        return
+    if kind is NodeKind.STRUCT:
+        name, fields = payload  # type: ignore[misc]
+        name_raw = name.encode("utf-8")
+        if len(name_raw) > 0xFFFF:
+            raise EncodingError(f"struct name too long: {name!r}")
+        out += _U16.pack(len(name_raw))
+        out += name_raw
+        out += _U16.pack(len(fields))
+        for fname, cid in fields:
+            fraw = fname.encode("utf-8")
+            if len(fraw) > 0xFFFF:
+                raise EncodingError(f"field name too long: {fname!r}")
+            out += _U16.pack(len(fraw))
+            out += fraw
+            out += _U32.pack(cid)
+        return
+    raise EncodingError(f"node {idx}: unserializable kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked cursor over the incoming byte buffer."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes | memoryview) -> None:
+        self.data = memoryview(data)
+        self.pos = 0
+
+    def take(self, n: int) -> memoryview:
+        if n < 0 or self.pos + n > len(self.data):
+            raise DecodingError(
+                f"truncated stream: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        view = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return view
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def at_end(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def parse_graph(data: bytes | memoryview) -> LinearGraph:
+    """Parse wire bytes into a :class:`LinearGraph` (no object building)."""
+    r = _Reader(data)
+    if bytes(r.take(2)) != MAGIC:
+        raise DecodingError("bad magic: not a D-Memo transferable stream")
+    version = r.u8()
+    if version != VERSION:
+        raise DecodingError(f"unsupported wire version {version}")
+    count = r.u32()
+    root = r.u32()
+    graph = LinearGraph(root=root)
+    for i in range(count):
+        tag = r.u8()
+        try:
+            kind = NodeKind(tag)
+        except ValueError:
+            raise DecodingError(f"node {i}: unknown tag {tag:#x}") from None
+        graph.nodes.append(Node(kind, _parse_payload(r, kind, i, count)))
+    if not r.at_end():
+        raise DecodingError(f"{len(r.data) - r.pos} trailing bytes after graph")
+    if count and not 0 <= root < count:
+        raise DecodingError(f"root id {root} out of range")
+    return graph
+
+
+def _parse_payload(r: _Reader, kind: NodeKind, idx: int, count: int) -> object:
+    if kind is NodeKind.NONE:
+        return None
+    if kind is NodeKind.NATIVE_BOOL:
+        b = r.u8()
+        if b not in (0, 1):
+            raise DecodingError(f"node {idx}: bad bool byte {b}")
+        return bool(b)
+    if kind is NodeKind.NATIVE_INT:
+        n = r.u32()
+        if n == 0:
+            raise DecodingError(f"node {idx}: zero-length integer")
+        return int.from_bytes(r.take(n), "big", signed=True)
+    if kind is NodeKind.NATIVE_FLOAT:
+        return r.f64()
+    if kind is NodeKind.NATIVE_STR:
+        n = r.u32()
+        try:
+            return str(r.take(n), "utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodingError(f"node {idx}: invalid UTF-8") from exc
+    if kind is NodeKind.NATIVE_BYTES:
+        return bytes(r.take(r.u32()))
+    if kind is NodeKind.SCALAR:
+        name = str(r.take(r.u8()), "ascii")
+        payload = bytes(r.take(r.u32()))
+        cls = SCALAR_TYPES.get(name)
+        if cls is None:
+            raise DecodingError(f"node {idx}: unknown scalar domain {name!r}")
+        return (name, cls.unpack(payload))
+    if kind in _CONTAINER_KINDS:
+        n = r.u32()
+        ids = [_child(r, idx, count) for _ in range(n)]
+        return ids
+    if kind is NodeKind.DICT:
+        n = r.u32()
+        return [(_child(r, idx, count), _child(r, idx, count)) for _ in range(n)]
+    if kind is NodeKind.STRUCT:
+        name = str(r.take(r.u16()), "utf-8")
+        nfields = r.u16()
+        fields = []
+        for _ in range(nfields):
+            fname = str(r.take(r.u16()), "utf-8")
+            fields.append((fname, _child(r, idx, count)))
+        return (name, fields)
+    raise DecodingError(f"node {idx}: unparseable kind {kind!r}")
+
+
+def _child(r: _Reader, idx: int, count: int) -> int:
+    cid = r.u32()
+    if cid >= count:
+        raise DecodingError(f"node {idx}: child id {cid} out of range (<{count})")
+    return cid

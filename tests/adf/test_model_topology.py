@@ -1,0 +1,223 @@
+"""Unit tests for ADF model validation, topology generators, and defaults."""
+
+import pytest
+
+from repro.adf.defaults import merge_with_default, system_default_adf
+from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
+from repro.adf.topology import (
+    cube_links,
+    fully_connected_links,
+    mesh_links,
+    ring_links,
+    star_links,
+    systolic_links,
+    tree_links,
+)
+from repro.errors import ADFError, TopologyError
+from repro.network.routing import RoutingTable
+
+
+def valid_adf():
+    adf = ADF(app="a")
+    adf.hosts = [HostDecl("h1"), HostDecl("h2")]
+    adf.folders = [FolderDecl("0", "h1")]
+    adf.processes = [ProcessDecl("0", "boss", "h1")]
+    adf.links = [LinkDecl("h1", "h2")]
+    return adf
+
+
+class TestValidation:
+    def test_valid_passes(self):
+        valid_adf().validate()
+
+    def test_missing_app(self):
+        adf = valid_adf()
+        adf.app = ""
+        with pytest.raises(ADFError, match="APP"):
+            adf.validate()
+
+    def test_no_hosts(self):
+        adf = valid_adf()
+        adf.hosts = []
+        with pytest.raises(ADFError, match="no hosts"):
+            adf.validate()
+
+    def test_duplicate_hosts(self):
+        adf = valid_adf()
+        adf.hosts.append(HostDecl("h1"))
+        with pytest.raises(ADFError, match="duplicate host"):
+            adf.validate()
+
+    def test_no_folder_servers(self):
+        adf = valid_adf()
+        adf.folders = []
+        with pytest.raises(ADFError, match="folder server"):
+            adf.validate()
+
+    def test_folder_on_unknown_host(self):
+        adf = valid_adf()
+        adf.folders.append(FolderDecl("1", "ghost"))
+        with pytest.raises(ADFError, match="unknown host"):
+            adf.validate()
+
+    def test_duplicate_folder_id(self):
+        adf = valid_adf()
+        adf.folders.append(FolderDecl("0", "h2"))
+        with pytest.raises(ADFError, match="duplicate folder"):
+            adf.validate()
+
+    def test_process_on_unknown_host(self):
+        adf = valid_adf()
+        adf.processes.append(ProcessDecl("1", "worker", "ghost"))
+        with pytest.raises(ADFError, match="unknown host"):
+            adf.validate()
+
+    def test_link_to_unknown_host(self):
+        adf = valid_adf()
+        adf.links.append(LinkDecl("h1", "ghost"))
+        with pytest.raises(TopologyError):
+            adf.validate()
+
+    def test_self_link(self):
+        adf = valid_adf()
+        adf.links.append(LinkDecl("h1", "h1"))
+        with pytest.raises(TopologyError, match="self-link"):
+            adf.validate()
+
+    def test_disconnected_topology(self):
+        adf = valid_adf()
+        adf.hosts.append(HostDecl("h3"))
+        with pytest.raises(TopologyError, match="connect"):
+            adf.validate()
+
+    def test_host_decl_invariants(self):
+        with pytest.raises(ADFError):
+            HostDecl("h", num_procs=0)
+        with pytest.raises(ADFError):
+            HostDecl("h", cost=0)
+        with pytest.raises(ADFError):
+            HostDecl("")
+
+
+class TestDerivedViews:
+    def test_host_power(self):
+        adf = valid_adf()
+        adf.hosts = [HostDecl("h1", 4, "x", 2.0), HostDecl("h2", 1, "x", 0.5)]
+        assert adf.host_power() == {"h1": 2.0, "h2": 2.0}
+
+    def test_links_dict_duplex(self):
+        adf = valid_adf()
+        d = adf.links_dict()
+        assert d["h1"]["h2"] == 1.0 and d["h2"]["h1"] == 1.0
+
+    def test_links_dict_simplex(self):
+        adf = valid_adf()
+        adf.links = [LinkDecl("h1", "h2", duplex=False)]
+        d = adf.links_dict()
+        assert "h2" in d["h1"] and "h1" not in d["h2"]
+
+    def test_processes_on(self):
+        adf = valid_adf()
+        assert [p.proc_id for p in adf.processes_on("h1")] == ["0"]
+        assert adf.processes_on("h2") == []
+
+
+def hosts(n):
+    return [f"h{i}" for i in range(n)]
+
+
+class TestTopologyGenerators:
+    def check_connected(self, names, links):
+        adj = {h: {} for h in names}
+        for link in links:
+            adj[link.host_a][link.host_b] = link.cost
+            if link.duplex:
+                adj[link.host_b][link.host_a] = link.cost
+        assert RoutingTable(adj).is_connected()
+
+    def test_star(self):
+        links = star_links(hosts(5))
+        assert len(links) == 4
+        assert all(link.host_a == "h0" for link in links)
+        self.check_connected(hosts(5), links)
+
+    def test_ring(self):
+        links = ring_links(hosts(5))
+        assert len(links) == 5
+        self.check_connected(hosts(5), links)
+
+    def test_systolic_line(self):
+        links = systolic_links(hosts(4))
+        assert len(links) == 3
+        self.check_connected(hosts(4), links)
+
+    def test_mesh(self):
+        links = mesh_links(hosts(6), columns=3)
+        # 2x3 grid: 4 horizontal + 3 vertical
+        assert len(links) == 7
+        self.check_connected(hosts(6), links)
+
+    def test_ragged_mesh(self):
+        links = mesh_links(hosts(5), columns=2)
+        self.check_connected(hosts(5), links)
+
+    def test_cube(self):
+        links = cube_links(hosts(8))
+        assert len(links) == 12  # 3-cube
+        self.check_connected(hosts(8), links)
+
+    def test_cube_requires_power_of_two(self):
+        with pytest.raises(TopologyError):
+            cube_links(hosts(6))
+
+    def test_tree(self):
+        links = tree_links(hosts(7), fanout=2)
+        assert len(links) == 6
+        self.check_connected(hosts(7), links)
+
+    def test_fully_connected(self):
+        links = fully_connected_links(hosts(5))
+        assert len(links) == 10
+        self.check_connected(hosts(5), links)
+
+    def test_too_few_hosts(self):
+        with pytest.raises(TopologyError):
+            star_links(["only"])
+        with pytest.raises(TopologyError):
+            ring_links(hosts(2))
+
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(TopologyError):
+            star_links(["a", "a", "b"])
+
+    def test_custom_cost(self):
+        links = star_links(hosts(3), cost=4.0)
+        assert all(link.cost == 4.0 for link in links)
+
+
+class TestDefaults:
+    def test_system_default_is_valid(self):
+        system_default_adf(["a", "b", "c"]).validate()
+
+    def test_single_host_default(self):
+        adf = system_default_adf()
+        adf.validate()
+        assert adf.hosts[0].name == "localhost"
+        assert adf.links == []
+
+    def test_merge_fills_missing_sections(self):
+        partial = ADF(app="mine")
+        default = system_default_adf(["x", "y"])
+        merged = merge_with_default(partial, default)
+        assert merged.app == "mine"
+        assert merged.hosts == default.hosts
+        merged.validate()
+
+    def test_merge_keeps_declared_sections(self):
+        partial = ADF(app="mine", hosts=[HostDecl("special")])
+        merged = merge_with_default(partial, system_default_adf(["x"]))
+        assert merged.hosts[0].name == "special"
+
+    def test_merge_requires_some_app(self):
+        with pytest.raises(ADFError):
+            merge_with_default(ADF(app=""), ADF(app=""))

@@ -1,0 +1,170 @@
+"""Unit tests for the ADF text format, including the paper's own example."""
+
+import pytest
+
+from repro.adf.parser import evaluate_cost_expression, parse_adf
+from repro.errors import ADFSyntaxError
+
+#: The full example from section 4.3 of the paper, verbatim in structure.
+PAPER_ADF = """
+# Application Name
+APP invert
+
+HOSTS
+# Hosts              #Procs Arch  Cost
+glen-ellyn.iit.edu   1      sun4  1
+aurora.iit.edu       1      sun4  1
+joliet.iit.edu       1      sun4  1
+bonnie.mcs.anl.gov   128    sp1   sun4*0.5
+
+FOLDERS
+# Folder Location at
+0   glen-ellyn.iit.edu
+1   aurora.iit.edu
+2   joliet.iit.edu
+3-8 bonnie.mcs.anl.gov
+
+PROCESSES
+#Proc Directory Located at
+0    boss    glen-ellyn.iit.edu
+1    worker1 aurora.iit.edu
+2    worker1 joliet.iit.edu
+3-22 worker2 bonnie.mcs.anl.gov
+
+PPC
+# Point-to-Point Connection with cost
+glen-ellyn.iit.edu <-> aurora.iit.edu 1
+glen-ellyn.iit.edu <-> joliet.iit.edu 1
+glen-ellyn.iit.edu <-> bonnie.mcs.anl.gov 2
+"""
+
+
+class TestPaperExample:
+    def test_parses_and_validates(self):
+        adf = parse_adf(PAPER_ADF)
+        adf.validate()
+
+    def test_app_name(self):
+        assert parse_adf(PAPER_ADF).app == "invert"
+
+    def test_hosts(self):
+        adf = parse_adf(PAPER_ADF)
+        assert len(adf.hosts) == 4
+        bonnie = adf.hosts[3]
+        assert bonnie.name == "bonnie.mcs.anl.gov"
+        assert bonnie.num_procs == 128
+        assert bonnie.arch == "sp1"
+        assert bonnie.cost == pytest.approx(0.5)  # sun4*0.5
+
+    def test_sp1_power_dominates(self):
+        """128 procs at half cost → 256× a single Sparc's power."""
+        power = parse_adf(PAPER_ADF).host_power()
+        assert power["bonnie.mcs.anl.gov"] == pytest.approx(256.0)
+        assert power["glen-ellyn.iit.edu"] == pytest.approx(1.0)
+
+    def test_folder_range_expansion(self):
+        adf = parse_adf(PAPER_ADF)
+        assert len(adf.folders) == 9  # 0,1,2 + 3..8
+        assert [f.server_id for f in adf.folders[3:]] == ["3", "4", "5", "6", "7", "8"]
+        assert all(f.host == "bonnie.mcs.anl.gov" for f in adf.folders[3:])
+
+    def test_process_range_expansion(self):
+        adf = parse_adf(PAPER_ADF)
+        assert len(adf.processes) == 23  # 0,1,2 + 3..22
+        assert adf.processes[0].directory == "boss"
+        assert adf.processes[5].directory == "worker2"
+
+    def test_links(self):
+        adf = parse_adf(PAPER_ADF)
+        assert len(adf.links) == 3
+        sp1_link = adf.links[2]
+        assert sp1_link.cost == 2.0
+        assert sp1_link.duplex
+
+
+class TestCostExpressions:
+    def test_plain_number(self):
+        assert evaluate_cost_expression("2.5", {}) == 2.5
+
+    def test_arch_variable(self):
+        assert evaluate_cost_expression("sun4*0.5", {"sun4": 2.0}) == 1.0
+
+    def test_division_and_parens(self):
+        assert evaluate_cost_expression("(sun4+1)/2", {"sun4": 3.0}) == 2.0
+
+    def test_unary_minus(self):
+        assert evaluate_cost_expression("-2+3", {}) == 1.0
+
+    def test_precedence(self):
+        assert evaluate_cost_expression("1+2*3", {}) == 7.0
+
+    def test_unknown_variable(self):
+        with pytest.raises(ADFSyntaxError, match="architecture variable"):
+            evaluate_cost_expression("vax*2", {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ADFSyntaxError):
+            evaluate_cost_expression("1/0", {})
+
+    def test_garbage(self):
+        with pytest.raises(ADFSyntaxError):
+            evaluate_cost_expression("1 +* 2", {})
+
+    def test_arch_env_uses_first_host(self):
+        adf = parse_adf(
+            "APP a\nHOSTS\nh1 1 sun4 2\nh2 1 sun4 4\nh3 1 sp1 sun4*3\n"
+        )
+        assert adf.hosts[2].cost == 6.0  # first sun4 cost (2) × 3
+
+
+class TestSyntaxErrors:
+    def test_data_outside_section(self):
+        with pytest.raises(ADFSyntaxError, match="outside any section"):
+            parse_adf("host1 1 sun4 1\n")
+
+    def test_app_needs_one_name(self):
+        with pytest.raises(ADFSyntaxError):
+            parse_adf("APP one two\n")
+
+    def test_bad_host_line(self):
+        with pytest.raises(ADFSyntaxError, match="HOSTS line"):
+            parse_adf("APP a\nHOSTS\nonly-name\n")
+
+    def test_bad_proc_count(self):
+        with pytest.raises(ADFSyntaxError, match="#procs"):
+            parse_adf("APP a\nHOSTS\nh many sun4 1\n")
+
+    def test_bad_connector(self):
+        with pytest.raises(ADFSyntaxError, match="connector"):
+            parse_adf("APP a\nPPC\nh1 -- h2 1\n")
+
+    def test_descending_range(self):
+        with pytest.raises(ADFSyntaxError, match="descending"):
+            parse_adf("APP a\nFOLDERS\n8-3 h1\n")
+
+    def test_bad_link_cost(self):
+        with pytest.raises(ADFSyntaxError, match="cost"):
+            parse_adf("APP a\nPPC\nh1 <-> h2 fast\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ADFSyntaxError, match="line 3"):
+            parse_adf("APP a\nHOSTS\nbad line here also extra\n")
+
+
+class TestLexicalDetails:
+    def test_comments_anywhere(self):
+        adf = parse_adf("APP a # trailing comment\nHOSTS\nh 1 x 1 # note\n")
+        assert adf.app == "a"
+        assert adf.hosts[0].name == "h"
+
+    def test_blank_lines_ignored(self):
+        adf = parse_adf("\n\nAPP a\n\n\nHOSTS\nh 1 x 1\n\n")
+        assert len(adf.hosts) == 1
+
+    def test_simplex_link(self):
+        adf = parse_adf("APP a\nPPC\nh1 -> h2 3\n")
+        assert not adf.links[0].duplex
+
+    def test_default_link_cost(self):
+        adf = parse_adf("APP a\nPPC\nh1 <-> h2\n")
+        assert adf.links[0].cost == 1.0

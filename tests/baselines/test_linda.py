@@ -1,0 +1,120 @@
+"""Unit tests for the Linda tuple-space baseline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.linda import ANY, Formal, TupleSpace
+from repro.errors import MemoError
+
+
+@pytest.fixture
+def ts():
+    space = TupleSpace()
+    yield space
+    space.close()
+
+
+class TestOutIn:
+    def test_out_in_exact(self, ts):
+        ts.out("point", 1, 2)
+        assert ts.in_("point", 1, 2) == ("point", 1, 2)
+
+    def test_in_removes(self, ts):
+        ts.out("x", 1)
+        ts.in_("x", 1)
+        assert ts.inp("x", 1) is None
+
+    def test_rd_does_not_remove(self, ts):
+        ts.out("x", 1)
+        assert ts.rd("x", 1) == ("x", 1)
+        assert ts.inp("x", 1) == ("x", 1)
+
+    def test_empty_tuple_rejected(self, ts):
+        with pytest.raises(MemoError):
+            ts.out()
+
+    def test_in_blocks_until_out(self, ts):
+        out = []
+        t = threading.Thread(target=lambda: out.append(ts.in_("later", ANY)))
+        t.start()
+        time.sleep(0.05)
+        assert out == []
+        ts.out("later", 42)
+        t.join(timeout=5)
+        assert out == [("later", 42)]
+
+    def test_in_timeout(self, ts):
+        with pytest.raises(TimeoutError):
+            ts.in_("never", timeout=0.05)
+
+
+class TestMatching:
+    def test_formal_by_type(self, ts):
+        ts.out("job", 7, "payload")
+        assert ts.in_("job", Formal(int), Formal(str)) == ("job", 7, "payload")
+
+    def test_formal_type_mismatch(self, ts):
+        ts.out("job", "not-an-int")
+        assert ts.inp("job", Formal(int)) is None
+
+    def test_bool_not_int_formal(self, ts):
+        ts.out("flag", True)
+        assert ts.inp("flag", Formal(int)) is None
+        assert ts.inp("flag", Formal(bool)) == ("flag", True)
+
+    def test_wildcard(self, ts):
+        ts.out("anything", [1, 2], {"k": 1})
+        assert ts.in_("anything", ANY, ANY) == ("anything", [1, 2], {"k": 1})
+
+    def test_arity_must_match(self, ts):
+        ts.out("pair", 1, 2)
+        assert ts.inp("pair", ANY) is None
+        assert ts.inp("pair", ANY, ANY, ANY) is None
+
+    def test_actual_values_matched_by_equality(self, ts):
+        ts.out("v", (1, 2))
+        assert ts.inp("v", (1, 2)) == ("v", (1, 2))
+
+    def test_first_match_semantics_with_multiple(self, ts):
+        ts.out("t", 1)
+        ts.out("t", 2)
+        got = {ts.in_("t", ANY)[1], ts.in_("t", ANY)[1]}
+        assert got == {1, 2}
+
+
+class TestEval:
+    def test_live_tuple_becomes_passive(self, ts):
+        ts.eval(lambda a, b: ("sum", a + b), 2, 3)
+        assert ts.in_("sum", ANY, timeout=5) == ("sum", 5)
+
+    def test_non_tuple_result_wrapped(self, ts):
+        ts.eval(lambda: "bare")
+        assert ts.in_("bare", timeout=5) == ("bare",)
+
+    def test_join_evals(self, ts):
+        ts.eval(lambda: ("done",))
+        ts.join_evals(timeout=5)
+        assert ts.rdp("done") == ("done",)
+
+
+class TestMetrics:
+    def test_scan_count_grows_with_space(self, ts):
+        for i in range(100):
+            ts.out("filler", i)
+        ts.out("needle", -1)
+        before = ts.scan_count
+        ts.rd("needle", ANY)
+        assert ts.scan_count - before >= 100  # linear associative scan
+
+    def test_size(self, ts):
+        ts.out("a", 1)
+        ts.out("b", 2)
+        assert ts.size() == 2
+
+    def test_closed_space_rejects(self):
+        space = TupleSpace()
+        space.close()
+        with pytest.raises(MemoError):
+            space.out("x", 1)

@@ -1,0 +1,119 @@
+"""Unit tests for the Mentat macro-dataflow baseline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.mentat import MentatObject, MentatRuntime
+from repro.errors import MemoError
+
+
+class Adder(MentatObject):
+    def add(self, a, b):
+        return a + b
+
+    def slow_identity(self, x):
+        time.sleep(0.05)
+        return x
+
+    def boom(self):
+        raise ValueError("method failure")
+
+
+@pytest.fixture
+def runtime():
+    return MentatRuntime()
+
+
+class TestInvocation:
+    def test_async_result(self, runtime):
+        adder = Adder(runtime)
+        future = adder.invoke("add", 2, 3)
+        assert future.result(timeout=5) == 5
+
+    def test_invocation_is_asynchronous(self, runtime):
+        adder = Adder(runtime)
+        start = time.monotonic()
+        future = adder.invoke("slow_identity", "x")
+        assert time.monotonic() - start < 0.04  # returned before completion
+        assert future.result(timeout=5) == "x"
+
+    def test_unknown_method(self, runtime):
+        with pytest.raises(MemoError):
+            Adder(runtime).invoke("subtract", 1, 2)
+
+    def test_method_error_surfaces_at_result(self, runtime):
+        future = Adder(runtime).invoke("boom")
+        with pytest.raises(ValueError, match="method failure"):
+            future.result(timeout=5)
+
+    def test_result_timeout(self, runtime):
+        adder = Adder(runtime)
+        blocked = adder.invoke("slow_identity", adder.invoke("slow_identity", 1))
+        with pytest.raises(TimeoutError):
+            blocked.result(timeout=0.001)
+        assert blocked.result(timeout=5) == 1
+
+
+class TestMacroDataflow:
+    def test_future_arguments_chain(self, runtime):
+        adder = Adder(runtime)
+        f1 = adder.invoke("add", 1, 2)
+        f2 = adder.invoke("add", f1, 10)
+        f3 = adder.invoke("add", f2, f1)
+        assert f3.result(timeout=5) == 16
+        assert runtime.invocations == 3
+
+    def test_diamond_dependency(self, runtime):
+        adder = Adder(runtime)
+        src = adder.invoke("add", 1, 1)
+        left = adder.invoke("add", src, 10)
+        right = adder.invoke("add", src, 100)
+        join = adder.invoke("add", left, right)
+        assert join.result(timeout=5) == (2 + 10) + (2 + 100)
+
+    def test_independent_invocations_overlap(self, runtime):
+        """Coarse-grain parallelism: two objects run concurrently."""
+        a, b = Adder(runtime), Adder(runtime)
+        start = time.monotonic()
+        fa = a.invoke("slow_identity", "a")
+        fb = b.invoke("slow_identity", "b")
+        assert fa.result(timeout=5) == "a"
+        assert fb.result(timeout=5) == "b"
+        # Two 50 ms methods overlapped: well under 100 ms total.
+        assert time.monotonic() - start < 0.095
+
+    def test_one_object_serializes_methods(self, runtime):
+        """A Mentat object processes one method at a time."""
+        active = {"n": 0, "max": 0}
+        guard = threading.Lock()
+
+        class Probe(MentatObject):
+            def probe(self):
+                with guard:
+                    active["n"] += 1
+                    active["max"] = max(active["max"], active["n"])
+                time.sleep(0.01)
+                with guard:
+                    active["n"] -= 1
+
+        probe = Probe(runtime)
+        futures = [probe.invoke("probe") for _ in range(5)]
+        for f in futures:
+            f.result(timeout=5)
+        assert active["max"] == 1
+
+
+class TestPaperComparison:
+    def test_no_distribution_in_time(self, runtime):
+        """The gap D-Memo fills: a Mentat result reaches only the future's
+        holder — drop the future and the value is unreachable, unlike a
+        folder-resident memo."""
+        adder = Adder(runtime)
+        future = adder.invoke("add", 20, 22)
+        future.result(timeout=5)
+        del future
+        # No name, no folder, no way to re-fetch 42: nothing to assert
+        # except that the runtime holds no registry of results.
+        assert not hasattr(runtime, "results")

@@ -1,0 +1,130 @@
+"""Unit tests for the PVM message-passing baseline."""
+
+import pytest
+
+from repro.baselines.pvm import PVM, WILDCARD
+from repro.errors import MemoError
+
+
+@pytest.fixture
+def pvm():
+    vm = PVM()
+    vm.host_mailbox()
+    yield vm
+    vm.join_all(timeout=5)
+
+
+class TestSpawn:
+    def test_task_result(self, pvm):
+        h = pvm.spawn(lambda vm, tid: tid * 10)
+        assert h.join(5)
+        assert h.result() == h.tid * 10
+
+    def test_task_error_surfaces(self, pvm):
+        def bad(vm, tid):
+            raise ValueError("task bug")
+
+        h = pvm.spawn(bad)
+        h.join(5)
+        with pytest.raises(ValueError, match="task bug"):
+            h.result()
+
+    def test_distinct_tids(self, pvm):
+        tids = {pvm.spawn(lambda vm, tid: None).tid for _ in range(5)}
+        assert len(tids) == 5
+
+    def test_mytid_in_task(self, pvm):
+        h = pvm.spawn(lambda vm, tid: vm.mytid() == tid)
+        h.join(5)
+        assert h.result() is True
+
+    def test_host_is_tid_zero(self, pvm):
+        assert pvm.mytid() == 0
+
+
+class TestMessaging:
+    def test_send_recv(self, pvm):
+        def echo(vm, tid):
+            src, tag, data = vm.recv(tag=1)
+            vm.send(src, 2, data.upper())
+
+        h = pvm.spawn(echo)
+        pvm.send(h.tid, 1, "hello")
+        assert pvm.recv(tag=2, timeout=5) == (h.tid, 2, "HELLO")
+
+    def test_tag_selection_queues_nonmatching(self, pvm):
+        def sender(vm, tid):
+            vm.send(0, 5, "five")
+            vm.send(0, 6, "six")
+
+        pvm.spawn(sender).join(5)
+        # Ask for tag 6 first; the tag-5 message must not be lost.
+        assert pvm.recv(tag=6, timeout=5)[2] == "six"
+        assert pvm.recv(tag=5, timeout=5)[2] == "five"
+
+    def test_source_selection(self, pvm):
+        h1 = pvm.spawn(lambda vm, tid: vm.send(0, 1, "one"))
+        h2 = pvm.spawn(lambda vm, tid: vm.send(0, 1, "two"))
+        h1.join(5)
+        h2.join(5)
+        assert pvm.recv(src=h2.tid, timeout=5)[2] == "two"
+        assert pvm.recv(src=h1.tid, timeout=5)[2] == "one"
+
+    def test_wildcard_recv(self, pvm):
+        h = pvm.spawn(lambda vm, tid: vm.send(0, 9, "any"))
+        h.join(5)
+        src, tag, data = pvm.recv(WILDCARD, WILDCARD, timeout=5)
+        assert (src, tag, data) == (h.tid, 9, "any")
+
+    def test_send_to_unknown_tid(self, pvm):
+        with pytest.raises(MemoError, match="no task"):
+            pvm.send(999, 1, "lost")
+
+    def test_recv_timeout(self, pvm):
+        with pytest.raises(TimeoutError):
+            pvm.recv(tag=42, timeout=0.05)
+
+    def test_nrecv_none_when_empty(self, pvm):
+        assert pvm.nrecv(tag=13) is None
+
+    def test_mcast(self, pvm):
+        def collector(vm, tid):
+            return vm.recv(tag=3, timeout=5)[2]
+
+        handles = [pvm.spawn(collector) for _ in range(3)]
+        pvm.mcast([h.tid for h in handles], 3, "broadcasted")
+        for h in handles:
+            h.join(5)
+            assert h.result() == "broadcasted"
+
+    def test_messages_sent_counter(self, pvm):
+        h = pvm.spawn(lambda vm, tid: vm.recv(tag=1, timeout=5))
+        pvm.send(h.tid, 1, "x")
+        h.join(5)
+        assert pvm.messages_sent == 1
+
+
+class TestRingWorkload:
+    def test_token_ring(self, pvm):
+        """The classic PVM demo: pass a token around a ring of tasks."""
+        n = 4
+        handles = []
+
+        def ring_node(vm, tid):
+            src, tag, token = vm.recv(tag=10, timeout=10)
+            nxt = tag_map[tid]
+            vm.send(nxt, 10 if nxt != 0 else 11, token + 1)
+            return token
+
+        for _ in range(n):
+            handles.append(pvm.spawn(ring_node))
+        tag_map = {
+            handles[i].tid: (handles[i + 1].tid if i + 1 < n else 0)
+            for i in range(n)
+        }
+        pvm.send(handles[0].tid, 10, 0)
+        src, tag, token = pvm.recv(tag=11, timeout=10)
+        assert token == n
+        for i, h in enumerate(handles):
+            h.join(5)
+            assert h.result() == i

@@ -1,0 +1,65 @@
+"""Shared fixtures: small clusters over the in-memory fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
+
+
+@pytest.fixture
+def one_host_cluster():
+    """A single-host cluster with the app 'test' registered."""
+    adf = system_default_adf(["solo"], app="test")
+    with Cluster(adf, idle_timeout=0.5) as cluster:
+        cluster.register()
+        yield cluster
+
+
+@pytest.fixture
+def two_host_cluster():
+    """Two hosts, one folder server each, app 'test' registered."""
+    adf = system_default_adf(["alpha", "beta"], app="test")
+    with Cluster(adf, idle_timeout=0.5) as cluster:
+        cluster.register()
+        yield cluster
+
+
+@pytest.fixture
+def star_cluster():
+    """Four hosts in a star (hub 'hub'), heterogeneous powers."""
+    adf = ADF(app="test")
+    adf.hosts = [
+        HostDecl("hub", 1, "sun4", 1.0),
+        HostDecl("s1", 1, "sun4", 1.0),
+        HostDecl("s2", 2, "sun4", 1.0),
+        HostDecl("big", 8, "sp1", 0.5),
+    ]
+    adf.folders = [
+        FolderDecl("0", "hub"),
+        FolderDecl("1", "s1"),
+        FolderDecl("2", "s2"),
+        FolderDecl("3", "big"),
+    ]
+    adf.processes = [ProcessDecl("0", "boss", "hub")]
+    adf.links = [
+        LinkDecl("hub", "s1", 1.0),
+        LinkDecl("hub", "s2", 1.0),
+        LinkDecl("hub", "big", 2.0),
+    ]
+    with Cluster(adf, idle_timeout=0.5) as cluster:
+        cluster.register()
+        yield cluster
+
+
+@pytest.fixture
+def memo(one_host_cluster):
+    """A Memo API on the single-host cluster.
+
+    The owning cluster is attached as ``memo.cluster`` so tests can mint
+    sibling APIs (fresh connections) when a thread will block.
+    """
+    api = one_host_cluster.memo_api("solo", "test")
+    api.cluster = one_host_cluster
+    return api

@@ -1,0 +1,169 @@
+"""Unit tests for the Memo API primitives (paper section 6.1.2)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.api import NIL, Nil
+from repro.core.keys import Key, Symbol
+from repro.errors import MemoError
+from repro.transferable.scalars import Int32
+
+
+def key(i=0):
+    return Key(Symbol("k"), (i,))
+
+
+class TestNil:
+    def test_singleton(self):
+        assert Nil() is NIL
+
+    def test_falsy(self):
+        assert not NIL
+
+    def test_repr(self):
+        assert repr(NIL) == "NIL"
+
+
+class TestBasicFunctions:
+    def test_put_get(self, memo):
+        memo.put(key(), {"answer": 42})
+        assert memo.get(key()) == {"answer": 42}
+
+    def test_symbol_as_key(self, memo):
+        sym = memo.create_symbol()
+        memo.put(sym, "direct")
+        assert memo.get(sym) == "direct"
+
+    def test_invalid_key_type(self, memo):
+        with pytest.raises(MemoError, match="expected Key or Symbol"):
+            memo.put("stringkey", 1)
+
+    def test_get_blocks(self, memo):
+        out = []
+        t = threading.Thread(target=lambda: out.append(memo.get(key(5))))
+        t.start()
+        time.sleep(0.05)
+        assert out == []
+        # Separate API instance: the blocked one holds its connection.
+        memo2 = _sibling(memo)
+        memo2.put(key(5), "woke")
+        t.join(timeout=5)
+        assert out == ["woke"]
+
+    def test_get_copy_leaves_value(self, memo):
+        memo.put(key(), [1, 2])
+        assert memo.get_copy(key()) == [1, 2]
+        assert memo.get(key()) == [1, 2]
+
+    def test_get_copy_returns_fresh_object(self, memo):
+        memo.put(key(), [1, 2])
+        a = memo.get_copy(key())
+        b = memo.get_copy(key())
+        assert a == b and a is not b
+        memo.get(key())
+
+    def test_get_skip_empty(self, memo):
+        assert memo.get_skip(key(77)) is NIL
+
+    def test_get_skip_hit(self, memo):
+        memo.put(key(), "here")
+        assert memo.get_skip(key()) == "here"
+        assert memo.get_skip(key()) is NIL
+
+    def test_none_is_storable_and_distinct_from_nil(self, memo):
+        memo.put(key(), None)
+        got = memo.get_skip(key())
+        assert got is None and got is not NIL
+
+    def test_get_alt_immediate_hit(self, memo):
+        memo.put(key(2), "two")
+        found_key, value = memo.get_alt([key(1), key(2), key(3)], timeout=5)
+        assert found_key == key(2) and value == "two"
+
+    def test_get_alt_blocks_until_put(self, memo):
+        out = []
+
+        def getter():
+            out.append(memo.get_alt([key(1), key(2)], timeout=10))
+
+        t = threading.Thread(target=getter)
+        t.start()
+        time.sleep(0.05)
+        assert out == []
+        _sibling(memo).put(key(2), "finally")
+        t.join(timeout=10)
+        assert out and out[0][1] == "finally"
+
+    def test_get_alt_timeout(self, memo):
+        with pytest.raises(TimeoutError):
+            memo.get_alt([key(1)], timeout=0.1)
+
+    def test_get_alt_skip_nil(self, memo):
+        assert memo.get_alt_skip([key(1), key(2)]) is NIL
+
+    def test_get_alt_empty_keys_rejected(self, memo):
+        with pytest.raises(MemoError):
+            memo.get_alt_skip([])
+
+    def test_get_alt_nondeterministic_choice(self, memo):
+        """With several non-empty folders, different folders get picked."""
+        chosen = set()
+        for _ in range(30):
+            memo.put(key(1), "a", wait=True)
+            memo.put(key(2), "b", wait=True)
+            k, _v = memo.get_alt([key(1), key(2)], timeout=5)
+            chosen.add(k.index[0])
+            # Drain the other one.
+            memo.get_alt([key(1), key(2)], timeout=5)
+        assert chosen == {1, 2}
+
+
+class TestPutDelayed:
+    def test_dataflow_trigger(self, memo):
+        operand, jar = key(10), key(11)
+        memo.put_delayed(operand, jar, {"op": "fire"})
+        assert memo.get_skip(jar) is NIL
+        memo.put(operand, "data-arrived")
+        assert memo.get(jar) == {"op": "fire"}
+
+    def test_wait_variant(self, memo):
+        memo.put_delayed(key(1), key(2), "v", wait=True)
+        memo.put(key(1), "t", wait=True)
+        assert memo.get(key(2)) == "v"
+
+
+class TestTransferableValues:
+    def test_scalar_values(self, memo):
+        memo.put(key(), Int32(7))
+        assert memo.get(key()) == Int32(7)
+
+    def test_cyclic_value_through_folder(self, memo):
+        lst: list = ["cyc"]
+        lst.append(lst)
+        memo.put(key(), lst)
+        out = memo.get(key())
+        assert out[1] is out
+
+    def test_strict_domain_rejects_bare_int(self, one_host_cluster):
+        strict = one_host_cluster.memo_api("solo", "test", strict_domains=True)
+        from repro.errors import EncodingError
+
+        with pytest.raises(EncodingError):
+            strict.put(key(), 5)
+        strict.put(key(), Int32(5), wait=True)
+        assert strict.get(key()) == Int32(5)
+
+
+class TestDrain:
+    def test_drain_yields_all(self, memo):
+        for i in range(5):
+            memo.put(key(), i)
+        assert sorted(memo.drain(key())) == [0, 1, 2, 3, 4]
+        assert memo.get_skip(key()) is NIL
+
+
+def _sibling(memo):
+    """A second Memo on the same app/cluster (fresh connection)."""
+    return memo.cluster.memo_api("solo", memo.app, process_name="sibling")

@@ -1,0 +1,89 @@
+"""Unit tests for the dataflow support (paper section 6.3.3)."""
+
+import pytest
+
+from repro.core.api import NIL
+from repro.core.dataflow import DataflowGraph, when_available
+from repro.core.keys import Key
+from repro.errors import MemoError
+
+
+class TestWhenAvailable:
+    def test_paper_one_liner(self, memo):
+        """memo.put_delayed(operand, job_jar, operation)."""
+        operand = Key(memo.create_symbol("operand"))
+        jar = Key(memo.create_symbol("jar"))
+        when_available(memo, operand, jar, {"op": "add"})
+        assert memo.get_skip(jar) is NIL
+        memo.put(operand, 42)
+        assert memo.get(jar) == {"op": "add"}
+
+
+class TestDataflowGraph:
+    def test_single_node(self, memo):
+        g = DataflowGraph(memo)
+        g.node("y", ("x",), lambda x: x * 2)
+        g.feed("x", 21)
+        assert g.run(["y"]) == {"y": 42}
+
+    def test_diamond(self, memo):
+        g = DataflowGraph(memo)
+        g.node("b", ("a",), lambda a: a + 1)
+        g.node("c", ("a",), lambda a: a * 10)
+        g.node("d", ("b", "c"), lambda b, c: b + c)
+        g.feed("a", 5)
+        out = g.run(["d"])
+        assert out == {"d": 56}
+
+    def test_chain(self, memo):
+        g = DataflowGraph(memo)
+        g.node("s1", ("src",), lambda v: v + "1")
+        g.node("s2", ("s1",), lambda v: v + "2")
+        g.node("s3", ("s2",), lambda v: v + "3")
+        g.feed("src", "x")
+        assert g.run(["s3"])["s3"] == "x123"
+
+    def test_constant_node(self, memo):
+        g = DataflowGraph(memo)
+        g.node("k", (), lambda: 7)
+        assert g.run(["k"])["k"] == 7
+
+    def test_multiple_outputs(self, memo):
+        g = DataflowGraph(memo)
+        g.node("a", ("x",), lambda x: x + 1)
+        g.node("b", ("x",), lambda x: x - 1)
+        g.feed("x", 10)
+        assert g.run(["a", "b"]) == {"a": 11, "b": 9}
+
+    def test_feed_after_declaration(self, memo):
+        g = DataflowGraph(memo)
+        g.node("y", ("x",), lambda x: -x)
+        g.feed("x", 3)
+        assert g.run(["y"])["y"] == -3
+
+    def test_duplicate_node_rejected(self, memo):
+        g = DataflowGraph(memo)
+        g.node("n", (), lambda: 1)
+        with pytest.raises(MemoError, match="already declared"):
+            g.node("n", (), lambda: 2)
+
+    def test_unknown_output_rejected(self, memo):
+        g = DataflowGraph(memo)
+        with pytest.raises(MemoError, match="unknown"):
+            g.run(["nope"])
+
+    def test_unconverged_raises(self, memo):
+        g = DataflowGraph(memo)
+        g.node("y", ("never-fed",), lambda x: x)
+        g._name_ids.setdefault("never-fed", len(g._name_ids) + 1)
+        with pytest.raises(MemoError, match="converge"):
+            g.run(["y"], max_steps=50)
+
+    def test_fires_once_per_node(self, memo):
+        calls = []
+        g = DataflowGraph(memo)
+        g.node("y", ("a", "b"), lambda a, b: calls.append(1) or a + b)
+        g.feed("a", 1)
+        g.feed("b", 2)
+        assert g.run(["y"])["y"] == 3
+        assert len(calls) == 1

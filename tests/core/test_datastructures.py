@@ -1,0 +1,220 @@
+"""Unit tests for the section-6.2 shared data structures."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.api import NIL
+from repro.core.datastructures import (
+    Future,
+    IStructure,
+    JobJar,
+    NamedObject,
+    SharedArray,
+    UnorderedQueue,
+)
+from repro.errors import MemoError
+
+
+class TestNamedObject:
+    def test_store_peek_take(self, memo):
+        obj = NamedObject(memo)
+        obj.store({"state": 1}, wait=True)
+        assert obj.peek() == {"state": 1}
+        assert obj.take() == {"state": 1}
+        assert obj.try_take() is NIL
+
+    def test_take_locks(self, memo):
+        """While taken, other accessors see an empty folder (implicit lock)."""
+        obj = NamedObject(memo)
+        obj.store("v", wait=True)
+        held = obj.take()
+        assert obj.try_take() is NIL
+        obj.store(held, wait=True)
+        assert obj.try_take() == "v"
+
+
+class TestSharedArray:
+    def test_paper_2d_example(self, memo):
+        """a[i,j] stored under key (a, (i, j, 0)) — section 6.2.2."""
+        arr = SharedArray(memo, (3, 3))
+        arr[1, 2] = "cell"
+        key = arr.key_of(1, 2)
+        assert key.index == (1, 2, 0)
+        assert arr[1, 2] == "cell"
+
+    def test_1d(self, memo):
+        arr = SharedArray(memo, (4,))
+        arr[2] = 20
+        assert arr[2] == 20
+
+    def test_take_removes(self, memo):
+        arr = SharedArray(memo, (2,))
+        arr[0] = "x"
+        assert arr.take(0) == "x"
+        assert memo.get_skip(arr.key_of(0)) is NIL
+
+    def test_bounds_checked(self, memo):
+        arr = SharedArray(memo, (2, 2))
+        with pytest.raises(MemoError, match="out of bounds"):
+            arr.key_of(2, 0)
+        with pytest.raises(MemoError, match="indices"):
+            arr.key_of(0)
+
+    def test_bad_shape(self, memo):
+        with pytest.raises(MemoError):
+            SharedArray(memo, ())
+        with pytest.raises(MemoError):
+            SharedArray(memo, (0,))
+
+    def test_fill_row_major(self, memo):
+        arr = SharedArray(memo, (2, 2))
+        arr.fill(["a", "b", "c", "d"])
+        assert [arr[0, 0], arr[0, 1], arr[1, 0], arr[1, 1]] == ["a", "b", "c", "d"]
+
+
+class TestUnorderedQueue:
+    def test_enqueue_dequeue(self, memo):
+        q = UnorderedQueue(memo)
+        q.enqueue("item", wait=True)
+        assert q.dequeue() == "item"
+
+    def test_try_dequeue_empty(self, memo):
+        assert UnorderedQueue(memo).try_dequeue() is NIL
+
+    def test_drain(self, memo):
+        q = UnorderedQueue(memo)
+        for i in range(4):
+            q.enqueue(i)
+        assert sorted(q.drain()) == [0, 1, 2, 3]
+
+    def test_multiset_semantics(self, memo):
+        q = UnorderedQueue(memo)
+        for v in ("x", "x", "y"):
+            q.enqueue(v)
+        assert sorted(q.drain()) == ["x", "x", "y"]
+
+
+class TestJobJar:
+    def test_common_jar(self, memo):
+        common = memo.create_symbol("common")
+        jar = JobJar(memo, common)
+        jar.add({"task": 1}, wait=True)
+        assert jar.take_any(timeout=5) == {"task": 1}
+
+    def test_private_preferred_or_common(self, memo):
+        common = memo.create_symbol("common")
+        private = memo.create_symbol("private")
+        jar = JobJar(memo, common, private)
+        jar.add_private("mine", wait=True)
+        jar.add("anyone", wait=True)
+        got = {jar.take_any(timeout=5), jar.take_any(timeout=5)}
+        assert got == {"mine", "anyone"}
+
+    def test_no_private_jar_rejects_add_private(self, memo):
+        jar = JobJar(memo, memo.create_symbol("c"))
+        with pytest.raises(MemoError):
+            jar.add_private("x")
+
+    def test_try_take_any_empty(self, memo):
+        jar = JobJar(memo, memo.create_symbol("c"))
+        assert jar.try_take_any() is NIL
+
+    def test_workers_split_work(self, memo):
+        """Two workers drain a common jar; every task done exactly once."""
+        common = memo.create_symbol("common")
+        boss_jar = JobJar(memo, common)
+        for i in range(20):
+            boss_jar.add(i)
+        memo.flush()
+        done = []
+        lock = threading.Lock()
+
+        def worker():
+            api = memo.cluster.memo_api("solo", memo.app)
+            jar = JobJar(api, common)
+            while True:
+                task = jar.try_take_any()
+                if task is NIL:
+                    return
+                with lock:
+                    done.append(task)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(done) == list(range(20))
+
+
+class TestFuture:
+    def test_resolve_wait(self, memo):
+        f = Future(memo)
+        f.resolve(99, wait=True)
+        assert f.wait() == 99
+        assert f.wait() == 99  # wait() leaves it resolved
+
+    def test_claim_consumes_and_folder_vanishes(self, memo):
+        f = Future(memo)
+        f.resolve("once", wait=True)
+        assert f.claim() == "once"
+        assert memo.get_skip(f.key) is NIL
+
+    def test_is_resolved(self, memo):
+        f = Future(memo)
+        assert not f.is_resolved()
+        f.resolve(1, wait=True)
+        assert f.is_resolved()
+        assert f.wait() == 1  # probe restored the value
+
+    def test_consumer_blocks_until_producer(self, memo):
+        f = Future(memo)
+        out = []
+        t = threading.Thread(target=lambda: out.append(f.wait()))
+        t.start()
+        time.sleep(0.05)
+        assert out == []
+        producer = memo.cluster.memo_api("solo", memo.app)
+        Future(producer, symbol=f.symbol).resolve("produced")
+        t.join(timeout=5)
+        assert out == ["produced"]
+
+    def test_then_schedules_into_job_jar(self, memo):
+        """The non-blocking consumer idiom of section 6.2.5."""
+        from repro.core.keys import Key
+
+        f = Future(memo)
+        jar_key = Key(memo.create_symbol("jar"))
+        f.then(jar_key, {"run": "op1"})
+        assert memo.get_skip(jar_key) is NIL
+        f.resolve("data", wait=True)
+        assert memo.get(jar_key) == {"run": "op1"}
+
+
+class TestIStructure:
+    def test_slot_assignment(self, memo):
+        ist = IStructure(memo, 4)
+        ist[2] = "slot2"
+        assert ist[2] == "slot2"
+
+    def test_gather_blocks_until_all_assigned(self, memo):
+        ist = IStructure(memo, 3)
+        out = []
+        t = threading.Thread(target=lambda: out.append(ist.gather()))
+        t.start()
+        writer_api = memo.cluster.memo_api("solo", memo.app)
+        writer = IStructure(writer_api, 3, symbol=ist.symbol)
+        for i in range(3):
+            time.sleep(0.02)
+            writer[i] = i * 10
+        t.join(timeout=5)
+        assert out == [[0, 10, 20]]
+
+    def test_bounds(self, memo):
+        ist = IStructure(memo, 2)
+        with pytest.raises(MemoError):
+            ist.key_of(2)
+        with pytest.raises(MemoError):
+            IStructure(memo, 0)

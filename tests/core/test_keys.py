@@ -1,0 +1,138 @@
+"""Unit tests for symbols, keys, and folder names (section 6.1.1)."""
+
+import pytest
+
+from repro.core.keys import FolderName, Key, Symbol, SymbolFactory
+from repro.errors import MemoError
+from repro.transferable.wire import decode, encode
+
+
+class TestSymbol:
+    def test_equality_by_name(self):
+        assert Symbol("a") == Symbol("a")
+        assert Symbol("a") != Symbol("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MemoError):
+            Symbol("")
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(MemoError):
+            Symbol("has/slash")
+        with pytest.raises(MemoError):
+            Symbol("has\x00nul")
+
+    def test_call_builds_key(self):
+        s = Symbol("arr")
+        assert s(1, 2) == Key(s, (1, 2))
+
+    def test_transferable(self):
+        assert decode(encode(Symbol("x"))) == Symbol("x")
+
+
+class TestSymbolFactory:
+    def test_unique_within_factory(self):
+        f = SymbolFactory("proc1")
+        assert f.create() != f.create()
+
+    def test_unique_across_scopes(self):
+        a = SymbolFactory("proc1").create()
+        b = SymbolFactory("proc2").create()
+        assert a != b
+
+    def test_hint_embedded(self):
+        assert SymbolFactory("p").create("jar").name.startswith("jar.")
+
+    def test_thread_safety(self):
+        import threading
+
+        f = SymbolFactory("p")
+        out = []
+        lock = threading.Lock()
+
+        def mint():
+            for _ in range(200):
+                s = f.create()
+                with lock:
+                    out.append(s.name)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(out) == len(set(out)) == 800
+
+
+class TestKey:
+    def test_paper_array_key_construction(self):
+        """Section 6.2.2: key.S = a; key.X = [i, j, 0]."""
+        a = Symbol("a")
+        key = Key(a, (3, 4, 0))
+        assert key.symbol == a
+        assert key.index == (3, 4, 0)
+
+    def test_list_index_coerced_to_tuple(self):
+        assert Key(Symbol("s"), [1, 2]).index == (1, 2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MemoError):
+            Key(Symbol("s"), (-1,))
+
+    def test_oversized_index_rejected(self):
+        with pytest.raises(MemoError):
+            Key(Symbol("s"), (1 << 64,))
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(MemoError):
+            Key(Symbol("s"), ("one",))
+        with pytest.raises(MemoError):
+            Key(Symbol("s"), (True,))
+
+    def test_hashable_and_equal(self):
+        assert Key(Symbol("s"), (1,)) == Key(Symbol("s"), (1,))
+        assert len({Key(Symbol("s"), (1,)), Key(Symbol("s"), (1,))}) == 1
+
+    def test_canonical_is_stable_and_injective(self):
+        seen = {}
+        for i in range(50):
+            for j in range(5):
+                key = Key(Symbol(f"sym{j}"), (i,))
+                blob = key.canonical()
+                assert blob == key.canonical()
+                assert blob not in seen
+                seen[blob] = key
+
+    def test_canonical_distinguishes_index_from_name(self):
+        # symbol "a" with index (1,) vs symbol "a\x001"-ish collisions
+        k1 = Key(Symbol("a"), (1,))
+        k2 = Key(Symbol("a"), (1, 0))
+        assert k1.canonical() != k2.canonical()
+
+    def test_str(self):
+        assert str(Key(Symbol("arr"), (1, 2))) == "arr[1,2]"
+        assert str(Key(Symbol("plain"))) == "plain"
+
+    def test_transferable(self):
+        key = Key(Symbol("k"), (9, 8))
+        assert decode(encode(key)) == key
+
+
+class TestFolderName:
+    def test_app_prefix_distinguishes(self):
+        key = Key(Symbol("k"))
+        assert FolderName("app1", key) != FolderName("app2", key)
+        assert FolderName("app1", key).canonical() != FolderName(
+            "app2", key
+        ).canonical()
+
+    def test_empty_app_rejected(self):
+        with pytest.raises(MemoError):
+            FolderName("", Key(Symbol("k")))
+
+    def test_transferable(self):
+        f = FolderName("app", Key(Symbol("k"), (1,)))
+        assert decode(encode(f)) == f
+
+    def test_str(self):
+        assert str(FolderName("inv", Key(Symbol("q"), (2,)))) == "inv:q[2]"

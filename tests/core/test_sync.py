@@ -1,0 +1,183 @@
+"""Unit tests for the section-6.3 synchronization mechanisms."""
+
+import threading
+
+import pytest
+
+from repro.core.api import NIL
+from repro.core.sync import MemoBarrier, MemoLock, MemoSemaphore, SharedRecord
+from repro.errors import MemoError
+
+
+class TestSharedRecord:
+    def test_update_cycle(self, memo):
+        rec = SharedRecord(memo)
+        rec.initialize({"count": 0})
+        with rec.update() as cell:
+            cell[0] = {"count": cell[0]["count"] + 1}
+        assert rec.read() == {"count": 1}
+
+    def test_implicit_lock_during_update(self, memo):
+        rec = SharedRecord(memo)
+        rec.initialize("v")
+        with rec.update():
+            # Folder is empty while updating — the implicit lock.
+            assert memo.get_skip(rec.key) is NIL
+
+    def test_record_restored_on_exception(self, memo):
+        rec = SharedRecord(memo)
+        rec.initialize(5)
+        with pytest.raises(ValueError):
+            with rec.update():
+                raise ValueError("boom")
+        assert rec.read() == 5
+
+    def test_concurrent_increments_never_lost(self, memo):
+        rec = SharedRecord(memo)
+        rec.initialize(0)
+
+        def bump(n):
+            api = memo.cluster.memo_api("solo", memo.app)
+            r = SharedRecord(api, symbol=rec.symbol)
+            for _ in range(n):
+                with r.update() as cell:
+                    cell[0] = cell[0] + 1
+
+        threads = [threading.Thread(target=bump, args=(25,)) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert rec.read() == 100
+
+
+class TestMemoLock:
+    def test_acquire_release(self, memo):
+        lock = MemoLock(memo)
+        lock.initialize()
+        lock.acquire()
+        lock.release()
+
+    def test_mutual_exclusion(self, memo):
+        lock = MemoLock(memo)
+        lock.initialize()
+        counter = {"n": 0}
+
+        def work():
+            api = memo.cluster.memo_api("solo", memo.app)
+            lk = MemoLock(api, symbol=lock.symbol)
+            for _ in range(30):
+                with lk:
+                    v = counter["n"]
+                    counter["n"] = v + 1
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert counter["n"] == 90
+
+
+class TestMemoSemaphore:
+    def test_counting(self, memo):
+        sem = MemoSemaphore(memo)
+        sem.initialize(2)
+        sem.down()
+        sem.down()
+        # Now empty — up() then down() succeeds again.
+        sem.up()
+        sem.down()
+        sem.up()
+
+    def test_initialized_with_n_memos(self, memo):
+        """Section 6.3.2: 'initialized with as many memos as needed'."""
+        sem = MemoSemaphore(memo)
+        sem.initialize(3)
+        drained = list(memo.drain(sem.key))
+        assert len(drained) == 3
+
+    def test_negative_permits_rejected(self, memo):
+        with pytest.raises(MemoError):
+            MemoSemaphore(memo).initialize(-1)
+
+    def test_bounds_concurrency(self, memo):
+        sem = MemoSemaphore(memo)
+        sem.initialize(2)
+        active = {"n": 0, "max": 0}
+        guard = threading.Lock()
+
+        def work():
+            api = memo.cluster.memo_api("solo", memo.app)
+            s = MemoSemaphore(api, symbol=sem.symbol)
+            for _ in range(5):
+                with s:
+                    with guard:
+                        active["n"] += 1
+                        active["max"] = max(active["max"], active["n"])
+                    with guard:
+                        active["n"] -= 1
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert active["max"] <= 2
+
+
+class TestMemoBarrier:
+    def test_parties_rendezvous(self, memo):
+        barrier = MemoBarrier(memo, parties=3)
+        barrier.initialize()
+        arrived = []
+        released = []
+        guard = threading.Lock()
+
+        def party(i):
+            api = memo.cluster.memo_api("solo", memo.app)
+            b = MemoBarrier(api, parties=3, symbol=barrier.symbol)
+            with guard:
+                arrived.append(i)
+            gen = b.wait()
+            with guard:
+                released.append((i, gen))
+
+        threads = [threading.Thread(target=party, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(released) == 3
+        assert {g for _i, g in released} == {0}
+
+    def test_reusable_generations(self, memo):
+        barrier = MemoBarrier(memo, parties=2)
+        barrier.initialize()
+        gens = []
+        guard = threading.Lock()
+
+        def party():
+            api = memo.cluster.memo_api("solo", memo.app)
+            b = MemoBarrier(api, parties=2, symbol=barrier.symbol)
+            for _ in range(3):
+                g = b.wait()
+                with guard:
+                    gens.append(g)
+
+        threads = [threading.Thread(target=party) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+    def test_single_party_no_block(self, memo):
+        barrier = MemoBarrier(memo, parties=1)
+        barrier.initialize()
+        assert barrier.wait() == 0
+        assert barrier.wait() == 1
+
+    def test_invalid_parties(self, memo):
+        with pytest.raises(MemoError):
+            MemoBarrier(memo, parties=0)

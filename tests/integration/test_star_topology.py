@@ -1,0 +1,100 @@
+"""Integration on the heterogeneous star fixture (hub + 2 workstations +
+one 8×-power machine), exercising spoke-to-spoke traffic through the hub."""
+
+import threading
+
+import pytest
+
+from repro.core.api import NIL
+from repro.core.keys import FolderName, Key, Symbol
+
+
+def key(i):
+    return Key(Symbol("s"), (i,))
+
+
+class TestStarRouting:
+    def test_spoke_to_spoke_via_hub(self, star_cluster):
+        """s1 and s2 have no direct link; traffic relays through the hub."""
+        memo_s1 = star_cluster.memo_api("s1", "test", "p1")
+        memo_s2 = star_cluster.memo_api("s2", "test", "p2")
+        for i in range(30):
+            memo_s1.put(key(i), f"v{i}", wait=True)
+        for i in range(30):
+            assert memo_s2.get(key(i)) == f"v{i}"
+        hub_stats = star_cluster.stats()["hub"]
+        assert hub_stats["memo.forwards_relayed"] > 0
+
+    def test_big_host_owns_most_folders(self, star_cluster):
+        reg = star_cluster.servers["hub"].registration("test")
+        owned = {"hub": 0, "s1": 0, "s2": 0, "big": 0}
+        for i in range(800):
+            _sid, owner = reg.placement.place_host(
+                FolderName("test", Key(Symbol("probe"), (i,)))
+            )
+            owned[owner] += 1
+        # big: 8 procs at half cost = power 16, but behind a cost-2 link.
+        assert owned["big"] == max(owned.values())
+        assert owned["big"] > 800 * 0.4
+
+    def test_get_alt_under_contention(self, star_cluster):
+        """Several consumers racing get_alt over shared folders: every memo
+        delivered exactly once, no duplicates, no losses."""
+        n_items = 40
+        keys = [key(100 + i) for i in range(8)]
+        producer = star_cluster.memo_api("hub", "test", "producer")
+        received: list = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def consumer(host, cid):
+            memo = star_cluster.memo_api(host, "test", f"c{cid}")
+            while not done.is_set():
+                hit = memo.get_alt_skip(keys)
+                if hit is NIL:
+                    continue
+                with lock:
+                    received.append(hit[1])
+                    if len(received) >= n_items:
+                        done.set()
+
+        threads = [
+            threading.Thread(target=consumer, args=(host, i))
+            for i, host in enumerate(["s1", "s2", "big", "hub"])
+        ]
+        for t in threads:
+            t.start()
+        for i in range(n_items):
+            producer.put(keys[i % len(keys)], i)
+        producer.flush()
+        done.wait(timeout=60)
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(received) == list(range(n_items))
+
+    def test_barrier_across_four_hosts(self, star_cluster):
+        from repro.core.sync import MemoBarrier
+
+        init_memo = star_cluster.memo_api("hub", "test", "init")
+        barrier = MemoBarrier(init_memo, parties=4)
+        barrier.initialize()
+        generations = []
+        lock = threading.Lock()
+
+        def party(host):
+            memo = star_cluster.memo_api(host, "test", f"party-{host}")
+            b = MemoBarrier(memo, parties=4, symbol=barrier.symbol)
+            for _ in range(2):
+                g = b.wait()
+                with lock:
+                    generations.append(g)
+
+        threads = [
+            threading.Thread(target=party, args=(h,))
+            for h in ("hub", "s1", "s2", "big")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert sorted(generations) == [0, 0, 0, 0, 1, 1, 1, 1]

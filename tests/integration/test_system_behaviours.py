@@ -1,0 +1,174 @@
+"""Integration tests for cross-cutting system behaviours."""
+
+import threading
+import time
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.adf.model import ADF, FolderDecl, HostDecl, ProcessDecl
+from repro.adf.topology import ring_links
+from repro.core.api import NIL
+from repro.core.keys import Key, Symbol
+from repro.sim.netsim import LatencyModel
+
+
+def key(name, *idx):
+    return Key(Symbol(name), tuple(idx))
+
+
+class TestMultiHopRouting:
+    """A ring forces multi-hop forwarding (no direct link between far hosts)."""
+
+    @pytest.fixture
+    def ring_cluster(self):
+        hosts = [f"r{i}" for i in range(5)]
+        adf = ADF(app="ring")
+        adf.hosts = [HostDecl(h) for h in hosts]
+        adf.folders = [FolderDecl(str(i), h) for i, h in enumerate(hosts)]
+        adf.processes = [ProcessDecl("0", "boss", hosts[0])]
+        adf.links = ring_links(hosts)
+        with Cluster(adf, idle_timeout=0.5) as cluster:
+            cluster.register()
+            yield cluster
+
+    def test_all_folders_reachable_from_any_host(self, ring_cluster):
+        memo0 = ring_cluster.memo_api("r0", "ring", "p0")
+        memo3 = ring_cluster.memo_api("r3", "ring", "p3")
+        for i in range(25):
+            memo0.put(key("data", i), i, wait=True)
+        for i in range(25):
+            assert memo3.get(key("data", i)) == i
+
+    def test_forwarding_relays_happen(self, ring_cluster):
+        memo0 = ring_cluster.memo_api("r0", "ring")
+        for i in range(40):
+            memo0.put(key("spread", i), i, wait=True)
+        stats = ring_cluster.stats()
+        relayed = sum(s["memo.forwards_relayed"] for s in stats.values())
+        assert relayed > 0  # some folder is ≥2 hops away on a 5-ring
+
+    def test_no_routing_loops(self, ring_cluster):
+        memo = ring_cluster.memo_api("r2", "ring")
+        for i in range(40):
+            memo.put(key("loopcheck", i), i, wait=True)
+            assert memo.get(key("loopcheck", i)) == i
+        assert all(
+            s["memo.errors"] == 0 for s in ring_cluster.stats().values()
+        )
+
+
+class TestLatencySimulation:
+    def test_remote_roundtrip_slower_than_local(self):
+        adf = system_default_adf(["near", "far"], app="lat")
+        adf.links[0] = type(adf.links[0])("near", "far", cost=5.0)
+        with Cluster(adf, latency=LatencyModel(0, 0.004)) as cluster:
+            cluster.register()
+            memo = cluster.memo_api("near", "lat")
+            # Find keys owned locally vs remotely via placement.
+            reg = cluster.servers["near"].registration("lat")
+            local_key = remote_key = None
+            for i in range(50):
+                _sid, owner = reg.placement.place_host(
+                    _fname("lat", "probe", i)
+                )
+                if owner == "near" and local_key is None:
+                    local_key = key("probe", i)
+                if owner == "far" and remote_key is None:
+                    remote_key = key("probe", i)
+            assert local_key is not None and remote_key is not None
+
+            def timed_roundtrip(k):
+                start = time.monotonic()
+                memo.put(k, 1, wait=True)
+                memo.get(k)
+                return time.monotonic() - start
+
+            local_t = min(timed_roundtrip(local_key) for _ in range(3))
+            remote_t = min(timed_roundtrip(remote_key) for _ in range(3))
+            # Remote crosses a 20 ms-per-message link four+ times.
+            assert remote_t > local_t + 0.02
+
+
+def _fname(app, name, *idx):
+    from repro.core.keys import FolderName
+
+    return FolderName(app, key(name, *idx))
+
+
+class TestDelayedReleaseAcrossHosts:
+    def test_put_delayed_release_to_remote_folder(self, two_host_cluster):
+        """The release target may hash to a different host; the folder
+        server's emit_put callback routes it through the memo server."""
+        memo = two_host_cluster.memo_api("alpha", "test")
+        reg = two_host_cluster.servers["alpha"].registration("test")
+        # Find a trigger/destination pair owned by different hosts.
+        trigger = dest = None
+        for i in range(100):
+            _sid, owner = reg.placement.place_host(_fname("test", "dr", i))
+            if owner == "alpha" and trigger is None:
+                trigger = key("dr", i)
+            elif owner == "beta" and dest is None:
+                dest = key("dr", i)
+            if trigger is not None and dest is not None:
+                break
+        assert trigger is not None and dest is not None
+        memo.put_delayed(trigger, dest, "travels", wait=True)
+        memo.put(trigger, "arrival", wait=True)
+        assert memo.get(dest) == "travels"
+
+
+class TestManyClients:
+    def test_concurrent_producers_consumers(self, two_host_cluster):
+        """8 producers and 8 consumers hammer one queue; nothing lost."""
+        n_each = 8
+        per_producer = 25
+        total = n_each * per_producer
+        received = []
+        lock = threading.Lock()
+
+        def producer(pid):
+            memo = two_host_cluster.memo_api("alpha", "test", f"prod{pid}")
+            for i in range(per_producer):
+                memo.put(key("stream"), (pid, i))
+            memo.flush()
+
+        def consumer(cid):
+            memo = two_host_cluster.memo_api("beta", "test", f"cons{cid}")
+            while True:
+                with lock:
+                    if len(received) >= total:
+                        return
+                item = memo.get_skip(key("stream"))
+                if item is NIL:
+                    time.sleep(0.005)
+                    continue
+                with lock:
+                    received.append(item)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,)) for i in range(n_each)
+        ] + [threading.Thread(target=consumer, args=(i,)) for i in range(n_each)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert sorted(received) == sorted(
+            (p, i) for p in range(n_each) for i in range(per_producer)
+        )
+
+
+class TestThreadCacheUnderLoad:
+    def test_connections_reuse_cached_threads(self):
+        adf = system_default_adf(["host"], app="tc")
+        with Cluster(adf, idle_timeout=5.0) as cluster:
+            cluster.register()
+            # Sequential short-lived connections: later ones should hit the cache.
+            for i in range(6):
+                memo = cluster.memo_api("host", "tc", f"p{i}")
+                memo.put(key("ping"), i, wait=True)
+                memo.get(key("ping"))
+                memo.client.close()
+                time.sleep(0.02)
+            stats = cluster.stats()["host"]
+            assert stats["cache.cache_hits"] > 0

@@ -1,0 +1,201 @@
+"""Unit tests for the Lucid lexer, parser, and demand-driven evaluator."""
+
+import pytest
+
+from repro.errors import MemoError
+from repro.languages.lucid import (
+    LocalCache,
+    LucidEvaluator,
+    MemoCache,
+    parse_program,
+    tokenize,
+)
+from repro.languages.lucid.lexer import LucidSyntaxError
+from repro.languages.lucid.parser import parse_expression
+from repro.languages.lucid import ast
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("x = 1 fby x + 2.5; // note")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert ("ident", "x") in kinds
+        assert ("kw", "fby") in kinds
+        assert ("num", "2.5") in kinds
+        assert all(t.text != "note" for t in toks)
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks] == [1, 2, 3]
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <= b >= c == d != e")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<=", ">=", "==", "!="]
+
+    def test_bad_character(self):
+        with pytest.raises(LucidSyntaxError):
+            tokenize("x = @")
+
+
+class TestParser:
+    def test_fby_binds_loosest(self):
+        expr = parse_expression("0 fby n + 1")
+        assert isinstance(expr, ast.Fby)
+        assert isinstance(expr.tail, ast.BinOp)
+
+    def test_fby_right_associative(self):
+        expr = parse_expression("1 fby 2 fby 3")
+        assert isinstance(expr, ast.Fby)
+        assert isinstance(expr.tail, ast.Fby)
+
+    def test_precedence_arith(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_if_then_else(self):
+        expr = parse_expression("if a > 0 then a else 0 - a")
+        assert isinstance(expr, ast.If)
+
+    def test_unary_chain(self):
+        expr = parse_expression("not not true")
+        assert isinstance(expr, ast.UnOp) and isinstance(expr.operand, ast.UnOp)
+
+    def test_first_next(self):
+        assert isinstance(parse_expression("first x"), ast.First)
+        assert isinstance(parse_expression("next x"), ast.Next)
+
+    def test_whenever_asa(self):
+        assert isinstance(parse_expression("x whenever p"), ast.Whenever)
+        assert isinstance(parse_expression("x asa p"), ast.Asa)
+
+    def test_parens(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_program_requires_semicolons(self):
+        with pytest.raises(LucidSyntaxError):
+            parse_program("x = 1")
+
+    def test_duplicate_equation_rejected(self):
+        with pytest.raises(LucidSyntaxError, match="duplicate"):
+            parse_program("x = 1; x = 2;")
+
+    def test_undefined_reference_rejected(self):
+        with pytest.raises(LucidSyntaxError, match="undefined"):
+            parse_program("result = ghost;")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(LucidSyntaxError):
+            parse_program("   ")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(LucidSyntaxError):
+            parse_expression("1 + 2 extra")
+
+
+class TestEvaluator:
+    def test_natural_numbers(self):
+        prog = parse_program("result = 0 fby result + 1;")
+        assert LucidEvaluator(prog).run(6) == [0, 1, 2, 3, 4, 5]
+
+    def test_fibonacci(self):
+        prog = parse_program(
+            "fib = 0 fby nf; nf = 1 fby fib + nf; result = fib;"
+        )
+        assert LucidEvaluator(prog).run(8) == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_factorial(self):
+        prog = parse_program(
+            "n = 1 fby n + 1; result = 1 fby result * n;"
+        )
+        assert LucidEvaluator(prog).run(6) == [1, 1, 2, 6, 24, 120]
+
+    def test_first_and_next(self):
+        prog = parse_program("n = 0 fby n + 1; result = first next n;")
+        assert LucidEvaluator(prog).run(3) == [1, 1, 1]
+
+    def test_pointwise_if(self):
+        prog = parse_program(
+            "n = 0 fby n + 1; result = if n % 2 == 0 then n else 0 - n;"
+        )
+        assert LucidEvaluator(prog).run(5) == [0, -1, 2, -3, 4]
+
+    def test_whenever_filters(self):
+        prog = parse_program(
+            "n = 0 fby n + 1; result = n whenever n % 3 == 0;"
+        )
+        assert LucidEvaluator(prog).run(4) == [0, 3, 6, 9]
+
+    def test_asa(self):
+        prog = parse_program(
+            "n = 0 fby n + 1; result = n asa n * n > 10;"
+        )
+        # first n with n² > 10 is 4; asa is that constant stream
+        assert LucidEvaluator(prog).run(3) == [4, 4, 4]
+
+    def test_boolean_stream(self):
+        prog = parse_program(
+            "n = 0 fby n + 1; result = n > 1 and n < 4;"
+        )
+        assert LucidEvaluator(prog).run(5) == [False, False, True, True, False]
+
+    def test_running_sum(self):
+        prog = parse_program(
+            "n = 1 fby n + 1; result = n fby result + next n;"
+        )
+        # partial sums 1, 3, 6, 10 ...
+        assert LucidEvaluator(prog).run(4) == [1, 3, 6, 10]
+
+    def test_division_by_zero(self):
+        prog = parse_program("result = 1 / 0;")
+        with pytest.raises(MemoError, match="division"):
+            LucidEvaluator(prog).run(1)
+
+    def test_negative_time_rejected(self):
+        prog = parse_program("result = 1;")
+        with pytest.raises(MemoError):
+            LucidEvaluator(prog).value_of("result", -1)
+
+    def test_whenever_never_true(self):
+        prog = parse_program("result = 1 whenever false;")
+        ev = LucidEvaluator(prog)
+        # Patch the scan limit down so the test is fast.
+        import repro.languages.lucid.evaluator as mod
+
+        old = mod._MAX_WHENEVER_SCAN
+        mod._MAX_WHENEVER_SCAN = 200
+        try:
+            with pytest.raises(MemoError, match="fewer than"):
+                ev.run(1)
+        finally:
+            mod._MAX_WHENEVER_SCAN = old
+
+    def test_local_cache_hit_accounting(self):
+        prog = parse_program("n = 0 fby n + 1; result = n + n;")
+        cache = LocalCache()
+        LucidEvaluator(prog, cache).run(5)
+        assert cache.hits > 0
+
+
+class TestMemoCacheIntegration:
+    def test_evaluation_over_dmemo(self, memo):
+        """The memo table lives in folders; results still correct."""
+        prog = parse_program("result = 0 fby result + 2;")
+        ev = LucidEvaluator(prog, MemoCache(memo))
+        assert ev.run(5) == [0, 2, 4, 6, 8]
+
+    def test_two_evaluators_share_results(self, memo):
+        prog = parse_program("result = 0 fby result + 1;")
+        cache1 = MemoCache(memo, hint="shared")
+        ev1 = LucidEvaluator(prog, cache1)
+        ev1.run(10)
+        # Second evaluator on the same folders: pure cache hits.
+        api2 = memo.cluster.memo_api("solo", memo.app)
+        cache2 = MemoCache(api2, hint="shared")
+        cache2._sym = cache1._sym  # same folder namespace
+        cache2._var_ids = dict(cache1._var_ids)
+        ev2 = LucidEvaluator(prog, cache2)
+        assert ev2.run(10) == list(range(10))
+        assert cache2.misses == 0

@@ -1,0 +1,225 @@
+"""Unit tests for every locking derivation against the common contract."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import LockingError, LockTimeoutError, NotOwnerError
+from repro.locking import (
+    CountingSemaphore,
+    FileLock,
+    MutexLock,
+    ReaderWriterLock,
+    RLockLock,
+    SpinLock,
+    available_lock_kinds,
+    lock_factory,
+)
+
+CONTRACT_LOCKS = [MutexLock, SpinLock, FileLock, RLockLock]
+
+
+@pytest.mark.parametrize("lock_cls", CONTRACT_LOCKS)
+class TestContract:
+    """The section-3.1.4 contract, run against every derivation."""
+
+    def test_acquire_release(self, lock_cls):
+        lock = lock_cls()
+        assert lock.acquire() is True
+        lock.release()
+
+    def test_trylock_fails_when_held(self, lock_cls):
+        lock = lock_cls()
+        lock.acquire()
+        holder_result = []
+
+        def other():
+            holder_result.append(lock.acquire(timeout=0))
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert holder_result == [False]
+        lock.release()
+
+    def test_timeout_raises(self, lock_cls):
+        lock = lock_cls()
+        lock.acquire()
+        failures = []
+
+        def other():
+            try:
+                lock.acquire(timeout=0.05)
+            except LockTimeoutError:
+                failures.append(True)
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert failures == [True]
+        lock.release()
+
+    def test_context_manager(self, lock_cls):
+        lock = lock_cls()
+        with lock:
+            assert lock.acquire(timeout=0) is False or lock_cls is RLockLock
+            if lock_cls is RLockLock:
+                lock.release()  # undo the reentrant acquire
+
+    def test_mutual_exclusion_under_contention(self, lock_cls):
+        lock = lock_cls()
+        counter = {"n": 0}
+
+        def work():
+            for _ in range(200):
+                lock.acquire()
+                v = counter["n"]
+                counter["n"] = v + 1
+                lock.release()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["n"] == 800
+
+
+class TestOwnership:
+    @pytest.mark.parametrize("lock_cls", [MutexLock, SpinLock, FileLock])
+    def test_release_by_non_owner_rejected(self, lock_cls):
+        lock = lock_cls()
+        lock.acquire()
+        errors = []
+
+        def intruder():
+            try:
+                lock.release()
+            except NotOwnerError:
+                errors.append(True)
+
+        t = threading.Thread(target=intruder)
+        t.start()
+        t.join()
+        assert errors == [True]
+        lock.release()
+
+    def test_rlock_is_reentrant(self):
+        lock = RLockLock()
+        lock.acquire()
+        assert lock.acquire(timeout=0) is True
+        lock.release()
+        lock.release()
+
+    def test_rlock_release_unheld(self):
+        with pytest.raises(NotOwnerError):
+            RLockLock().release()
+
+
+class TestSemaphore:
+    def test_permits(self):
+        sem = CountingSemaphore(2)
+        assert sem.acquire(timeout=0)
+        assert sem.acquire(timeout=0)
+        assert not sem.acquire(timeout=0)
+        sem.release()
+        assert sem.acquire(timeout=0)
+        sem.release()
+        sem.release()
+        assert sem.value == 2
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(LockingError):
+            CountingSemaphore(-1)
+
+    def test_ceiling_enforced(self):
+        sem = CountingSemaphore(1, max_value=1)
+        with pytest.raises(LockingError):
+            sem.release()
+
+    def test_blocking_handoff(self):
+        sem = CountingSemaphore(0)
+        got = []
+
+        def waiter():
+            sem.acquire()
+            got.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        assert got == []
+        sem.release()
+        t.join(timeout=2)
+        assert got == [True]
+
+
+class TestReaderWriter:
+    def test_concurrent_readers(self):
+        rw = ReaderWriterLock()
+        assert rw.acquire_read() and rw.acquire_read()
+        rw.release_read()
+        rw.release_read()
+
+    def test_writer_excludes_readers(self):
+        rw = ReaderWriterLock()
+        rw.acquire_write()
+        assert rw.acquire_read(timeout=0.02) is False
+        rw.release_write()
+        assert rw.acquire_read()
+        rw.release_read()
+
+    def test_writer_waits_for_readers(self):
+        rw = ReaderWriterLock()
+        rw.acquire_read()
+        assert rw.acquire_write(timeout=0.02) is False
+        rw.release_read()
+        assert rw.acquire_write()
+        rw.release_write()
+
+    def test_writer_preference_blocks_new_readers(self):
+        rw = ReaderWriterLock()
+        rw.acquire_read()
+        state = {}
+
+        def writer():
+            state["w"] = rw.acquire_write(timeout=2)
+            rw.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)  # writer is now queued
+        assert rw.acquire_read(timeout=0.02) is False  # reader must wait
+        rw.release_read()
+        t.join()
+        assert state["w"] is True
+
+    def test_unbalanced_release_rejected(self):
+        rw = ReaderWriterLock()
+        with pytest.raises(LockingError):
+            rw.release_read()
+        with pytest.raises(LockingError):
+            rw.release_write()
+
+    def test_lockbase_views(self):
+        rw = ReaderWriterLock()
+        with rw.reader:
+            pass
+        with rw.writer:
+            pass
+
+
+class TestFactory:
+    def test_known_kinds_registered(self):
+        kinds = available_lock_kinds()
+        for kind in ("mutex", "spin", "file", "semaphore", "rlock"):
+            assert kind in kinds
+
+    def test_factory_dispatch(self):
+        lock = lock_factory("spin")
+        assert isinstance(lock, SpinLock)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LockingError):
+            lock_factory("quantum")

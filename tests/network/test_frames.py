@@ -1,0 +1,102 @@
+"""Unit tests for framing: integrity, fragmentation, reassembly."""
+
+import io
+
+import pytest
+
+from repro.errors import ConnectionClosedError, FrameError
+from repro.network.frames import (
+    HEADER,
+    encode_frames,
+    frame_overhead,
+    read_frame,
+    write_frame,
+)
+
+
+def stream_reader(data: bytes):
+    """recv_exact over an in-memory byte stream."""
+    buf = io.BytesIO(data)
+
+    def recv_exact(n: int) -> bytes:
+        out = buf.read(n)
+        if len(out) != n:
+            raise ConnectionClosedError("stream ended")
+        return out
+
+    return recv_exact
+
+
+def roundtrip(payload: bytes, max_fragment: int = 1 << 20) -> bytes:
+    wire = b"".join(encode_frames(payload, max_fragment))
+    return read_frame(stream_reader(wire))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("payload", [b"", b"x", b"hello world", bytes(range(256))])
+    def test_single_frame(self, payload):
+        assert roundtrip(payload) == payload
+
+    def test_large_payload(self):
+        payload = bytes(i % 251 for i in range(1_000_000))
+        assert roundtrip(payload) == payload
+
+    def test_write_frame_returns_total_bytes(self):
+        sent = []
+        total = write_frame(sent.append, b"abcdef")
+        assert total == sum(len(s) for s in sent)
+        assert total == frame_overhead() + 6
+
+
+class TestFragmentation:
+    def test_fragment_count(self):
+        frames = encode_frames(b"x" * 1000, max_fragment=300)
+        assert len(frames) == 4  # 300+300+300+100
+
+    def test_fragmented_reassembly(self):
+        payload = bytes(range(256)) * 10
+        wire = b"".join(encode_frames(payload, max_fragment=100))
+        assert read_frame(stream_reader(wire)) == payload
+
+    def test_more_flag_set_on_all_but_last(self):
+        frames = encode_frames(b"x" * 250, max_fragment=100)
+        flags = [HEADER.unpack(f[: HEADER.size])[1] for f in frames]
+        assert flags == [1, 1, 0]
+
+    def test_exact_multiple_boundary(self):
+        payload = b"x" * 200
+        assert roundtrip(payload, max_fragment=100) == payload
+
+    def test_invalid_fragment_size(self):
+        with pytest.raises(FrameError):
+            encode_frames(b"x", max_fragment=0)
+
+    def test_two_messages_back_to_back(self):
+        wire = b"".join(encode_frames(b"first")) + b"".join(encode_frames(b"second"))
+        recv = stream_reader(wire)
+        assert read_frame(recv) == b"first"
+        assert read_frame(recv) == b"second"
+
+
+class TestIntegrity:
+    def test_bad_magic(self):
+        wire = bytearray(b"".join(encode_frames(b"data")))
+        wire[0] = ord("X")
+        with pytest.raises(FrameError, match="magic"):
+            read_frame(stream_reader(bytes(wire)))
+
+    def test_corrupt_payload_detected(self):
+        wire = bytearray(b"".join(encode_frames(b"data")))
+        wire[-1] ^= 0xFF
+        with pytest.raises(FrameError, match="checksum"):
+            read_frame(stream_reader(bytes(wire)))
+
+    def test_truncated_header(self):
+        wire = b"".join(encode_frames(b"data"))[:5]
+        with pytest.raises(ConnectionClosedError):
+            read_frame(stream_reader(wire))
+
+    def test_truncated_payload(self):
+        wire = b"".join(encode_frames(b"data"))[:-2]
+        with pytest.raises(ConnectionClosedError):
+            read_frame(stream_reader(wire))

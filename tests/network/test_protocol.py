@@ -1,0 +1,99 @@
+"""Unit tests for the typed protocol messages and their wire transfer."""
+
+import pytest
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.errors import ProtocolError
+from repro.network.connection import Address
+from repro.network.protocol import (
+    ForwardEnvelope,
+    GetAltSkipRequest,
+    GetRequest,
+    PutDelayedRequest,
+    PutRequest,
+    RegisterRequest,
+    Reply,
+    ShutdownRequest,
+    StatsRequest,
+    recv_message,
+    send_message,
+)
+from repro.network.transport import InMemoryTransport, NetworkFabric
+from repro.transferable.wire import decode, encode
+
+
+def folder(name="f", app="app"):
+    return FolderName(app, Key(Symbol(name), (1, 2)))
+
+
+class TestMessageEncoding:
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            PutRequest(folder(), b"payload", "proc1"),
+            PutDelayedRequest(folder("a"), folder("b"), b"x", "p"),
+            GetRequest(folder(), mode="copy", origin="p"),
+            GetAltSkipRequest(folders=(folder("a"), folder("b"))),
+            RegisterRequest(
+                app="inv",
+                links={"h1": {"h2": 1.0}, "h2": {"h1": 1.0}},
+                host_costs={"h1": 1.0, "h2": 2.0},
+                folder_servers=(("0", "h1"), ("1", "h2")),
+            ),
+            StatsRequest("p"),
+            ShutdownRequest("p"),
+            ForwardEnvelope("inv", "h2", b"inner", trail=("h1",)),
+            Reply(ok=True, found=True, payload=b"v", folder=folder()),
+            Reply(ok=False, error="boom"),
+        ],
+    )
+    def test_roundtrip(self, msg):
+        assert decode(encode(msg)) == msg
+
+    def test_get_mode_validated(self):
+        with pytest.raises(ProtocolError):
+            GetRequest(folder(), mode="peek")
+
+    def test_get_alt_requires_folders(self):
+        with pytest.raises(ProtocolError):
+            GetAltSkipRequest(folders=())
+
+    def test_reply_stats_dict(self):
+        msg = Reply(ok=True, stats={"memo.requests": 5})
+        assert decode(encode(msg)).stats == {"memo.requests": 5}
+
+
+class TestOverConnection:
+    def test_send_recv_message(self):
+        fabric = NetworkFabric()
+        transport = InMemoryTransport(fabric, "h")
+        listener = transport.listen(Address("h", 1))
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2)
+
+        sent = PutRequest(folder(), b"data", "me")
+        size = send_message(client, sent)
+        assert size > 0
+        received = recv_message(server, timeout=2)
+        assert received == sent
+
+        send_message(server, Reply(ok=True, found=True, payload=b"data"))
+        reply = recv_message(client, timeout=2)
+        assert isinstance(reply, Reply) and reply.found
+
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_non_protocol_message_rejected(self):
+        fabric = NetworkFabric()
+        transport = InMemoryTransport(fabric, "h")
+        listener = transport.listen(Address("h", 1))
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2)
+        client.send(encode({"not": "a protocol message"}))
+        with pytest.raises(ProtocolError):
+            recv_message(server, timeout=2)
+        client.close()
+        server.close()
+        listener.close()

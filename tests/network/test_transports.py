@@ -1,0 +1,176 @@
+"""Unit tests for the in-memory and TCP transports against the Connection
+contract — the same test body runs over both media, which *is* the paper's
+portability claim for the communication foundation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import CommunicationError, ConnectionClosedError
+from repro.network.connection import Address
+from repro.network.tcp import TCPTransport
+from repro.network.transport import InMemoryTransport, NetworkFabric
+
+
+def make_memory():
+    fabric = NetworkFabric()
+    t = InMemoryTransport(fabric, "hostA")
+    listener = t.listen(Address("hostA", 1))
+    return t, listener, fabric
+
+
+def make_tcp():
+    t = TCPTransport()
+    listener = t.listen(Address("hostA", 0))
+    return t, listener, None
+
+
+@pytest.fixture(params=[make_memory, make_tcp], ids=["memory", "tcp"])
+def channel(request):
+    transport, listener, fabric = request.param()
+    client = transport.connect(listener.address)
+    server = listener.accept(timeout=5)
+    yield client, server, fabric
+    client.close()
+    server.close()
+    listener.close()
+
+
+class TestConnectionContract:
+    def test_send_recv(self, channel):
+        client, server, _ = channel
+        client.send(b"ping")
+        assert server.recv(timeout=5) == b"ping"
+        server.send(b"pong")
+        assert client.recv(timeout=5) == b"pong"
+
+    def test_ordering_preserved(self, channel):
+        client, server, _ = channel
+        for i in range(50):
+            client.send(f"msg{i}".encode())
+        for i in range(50):
+            assert server.recv(timeout=5) == f"msg{i}".encode()
+
+    def test_large_message(self, channel):
+        client, server, _ = channel
+        payload = bytes(i % 256 for i in range(500_000))
+        client.send(payload)
+        assert server.recv(timeout=10) == payload
+
+    def test_empty_message(self, channel):
+        client, server, _ = channel
+        client.send(b"")
+        assert server.recv(timeout=5) == b""
+
+    def test_recv_timeout(self, channel):
+        client, _server, _ = channel
+        with pytest.raises(TimeoutError):
+            client.recv(timeout=0.05)
+
+    def test_close_wakes_peer(self, channel):
+        client, server, _ = channel
+        errors = []
+
+        def waiter():
+            try:
+                server.recv(timeout=5)
+            except ConnectionClosedError:
+                errors.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        client.close()
+        t.join(timeout=5)
+        assert errors == [True]
+
+    def test_send_after_close_rejected(self, channel):
+        client, _server, _ = channel
+        client.close()
+        with pytest.raises(ConnectionClosedError):
+            client.send(b"late")
+
+    def test_closed_property(self, channel):
+        client, _server, _ = channel
+        assert not client.closed
+        client.close()
+        assert client.closed
+
+
+class TestListener:
+    def test_accept_timeout(self):
+        _t, listener, _ = make_memory()
+        with pytest.raises(TimeoutError):
+            listener.accept(timeout=0.05)
+        listener.close()
+
+    def test_connect_to_closed_listener(self):
+        t, listener, _ = make_memory()
+        listener.close()
+        with pytest.raises(ConnectionClosedError):
+            t.connect(listener.address)
+
+    def test_duplicate_bind_rejected(self):
+        fabric = NetworkFabric()
+        t = InMemoryTransport(fabric, "h")
+        listener = t.listen(Address("h", 1))
+        with pytest.raises(CommunicationError):
+            t.listen(Address("h", 1))
+        listener.close()
+
+    def test_tcp_dynamic_port_assigned(self):
+        t = TCPTransport()
+        listener = t.listen(Address("x", 0))
+        assert listener.address.port > 0
+        listener.close()
+
+    def test_tcp_connect_refused(self):
+        t = TCPTransport()
+        with pytest.raises(ConnectionClosedError):
+            t.connect(Address("x", 1))  # port 1: nothing listening
+
+
+class TestFabricSimulation:
+    def test_latency_applied(self):
+        fabric = NetworkFabric()
+        fabric.set_latency("hostA", "hostB", 0.08)
+        ta = InMemoryTransport(fabric, "hostA")
+        tb = InMemoryTransport(fabric, "hostB")
+        listener = tb.listen(Address("hostB", 1))
+        client = ta.connect(listener.address)
+        server = listener.accept(timeout=2)
+        start = time.monotonic()
+        client.send(b"slow")
+        assert server.recv(timeout=2) == b"slow"
+        assert time.monotonic() - start >= 0.07
+
+    def test_same_host_zero_latency(self):
+        fabric = NetworkFabric()
+        fabric.set_latency("hostA", "hostB", 0.5)
+        assert fabric.latency("hostA", "hostA") == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(CommunicationError):
+            NetworkFabric().set_latency("a", "b", -1)
+
+    def test_traffic_accounting(self):
+        _t, listener, fabric = make_memory()
+        t2 = InMemoryTransport(fabric, "hostB")
+        client = t2.connect(listener.address)
+        server = listener.accept(timeout=2)
+        client.send(b"12345")
+        server.recv(timeout=2)
+        traffic = fabric.traffic()
+        assert traffic[("hostB", "hostA")].messages == 1
+        assert traffic[("hostB", "hostA")].bytes == 5
+
+    def test_reset_traffic(self):
+        _t, listener, fabric = make_memory()
+        client = InMemoryTransport(fabric, "hostB").connect(listener.address)
+        client.send(b"x")
+        fabric.reset_traffic()
+        assert fabric.traffic() == {}
+
+    def test_broadcast_counter_starts_zero(self):
+        assert NetworkFabric().broadcast_count == 0

@@ -1,0 +1,114 @@
+"""Property tests: ADF write → parse is the identity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
+from repro.adf.parser import parse_adf
+from repro.adf.writer import write_adf
+
+# Host/program names: the text format splits on whitespace and strips '#'
+# comments, so names exclude both.
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-_",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.startswith("-") and "--" not in s)
+
+costs = st.one_of(
+    st.integers(1, 1000).map(float),
+    st.floats(0.001, 1000.0, allow_nan=False).map(lambda x: float(repr(x))),
+)
+
+
+@st.composite
+def adfs(draw) -> ADF:
+    host_names = draw(st.lists(names, min_size=1, max_size=5, unique=True))
+    adf = ADF(app=draw(names))
+    adf.hosts = [
+        HostDecl(
+            name,
+            draw(st.integers(1, 256)),
+            draw(names),
+            draw(costs),
+        )
+        for name in host_names
+    ]
+    n_folders = draw(st.integers(1, 6))
+    adf.folders = [
+        FolderDecl(str(i), draw(st.sampled_from(host_names)))
+        for i in range(n_folders)
+    ]
+    n_procs = draw(st.integers(0, 6))
+    adf.processes = [
+        ProcessDecl(str(i), draw(names), draw(st.sampled_from(host_names)))
+        for i in range(n_procs)
+    ]
+    if len(host_names) > 1:
+        n_links = draw(st.integers(0, 6))
+        for _ in range(n_links):
+            pair = draw(st.lists(st.sampled_from(host_names), min_size=2, max_size=2, unique=True))
+            adf.links.append(
+                LinkDecl(pair[0], pair[1], draw(costs), draw(st.booleans()))
+            )
+    return adf
+
+
+@given(adfs())
+@settings(max_examples=150, deadline=None)
+def test_write_parse_roundtrip(adf):
+    """parse(write(adf)) reproduces every section exactly."""
+    parsed = parse_adf(write_adf(adf))
+    assert parsed.app == adf.app
+    assert parsed.hosts == adf.hosts
+    assert parsed.folders == adf.folders
+    assert parsed.processes == adf.processes
+    assert parsed.links == adf.links
+
+
+@given(adfs())
+@settings(max_examples=50, deadline=None)
+def test_write_is_stable(adf):
+    """Writing a parsed ADF reproduces the same text (canonical form)."""
+    once = write_adf(adf)
+    again = write_adf(parse_adf(once))
+    assert once == again
+
+
+def test_paper_example_roundtrip():
+    """The section-4.3 example survives parse → write → parse."""
+    from tests.adf.test_parser import PAPER_ADF
+
+    first = parse_adf(PAPER_ADF)
+    second = parse_adf(write_adf(first))
+    assert second.app == first.app
+    assert second.hosts == first.hosts
+    assert second.folders == first.folders
+    assert second.processes == first.processes
+    assert second.links == first.links
+
+
+def test_written_file_launches(tmp_path):
+    """A programmatically written ADF drives the real launcher."""
+    from repro import ProgramRegistry, run_application, system_default_adf
+    from repro.adf.parser import parse_adf_file
+    from repro.adf.writer import write_adf_file
+
+    adf = system_default_adf(["m1", "m2"], app="written")
+    path = tmp_path / "written.adf"
+    write_adf_file(adf, str(path))
+    loaded = parse_adf_file(str(path))
+    loaded.validate()
+
+    registry = ProgramRegistry()
+
+    @registry.register("boss")
+    def boss(memo, ctx):
+        return "ran"
+
+    @registry.register("worker")
+    def worker(memo, ctx):
+        return ctx.host
+
+    results = run_application(loaded, registry, timeout=60)
+    assert results["0"] == "ran"
+    assert {results["1"], results["2"]} == {"m1", "m2"}

@@ -1,0 +1,136 @@
+"""Stateful property test: the folder server against a multiset model.
+
+Hypothesis drives random sequences of put / get_skip / get_copy /
+put_delayed / get_alt_skip operations against a live FolderServer and a
+trivial reference model (dict of multisets + delayed parking lots).  Any
+divergence — lost memo, phantom memo, wrong delayed-release semantics,
+broken vanish bookkeeping — fails with a minimized counterexample.
+"""
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.core.memo import MemoRecord
+from repro.servers.folder_server import FolderServer
+
+FOLDER_IDS = list(range(4))
+
+
+def fname(i: int) -> FolderName:
+    return FolderName("app", Key(Symbol("f"), (i,)))
+
+
+class FolderServerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.fs = FolderServer("0")
+        # model: folder id -> Counter of values
+        self.model: dict[int, Counter] = {i: Counter() for i in FOLDER_IDS}
+        # model of delayed parking: folder id -> list[(value, dest id)]
+        self.delayed: dict[int, list[tuple[int, int]]] = {
+            i: [] for i in FOLDER_IDS
+        }
+
+    def teardown(self) -> None:
+        if hasattr(self, "fs"):
+            self.fs.shutdown()
+
+    # -- operations --------------------------------------------------------
+
+    def _model_arrival(self, folder: int) -> None:
+        """An arrival releases parked memos; each release is itself an
+        arrival in its destination folder, so releases cascade (the server
+        implements a release as an ordinary put — paper section 6.1.2)."""
+        pending = [folder]
+        while pending:
+            f = pending.pop()
+            released, self.delayed[f] = self.delayed[f], []
+            for dvalue, dest in released:
+                self.model[dest][dvalue] += 1
+                pending.append(dest)
+
+    @rule(folder=st.sampled_from(FOLDER_IDS), value=st.integers(0, 99))
+    def put(self, folder: int, value: int) -> None:
+        self.fs.put(fname(folder), MemoRecord.from_value(value))
+        self.model[folder][value] += 1
+        self._model_arrival(folder)
+
+    @rule(
+        folder=st.sampled_from(FOLDER_IDS),
+        dest=st.sampled_from(FOLDER_IDS),
+        value=st.integers(100, 199),
+    )
+    def put_delayed(self, folder: int, dest: int, value: int) -> None:
+        self.fs.put_delayed(
+            fname(folder), fname(dest), MemoRecord.from_value(value)
+        )
+        self.delayed[folder].append((value, dest))
+
+    @rule(folder=st.sampled_from(FOLDER_IDS))
+    def get_skip(self, folder: int) -> None:
+        record = self.fs.get_skip(fname(folder))
+        if record is None:
+            assert sum(self.model[folder].values()) == 0, (
+                f"server says folder {folder} empty; model has "
+                f"{dict(self.model[folder])}"
+            )
+        else:
+            value = record.value()
+            assert self.model[folder][value] > 0, (
+                f"server produced {value!r} not in model {dict(self.model[folder])}"
+            )
+            self.model[folder][value] -= 1
+
+    @rule(folder=st.sampled_from(FOLDER_IDS))
+    def get_copy_nonblocking(self, folder: int) -> None:
+        # Only probe when the model says a memo exists (copy blocks on empty).
+        if sum(self.model[folder].values()) == 0:
+            return
+        record = self.fs.get_copy(fname(folder), timeout=5)
+        assert self.model[folder][record.value()] > 0
+
+    @rule(a=st.sampled_from(FOLDER_IDS), b=st.sampled_from(FOLDER_IDS))
+    def get_alt_skip(self, a: int, b: int) -> None:
+        hit = self.fs.get_alt_skip((fname(a), fname(b)))
+        if hit is None:
+            assert sum(self.model[a].values()) == 0
+            assert sum(self.model[b].values()) == 0
+        else:
+            name, record = hit
+            folder = name.key.index[0]
+            assert folder in (a, b)
+            value = record.value()
+            assert self.model[folder][value] > 0
+            self.model[folder][value] -= 1
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def memo_counts_match(self) -> None:
+        if not hasattr(self, "fs"):
+            return
+        expected = sum(sum(c.values()) for c in self.model.values())
+        assert self.fs.memo_count() == expected
+
+    @invariant()
+    def stats_are_consistent(self) -> None:
+        if not hasattr(self, "fs"):
+            return
+        stats = self.fs.stats
+        assert stats.folders_created >= stats.folders_vanished
+
+
+TestFolderServerStateful = FolderServerMachine.TestCase
+TestFolderServerStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,121 @@
+"""Property-based tests: transferable round-trips and domain laws."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transferable.domains import DOMAINS
+from repro.transferable.scalars import Int16, Int32, Int64, UInt32
+from repro.transferable.wire import decode, encode
+
+# -- value strategies -----------------------------------------------------------
+
+scalars = st.one_of(
+    st.builds(Int16, st.integers(-(1 << 15), (1 << 15) - 1)),
+    st.builds(Int32, st.integers(-(1 << 31), (1 << 31) - 1)),
+    st.builds(Int64, st.integers(-(1 << 63), (1 << 63) - 1)),
+    st.builds(UInt32, st.integers(0, (1 << 32) - 1)),
+)
+
+leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    scalars,
+)
+
+hashable_leaves = st.one_of(
+    st.booleans(), st.integers(), st.text(max_size=10), scalars
+)
+
+values = st.recursive(
+    leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.tuples(children, children),
+        st.dictionaries(hashable_leaves, children, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+@given(values)
+@settings(max_examples=200, deadline=None)
+def test_wire_roundtrip_is_identity(obj):
+    assert decode(encode(obj)) == obj
+
+
+@given(values)
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_deterministic(obj):
+    assert encode(obj) == encode(obj)
+
+
+@given(st.integers())
+def test_int_domain_partition(v):
+    """Every int is either contained or rejected, consistently with bounds."""
+    for name in ("int8", "int16", "int32", "int64"):
+        d = DOMAINS[name]
+        assert d.contains(v) == (d.lo <= v <= d.hi)
+
+
+@given(st.integers(-(1 << 63), (1 << 63) - 1))
+def test_int64_pack_unpack_identity(v):
+    d = DOMAINS["int64"]
+    assert d.unpack(d.pack(v)) == v
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_float64_pack_unpack_identity(v):
+    d = DOMAINS["float64"]
+    assert d.unpack(d.pack(v)) == v
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float32_idempotent_on_binary32(v):
+    """Values already representable in binary32 round-trip exactly."""
+    d = DOMAINS["float32"]
+    assert d.unpack(d.pack(v)) == v
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=20))
+def test_aliasing_preserved(items):
+    """A doubly-referenced list decodes to one object, not two copies."""
+    outer = [items, items]
+    result = decode(encode(outer))
+    assert result[0] is result[1]
+    assert result[0] == items
+
+
+@given(values)
+@settings(max_examples=50, deadline=None)
+def test_double_encode_stable(obj):
+    """encode∘decode∘encode == encode (canonical form is a fixpoint)."""
+    once = encode(obj)
+    again = encode(decode(once))
+    assert decode(again) == decode(once)
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_decoder_never_crashes_on_junk(data):
+    """Arbitrary bytes either decode or raise DecodingError — nothing else."""
+    from repro.errors import DecodingError
+
+    try:
+        decode(data)
+    except DecodingError:
+        pass
+
+
+@given(st.floats(allow_nan=True, allow_infinity=True))
+def test_float64_specials(v):
+    d = DOMAINS["float64"]
+    out = d.unpack(d.pack(v))
+    if math.isnan(v):
+        assert math.isnan(out)
+    else:
+        assert out == v

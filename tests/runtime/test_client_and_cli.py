@@ -1,0 +1,127 @@
+"""Unit tests for the MemoClient plumbing and the `memo` CLI entry point."""
+
+import sys
+import textwrap
+import types
+
+import pytest
+
+from repro.core.keys import Key, Symbol
+from repro.errors import MemoError
+from repro.network.protocol import GetRequest, PutRequest, StatsRequest
+from repro.runtime.launcher import main
+from repro.runtime.program import ProgramRegistry
+
+
+def fname(cluster, i=0):
+    from repro.core.keys import FolderName
+
+    return FolderName("test", Key(Symbol("c"), (i,)))
+
+
+class TestMemoClient:
+    def test_request_reply(self, one_host_cluster):
+        client = one_host_cluster.client_for("solo", "c")
+        reply = client.request(StatsRequest())
+        assert reply.ok and reply.stats
+        client.close()
+
+    def test_post_defers_ack(self, one_host_cluster):
+        client = one_host_cluster.client_for("solo", "c")
+        client.post(PutRequest(fname(one_host_cluster), b"", origin="c"))
+        assert client.pending_acks == 1
+        client.flush()
+        assert client.pending_acks == 0
+        client.close()
+
+    def test_request_drains_pending_first(self, one_host_cluster):
+        from repro.transferable.wire import encode
+
+        client = one_host_cluster.client_for("solo", "c")
+        for i in range(5):
+            client.post(
+                PutRequest(fname(one_host_cluster), encode(i), origin="c")
+            )
+        reply = client.request(GetRequest(fname(one_host_cluster), mode="skip"))
+        assert reply.found  # all five puts landed before the get
+        assert client.pending_acks == 0
+        client.close()
+
+    def test_deferred_error_raised_once(self, one_host_cluster):
+        from repro.core.keys import FolderName
+
+        client = one_host_cluster.client_for("solo", "c")
+        bad = FolderName("ghost-app", Key(Symbol("x")))
+        client.post(PutRequest(bad, b"", origin="c"))
+        with pytest.raises(MemoError, match="asynchronous put failed"):
+            client.flush()
+        # The error is consumed; the client remains usable.
+        assert client.request(StatsRequest()).ok
+        client.close()
+
+    def test_context_manager(self, one_host_cluster):
+        with one_host_cluster.client_for("solo", "c") as client:
+            assert client.request(StatsRequest()).ok
+
+
+class TestCLI:
+    @pytest.fixture
+    def programs_module(self):
+        """A synthetic importable module exposing a `registry`."""
+        module = types.ModuleType("cli_test_programs")
+        registry = ProgramRegistry()
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            jar = memo.create_symbol("jar")
+            memo.put(jar(0), 21, wait=True)
+            return memo.get(jar(0)) * 2
+
+        @registry.register("worker")
+        def worker(memo, ctx):
+            return "idle"
+
+        module.registry = registry
+        sys.modules["cli_test_programs"] = module
+        yield "cli_test_programs"
+        del sys.modules["cli_test_programs"]
+
+    @pytest.fixture
+    def adf_file(self, tmp_path):
+        path = tmp_path / "app.adf"
+        path.write_text(
+            textwrap.dedent(
+                """
+                APP cliapp
+                HOSTS
+                only 1 sun4 1
+                FOLDERS
+                0 only
+                PROCESSES
+                0 boss only
+                1 worker only
+                """
+            )
+        )
+        return str(path)
+
+    def test_cli_runs_application(self, capsys, adf_file, programs_module):
+        rc = main([adf_file, "--programs", programs_module])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "process 0: 42" in out
+        assert "process 1: 'idle'" in out
+
+    def test_cli_rejects_module_without_registry(self, capsys, adf_file):
+        module = types.ModuleType("cli_bad_module")
+        sys.modules["cli_bad_module"] = module
+        try:
+            rc = main([adf_file, "--programs", "cli_bad_module"])
+            assert rc == 2
+            assert "registry" in capsys.readouterr().err
+        finally:
+            del sys.modules["cli_bad_module"]
+
+    def test_cli_missing_adf_file(self, programs_module):
+        with pytest.raises(FileNotFoundError):
+            main(["/does/not/exist.adf", "--programs", programs_module])

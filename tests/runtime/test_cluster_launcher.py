@@ -1,0 +1,235 @@
+"""Unit tests for the cluster, registration, and launcher (sections 4.2/4.4)."""
+
+import pytest
+
+from repro import Cluster, ProgramRegistry, run_application, system_default_adf
+from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
+from repro.adf.parser import parse_adf
+from repro.core.keys import Key, Symbol
+from repro.errors import RuntimeLaunchError
+from repro.runtime.launcher import start_processes
+from repro.runtime.registration import registration_request_for
+
+
+class TestCluster:
+    def test_context_manager_lifecycle(self):
+        adf = system_default_adf(["x"], app="lc")
+        with Cluster(adf) as cluster:
+            assert cluster.servers["x"].address is not None
+
+    def test_invalid_adf_rejected_at_construction(self):
+        adf = ADF(app="bad")  # no hosts
+        with pytest.raises(Exception):
+            Cluster(adf)
+
+    def test_unknown_transport_rejected(self):
+        adf = system_default_adf(["x"], app="t")
+        with pytest.raises(RuntimeLaunchError):
+            Cluster(adf, transport_kind="carrier-pigeon")
+
+    def test_client_for_unknown_host(self, one_host_cluster):
+        with pytest.raises(RuntimeLaunchError):
+            one_host_cluster.client_for("ghost")
+
+    def test_register_foreign_hosts_rejected(self, one_host_cluster):
+        foreign = system_default_adf(["mars"], app="m")
+        with pytest.raises(RuntimeLaunchError, match="no memo server"):
+            one_host_cluster.register(foreign)
+
+    def test_registered_apps_tracked(self, one_host_cluster):
+        assert "test" in one_host_cluster.registered_apps
+
+    def test_metrics_aggregation(self, two_host_cluster):
+        memo = two_host_cluster.memo_api("alpha", "test")
+        for i in range(20):
+            memo.put(Key(Symbol("k"), (i,)), i, wait=True)
+        metrics = two_host_cluster.metrics()
+        assert sum(metrics.server_puts.values()) == 20
+        assert metrics.broadcasts == 0
+
+
+class TestRegistrationRequest:
+    def test_built_from_adf(self):
+        adf = system_default_adf(["a", "b"], app="reg")
+        req = registration_request_for(adf)
+        assert req.app == "reg"
+        assert set(req.host_costs) == {"a", "b"}
+        assert len(req.folder_servers) == 2
+
+    def test_validation_runs(self):
+        adf = ADF(app="x")
+        with pytest.raises(Exception):
+            registration_request_for(adf)
+
+
+class TestRunApplication:
+    def boss_worker_adf(self):
+        adf = ADF(app="bw")
+        adf.hosts = [HostDecl("h1"), HostDecl("h2")]
+        adf.folders = [FolderDecl("0", "h1"), FolderDecl("1", "h2")]
+        adf.processes = [
+            ProcessDecl("0", "boss", "h1"),
+            ProcessDecl("1", "worker", "h1"),
+            ProcessDecl("2", "worker", "h2"),
+        ]
+        adf.links = [LinkDecl("h1", "h2")]
+        return adf
+
+    def make_registry(self):
+        registry = ProgramRegistry()
+        jar = Symbol("jar")
+        results = Symbol("results")
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            for i in range(10):
+                memo.put(Key(jar), i)
+            memo.flush()
+            total = 0
+            for _ in range(10):
+                total += memo.get(Key(results))
+            return total
+
+        @registry.register("worker")
+        def worker(memo, ctx):
+            done = 0
+            while True:
+                task = memo.get_skip(Key(jar))
+                from repro.core.api import NIL
+
+                if task is NIL:
+                    import time
+
+                    time.sleep(0.01)
+                    if done and memo.get_skip(Key(jar)) is NIL:
+                        return done
+                    continue
+                memo.put(Key(results), task * task)
+                done += 1
+
+        return registry
+
+    def test_boss_worker_roundtrip(self):
+        results = run_application(
+            self.boss_worker_adf(), self.make_registry(), timeout=60
+        )
+        assert results["0"] == sum(i * i for i in range(10))
+
+    def test_context_fields(self):
+        adf = system_default_adf(["h"], app="ctx")
+        registry = ProgramRegistry()
+        seen = {}
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            seen["boss"] = (ctx.proc_id, ctx.host, ctx.is_boss, ctx.peers)
+            return "ok"
+
+        @registry.register("worker")
+        def worker(memo, ctx):
+            seen[ctx.proc_id] = ctx.worker_index
+            return ctx.params.get("mult", 0) * 2
+
+        results = run_application(adf, registry, params={"mult": 21}, timeout=30)
+        assert seen["boss"][0] == "0"
+        assert seen["boss"][2] is True
+        assert results["1"] == 42
+
+    def test_process_failure_propagates(self):
+        adf = system_default_adf(["h"], app="fail")
+        registry = ProgramRegistry()
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            raise RuntimeError("application bug")
+
+        @registry.register("worker")
+        def worker(memo, ctx):
+            return None
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            run_application(adf, registry, timeout=30)
+
+    def test_missing_program_rejected(self):
+        adf = system_default_adf(["h"], app="miss")
+        registry = ProgramRegistry()
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            return None
+
+        # "worker" missing
+        with pytest.raises(RuntimeLaunchError, match="no program"):
+            run_application(adf, registry, timeout=30)
+
+    def test_reuse_existing_cluster(self, two_host_cluster):
+        adf = ADF(app="test")  # already registered on the fixture cluster
+        adf.hosts = [HostDecl("alpha"), HostDecl("beta")]
+        adf.folders = [FolderDecl("0", "alpha")]
+        adf.processes = [ProcessDecl("0", "boss", "alpha")]
+        adf.links = [LinkDecl("alpha", "beta")]
+        registry = ProgramRegistry()
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            memo.put(Key(Symbol("done")), True, wait=True)
+            return memo.get(Key(Symbol("done")))
+
+        results = run_application(adf, registry, cluster=two_host_cluster, timeout=30)
+        assert results["0"] is True
+
+    def test_start_processes_returns_handles(self, one_host_cluster):
+        adf = ADF(app="test")
+        adf.hosts = [HostDecl("solo")]
+        adf.folders = [FolderDecl("0", "solo")]
+        adf.processes = [ProcessDecl("0", "boss", "solo")]
+        registry = ProgramRegistry()
+
+        @registry.register("boss")
+        def boss(memo, ctx):
+            return 7
+
+        handles = start_processes(one_host_cluster, adf, registry)
+        assert len(handles) == 1
+        assert handles[0].join(10)
+        assert handles[0].result() == 7
+        assert not handles[0].failed
+
+
+class TestProgramRegistry:
+    def test_decorator_and_lookup(self):
+        registry = ProgramRegistry()
+
+        @registry.register("p")
+        def p(memo, ctx):
+            return 1
+
+        assert registry.lookup("p") is p
+        assert "p" in registry.names()
+
+    def test_conflicting_registration_rejected(self):
+        registry = ProgramRegistry()
+        registry.register("p", lambda m, c: 1)
+        with pytest.raises(RuntimeLaunchError):
+            registry.register("p", lambda m, c: 2)
+
+
+class TestTCPCluster:
+    def test_full_roundtrip_over_sockets(self):
+        """The same application code over real TCP (portability claim)."""
+        adf = system_default_adf(["n1", "n2"], app="tcp")
+        with Cluster(adf, transport_kind="tcp") as cluster:
+            cluster.register()
+            memo_a = cluster.memo_api("n1", "tcp")
+            memo_b = cluster.memo_api("n2", "tcp")
+            for i in range(10):
+                memo_a.put(Key(Symbol("q"), (i,)), {"i": i}, wait=True)
+            for i in range(10):
+                assert memo_b.get(Key(Symbol("q"), (i,))) == {"i": i}
+
+    def test_latency_rejected_on_tcp(self):
+        from repro.sim.netsim import LatencyModel
+
+        adf = system_default_adf(["n1"], app="t")
+        with pytest.raises(RuntimeLaunchError):
+            Cluster(adf, transport_kind="tcp", latency=LatencyModel(0.001, 0.001))

@@ -1,0 +1,128 @@
+"""Unit/integration tests for executable pumping (section 4.4)."""
+
+import pytest
+
+from repro.core.keys import Key, Symbol
+from repro.errors import RuntimeLaunchError
+from repro.runtime.program import ProcessContext, ProgramRegistry
+from repro.runtime.pumping import (
+    pump_program,
+    pump_registry,
+    receive_programs,
+    source_of,
+)
+
+WORKER_SOURCE = '''
+def worker(memo, ctx):
+    """A pumped worker: squares what it finds in the jar."""
+    from repro.core.keys import Key, Symbol
+
+    task = memo.get(Key(Symbol("jar")))
+    memo.put(Key(Symbol("out")), task * task, wait=True)
+    return "pumped-worker-done"
+'''
+
+
+class TestSourceExtraction:
+    def test_plain_function(self):
+        def worker(memo, ctx):
+            return 1
+
+        src = source_of(worker)
+        assert src.startswith("def worker")
+
+    def test_decorators_stripped(self):
+        registry = ProgramRegistry()
+
+        @registry.register("w")
+        def w(memo, ctx):
+            return 2
+
+        src = source_of(w)
+        assert src.startswith("def w")
+        assert "@registry" not in src
+
+    def test_unextractable_rejected(self):
+        fn = eval("lambda memo, ctx: 0")  # noqa: S307 - no source available
+        with pytest.raises(RuntimeLaunchError):
+            source_of(fn)
+
+
+class TestPumpReceive:
+    def test_source_string_roundtrip(self, two_host_cluster):
+        boss_memo = two_host_cluster.memo_api("alpha", "test", "boss")
+        pump_program(boss_memo, "worker", WORKER_SOURCE)
+
+        remote_registry = ProgramRegistry()
+        remote_memo = two_host_cluster.memo_api("beta", "test", "remote")
+        receive_programs(remote_memo, remote_registry, ["worker"])
+
+        worker = remote_registry.lookup("worker")
+        # Execute the received program for real.
+        exec_memo = two_host_cluster.memo_api("beta", "test", "exec")
+        exec_memo.put(Key(Symbol("jar")), 6, wait=True)
+        ctx = ProcessContext("test", "1", "worker", "beta")
+        assert worker(exec_memo, ctx) == "pumped-worker-done"
+        assert exec_memo.get(Key(Symbol("out"))) == 36
+
+    def test_registered_function_roundtrip(self, two_host_cluster):
+        registry = ProgramRegistry()
+
+        @registry.register("doubler")
+        def doubler(memo, ctx):
+            from repro.core.keys import Key, Symbol
+
+            value = memo.get(Key(Symbol("in")))
+            return value * 2
+
+        boss_memo = two_host_cluster.memo_api("alpha", "test", "boss")
+        pump_registry(boss_memo, registry, ["doubler"])
+
+        remote = ProgramRegistry()
+        remote_memo = two_host_cluster.memo_api("beta", "test", "r")
+        receive_programs(remote_memo, remote, ["doubler"])
+        run_memo = two_host_cluster.memo_api("beta", "test", "run")
+        run_memo.put(Key(Symbol("in")), 21, wait=True)
+        assert remote.lookup("doubler")(
+            run_memo, ProcessContext("test", "1", "doubler", "beta")
+        ) == 42
+
+    def test_multiple_hosts_receive_same_program(self, two_host_cluster):
+        boss_memo = two_host_cluster.memo_api("alpha", "test", "boss")
+        pump_program(boss_memo, "worker", WORKER_SOURCE)
+        # get_copy distribution: both hosts can pull it.
+        for host in ("alpha", "beta"):
+            registry = ProgramRegistry()
+            memo = two_host_cluster.memo_api(host, "test", f"rx-{host}")
+            receive_programs(memo, registry, ["worker"])
+            assert "worker" in registry.names()
+
+    def test_bad_source_rejected(self, two_host_cluster):
+        boss_memo = two_host_cluster.memo_api("alpha", "test", "boss")
+        pump_program(boss_memo, "broken", "def broken(:\n  pass")
+        registry = ProgramRegistry()
+        memo = two_host_cluster.memo_api("beta", "test", "rx")
+        with pytest.raises(RuntimeLaunchError, match="cross-compile"):
+            receive_programs(memo, registry, ["broken"])
+
+    def test_multi_function_source_rejected(self, two_host_cluster):
+        boss_memo = two_host_cluster.memo_api("alpha", "test", "boss")
+        pump_program(
+            boss_memo, "twofns", "def a(m, c):\n  pass\ndef b(m, c):\n  pass\n"
+        )
+        registry = ProgramRegistry()
+        memo = two_host_cluster.memo_api("beta", "test", "rx")
+        with pytest.raises(RuntimeLaunchError, match="exactly one"):
+            receive_programs(memo, registry, ["twofns"])
+
+    def test_extra_globals_visible(self, two_host_cluster):
+        boss_memo = two_host_cluster.memo_api("alpha", "test", "boss")
+        pump_program(
+            boss_memo, "uses_lib", "def uses_lib(memo, ctx):\n    return LIB_CONSTANT\n"
+        )
+        registry = ProgramRegistry()
+        memo = two_host_cluster.memo_api("beta", "test", "rx")
+        receive_programs(
+            memo, registry, ["uses_lib"], extra_globals={"LIB_CONSTANT": 7}
+        )
+        assert registry.lookup("uses_lib")(None, None) == 7

@@ -1,0 +1,180 @@
+"""Unit tests for cost-weighted folder placement (paper sections 4.1 / 5)."""
+
+import pytest
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.errors import ServerError
+from repro.network.routing import RoutingTable
+from repro.servers.hashing import FolderPlacement, HashWeightPolicy, weighted_rendezvous
+
+
+def fname(i: int, app="app") -> FolderName:
+    return FolderName(app, Key(Symbol("folder"), (i,)))
+
+
+def flat_routing(hosts):
+    links = {h: {o: 1.0 for o in hosts if o != h} for h in hosts}
+    return RoutingTable(links)
+
+
+class TestWeightedRendezvous:
+    def test_deterministic(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 1.0}
+        key = b"some-folder"
+        assert weighted_rendezvous(key, weights) == weighted_rendezvous(key, weights)
+
+    def test_single_server(self):
+        assert weighted_rendezvous(b"k", {"only": 1.0}) == "only"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServerError):
+            weighted_rendezvous(b"k", {})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ServerError):
+            weighted_rendezvous(b"k", {"a": 0.0})
+
+    def test_proportional_shares(self):
+        """P(server wins) ≈ weight / Σweights — the section-5 claim."""
+        weights = {"w1": 1.0, "w2": 1.0, "w4": 2.0}
+        counts = {sid: 0 for sid in weights}
+        n = 20_000
+        for i in range(n):
+            counts[weighted_rendezvous(f"key{i}".encode(), weights)] += 1
+        assert counts["w4"] / n == pytest.approx(0.5, abs=0.02)
+        assert counts["w1"] / n == pytest.approx(0.25, abs=0.02)
+
+    def test_minimal_disruption(self):
+        """Removing one server only remaps that server's keys."""
+        weights = {"a": 1.0, "b": 1.0, "c": 1.0}
+        smaller = {"a": 1.0, "b": 1.0}
+        moved = 0
+        for i in range(2000):
+            key = f"key{i}".encode()
+            before = weighted_rendezvous(key, weights)
+            after = weighted_rendezvous(key, smaller)
+            if before != "c":
+                assert after == before
+            else:
+                moved += 1
+        assert moved > 0
+
+
+class TestFolderPlacement:
+    def hosts(self):
+        return {"h1": 1.0, "h2": 1.0, "big": 4.0}
+
+    def servers(self):
+        return [("0", "h1"), ("1", "h2"), ("2", "big")]
+
+    def test_all_hosts_agree(self):
+        """Consistency without coordination: same inputs → same placement."""
+        routing = flat_routing(["h1", "h2", "big"])
+        p1 = FolderPlacement(self.servers(), self.hosts(), routing)
+        p2 = FolderPlacement(self.servers(), self.hosts(), routing)
+        for i in range(500):
+            assert p1.place(fname(i)) == p2.place(fname(i))
+
+    def test_powerful_host_gets_more(self):
+        routing = flat_routing(["h1", "h2", "big"])
+        p = FolderPlacement(self.servers(), self.hosts(), routing)
+        counts = {"0": 0, "1": 0, "2": 0}
+        for i in range(6000):
+            counts[p.place(fname(i))] += 1
+        assert counts["2"] > counts["0"] * 2
+        assert counts["2"] > counts["1"] * 2
+
+    def test_expected_shares_sum_to_one(self):
+        routing = flat_routing(["h1", "h2", "big"])
+        p = FolderPlacement(self.servers(), self.hosts(), routing)
+        assert sum(p.expected_shares().values()) == pytest.approx(1.0)
+
+    def test_uniform_policy_even_split(self):
+        """'With out this control, an even distribution would be seen.'"""
+        p = FolderPlacement(
+            self.servers(),
+            self.hosts(),
+            policy=HashWeightPolicy().uniform(),
+        )
+        counts = {"0": 0, "1": 0, "2": 0}
+        n = 9000
+        for i in range(n):
+            counts[p.place(fname(i))] += 1
+        for c in counts.values():
+            assert c / n == pytest.approx(1 / 3, abs=0.03)
+
+    def test_multiple_servers_split_host_weight(self):
+        """9 servers on one host take the same total share as 1 would."""
+        routing = flat_routing(["h1", "h2"])
+        single = FolderPlacement(
+            [("0", "h1"), ("1", "h2")], {"h1": 1.0, "h2": 1.0}, routing
+        )
+        split = FolderPlacement(
+            [("0", "h1"), ("1", "h2"), ("2", "h2"), ("3", "h2")],
+            {"h1": 1.0, "h2": 1.0},
+            routing,
+        )
+        h1_share_single = single.expected_shares()["0"]
+        h1_share_split = split.expected_shares()["0"]
+        assert h1_share_single == pytest.approx(h1_share_split)
+
+    def test_remote_host_discounted(self):
+        """Section 5: machine locality reduces a host's folder share."""
+        links = {
+            "near": {"mid": 1.0},
+            "mid": {"near": 1.0, "far": 10.0},
+            "far": {"mid": 10.0},
+        }
+        routing = RoutingTable(links)
+        p = FolderPlacement(
+            [("0", "near"), ("1", "far")],
+            {"near": 1.0, "far": 1.0},
+            routing,
+        )
+        shares = p.expected_shares()
+        assert shares["0"] > shares["1"]
+
+    def test_place_host(self):
+        routing = flat_routing(["h1", "h2", "big"])
+        p = FolderPlacement(self.servers(), self.hosts(), routing)
+        sid, host = p.place_host(fname(1))
+        assert p.host_of(sid) == host
+
+    def test_duplicate_server_id_rejected(self):
+        with pytest.raises(ServerError):
+            FolderPlacement(
+                [("0", "h1"), ("0", "h2")],
+                self.hosts(),
+                flat_routing(["h1", "h2", "big"]),
+            )
+
+    def test_missing_host_power_rejected(self):
+        with pytest.raises(ServerError):
+            FolderPlacement(
+                [("0", "mystery")],
+                {"h1": 1.0},
+                flat_routing(["h1", "mystery"]),
+            )
+
+    def test_no_servers_rejected(self):
+        with pytest.raises(ServerError):
+            FolderPlacement([], self.hosts())
+
+    def test_unknown_server_lookup(self):
+        p = FolderPlacement(
+            self.servers(), self.hosts(), flat_routing(["h1", "h2", "big"])
+        )
+        with pytest.raises(ServerError):
+            p.host_of("99")
+
+    def test_link_policy_requires_routing(self):
+        with pytest.raises(ServerError):
+            FolderPlacement(self.servers(), self.hosts(), routing=None)
+
+    def test_app_namespaces_hash_independently(self):
+        """The same key in two apps may land on different servers."""
+        routing = flat_routing(["h1", "h2", "big"])
+        p = FolderPlacement(self.servers(), self.hosts(), routing)
+        placements_a = [p.place(fname(i, "appA")) for i in range(200)]
+        placements_b = [p.place(fname(i, "appB")) for i in range(200)]
+        assert placements_a != placements_b

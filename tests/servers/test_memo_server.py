@@ -1,0 +1,172 @@
+"""Unit tests for the memo server: registration, routing, forwarding."""
+
+import pytest
+
+from repro.core.keys import Key, Symbol
+from repro.network.protocol import StatsRequest
+from repro.runtime.client import MemoClient
+
+
+def key(i=0):
+    return Key(Symbol("k"), (i,))
+
+
+class TestLocalDispatch:
+    def test_put_get_roundtrip(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "test")
+        memo.put(key(), "hello", wait=True)
+        assert memo.get(key()) == "hello"
+
+    def test_unregistered_app_rejected(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "ghost-app")
+        from repro.errors import MemoError
+
+        with pytest.raises(MemoError, match="not registered"):
+            memo.get_skip(key())
+
+    def test_stats_reply(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "test")
+        memo.put(key(), 1, wait=True)
+        stats = one_host_cluster.stats()["solo"]
+        assert stats["memo.requests"] >= 1
+        assert any(k.endswith(".puts") and v >= 1 for k, v in stats.items())
+
+
+class TestForwarding:
+    def test_cross_host_traffic(self, two_host_cluster):
+        """Folders owned by beta are reachable from alpha (Figure 2)."""
+        memo_a = two_host_cluster.memo_api("alpha", "test", "pa")
+        memo_b = two_host_cluster.memo_api("beta", "test", "pb")
+        # Spray enough folders that both hosts own some.
+        for i in range(40):
+            memo_a.put(key(i), i, wait=True)
+        for i in range(40):
+            assert memo_b.get(key(i)) == i
+        stats = two_host_cluster.stats()
+        forwards = sum(s["memo.forwards_out"] for s in stats.values())
+        assert forwards > 0
+
+    def test_placement_spreads_over_hosts(self, two_host_cluster):
+        memo = two_host_cluster.memo_api("alpha", "test")
+        for i in range(60):
+            memo.put(key(i), i)
+        memo.flush()
+        stats = two_host_cluster.stats()
+        puts_per_host = {
+            host: sum(v for k, v in s.items() if k.endswith(".puts"))
+            for host, s in stats.items()
+        }
+        assert all(p > 0 for p in puts_per_host.values()), puts_per_host
+
+    def test_blocking_get_across_hosts(self, two_host_cluster):
+        import threading
+        import time
+
+        memo_a = two_host_cluster.memo_api("alpha", "test", "pa")
+        memo_b = two_host_cluster.memo_api("beta", "test", "pb")
+        results = []
+
+        def getter():
+            # Whichever host owns folder key(7), this blocks until the put.
+            results.append(memo_b.get(key(7)))
+
+        t = threading.Thread(target=getter)
+        t.start()
+        time.sleep(0.1)
+        assert results == []
+        memo_a.put(key(7), "released")
+        t.join(timeout=5)
+        assert results == ["released"]
+
+    def test_get_alt_spanning_hosts(self, two_host_cluster):
+        memo = two_host_cluster.memo_api("alpha", "test")
+        keys = [key(i) for i in range(20)]
+        memo.put(keys[13], "somewhere", wait=True)
+        found_key, value = memo.get_alt(keys, timeout=5)
+        assert value == "somewhere"
+        assert found_key == keys[13]
+
+
+class TestMultiApp:
+    def test_apps_share_servers_but_not_data(self, two_host_cluster):
+        from repro import system_default_adf
+
+        adf2 = system_default_adf(["alpha", "beta"], app="other")
+        two_host_cluster.register(adf2)
+
+        memo1 = two_host_cluster.memo_api("alpha", "test")
+        memo2 = two_host_cluster.memo_api("alpha", "other")
+        memo1.put(key(), "from-test", wait=True)
+        memo2.put(key(), "from-other", wait=True)
+        assert memo2.get(key()) == "from-other"
+        assert memo1.get(key()) == "from-test"
+
+    def test_same_app_name_shares_data(self, two_host_cluster):
+        """'By using common application names, different programs will be
+        able to communicate' — distribution in time and space."""
+        producer = two_host_cluster.memo_api("alpha", "test", "producer")
+        consumer = two_host_cluster.memo_api("beta", "test", "consumer")
+        producer.put(key(3), "shared", wait=True)
+        producer.client.close()  # producer long gone (distributed in time)
+        assert consumer.get(key(3)) == "shared"
+
+
+class TestAsyncPut:
+    def test_put_returns_before_ack(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "test")
+        memo.put(key(), 1)
+        assert memo.client.pending_acks == 1
+        memo.flush()
+        assert memo.client.pending_acks == 0
+
+    def test_async_put_error_surfaces_on_next_call(self, one_host_cluster):
+        from repro.errors import MemoError
+
+        client = one_host_cluster.client_for("solo")
+        from repro.core.api import Memo
+
+        memo = Memo(client, "never-registered")
+        memo.put(key(), 1)  # silently queued; server will reject
+        with pytest.raises(MemoError, match="asynchronous put failed"):
+            memo.put(key(), 2)
+            memo.flush()
+
+    def test_read_your_writes_ordering(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "test")
+        for i in range(20):
+            memo.put(key(i), i)  # async
+        for i in range(20):
+            assert memo.get(key(i)) == i  # drained before each get
+
+
+class TestNoBroadcast:
+    def test_fabric_broadcast_count_zero(self, two_host_cluster):
+        memo = two_host_cluster.memo_api("alpha", "test")
+        for i in range(30):
+            memo.put(key(i), i)
+        memo.flush()
+        assert two_host_cluster.fabric.broadcast_count == 0
+
+
+class TestStop:
+    def test_blocked_get_gets_error_on_stop(self, two_host_cluster):
+        import threading
+        import time
+
+        from repro.errors import MemoError
+
+        memo = two_host_cluster.memo_api("alpha", "test")
+        outcome = []
+
+        def getter():
+            try:
+                memo.get(key(999))
+            except (MemoError, Exception) as exc:  # noqa: BLE001
+                outcome.append(type(exc).__name__)
+
+        t = threading.Thread(target=getter)
+        t.start()
+        time.sleep(0.1)
+        two_host_cluster.stop()
+        t.join(timeout=5)
+        assert outcome, "blocked getter was not woken by shutdown"

@@ -1,0 +1,167 @@
+"""Unit tests for the shared-memory derivations against the common contract."""
+
+import pytest
+
+from repro.errors import (
+    OutOfSharedMemoryError,
+    SegmentNotFoundError,
+    SharedMemoryError,
+)
+from repro.sharedmem import (
+    LocalSharedMemory,
+    PooledSharedMemory,
+    PosixSharedMemory,
+    available_sharedmem_kinds,
+    sharedmem_factory,
+)
+
+ALL_BACKENDS = [
+    lambda: LocalSharedMemory(),
+    lambda: PooledSharedMemory(pool_size=1 << 16),
+    lambda: PosixSharedMemory(prefix=f"dmemotest"),
+]
+
+
+@pytest.fixture(params=ALL_BACKENDS, ids=["local", "pooled", "posix"])
+def backend(request):
+    mem = request.param()
+    yield mem
+    mem.release_all()
+
+
+class TestContract:
+    """Section 3.1.2 contract, run against every derivation."""
+
+    def test_allocate_read_write(self, backend):
+        seg = backend.allocate("a", 16)
+        backend.write(seg, 0, b"hello")
+        assert backend.read(seg, 0, 5) == b"hello"
+
+    def test_zero_filled(self, backend):
+        seg = backend.allocate("z", 8)
+        assert backend.read(seg, 0, 8) == b"\x00" * 8
+
+    def test_offset_write(self, backend):
+        seg = backend.allocate("o", 10)
+        backend.write(seg, 4, b"xy")
+        assert backend.read(seg, 3, 4) == b"\x00xy\x00"
+
+    def test_attach_sees_writes(self, backend):
+        seg = backend.allocate("s", 8)
+        backend.write(seg, 0, b"shared!!")
+        other = backend.attach("s")
+        assert other.size == 8
+        assert backend.read(other, 0, 8) == b"shared!!"
+
+    def test_duplicate_name_rejected(self, backend):
+        backend.allocate("dup", 4)
+        with pytest.raises(SharedMemoryError):
+            backend.allocate("dup", 4)
+
+    def test_attach_missing_rejected(self, backend):
+        with pytest.raises(SegmentNotFoundError):
+            backend.attach("ghost")
+
+    def test_out_of_bounds_rejected(self, backend):
+        seg = backend.allocate("b", 8)
+        with pytest.raises(SharedMemoryError):
+            backend.write(seg, 6, b"xyz")
+        with pytest.raises(SharedMemoryError):
+            backend.read(seg, -1, 2)
+        with pytest.raises(SharedMemoryError):
+            backend.read(seg, 0, 9)
+
+    def test_free_then_attach_fails(self, backend):
+        seg = backend.allocate("f", 4)
+        backend.free(seg)
+        with pytest.raises(SegmentNotFoundError):
+            backend.attach("f")
+
+    def test_double_free_rejected(self, backend):
+        seg = backend.allocate("g", 4)
+        backend.free(seg)
+        with pytest.raises(SegmentNotFoundError):
+            backend.free(seg)
+
+    def test_release_all_clears(self, backend):
+        backend.allocate("r1", 4)
+        backend.allocate("r2", 4)
+        backend.release_all()
+        with pytest.raises(SegmentNotFoundError):
+            backend.attach("r1")
+
+    def test_zero_size_rejected(self, backend):
+        with pytest.raises(SharedMemoryError):
+            backend.allocate("empty", 0)
+
+    def test_context_manager_releases(self, backend):
+        with backend:
+            backend.allocate("cm", 4)
+        with pytest.raises(SegmentNotFoundError):
+            backend.attach("cm")
+
+
+class TestPooledSpecifics:
+    """The Encore-style pre-declared pool protocol."""
+
+    def test_pool_accounting(self):
+        mem = PooledSharedMemory(pool_size=100)
+        assert mem.free_bytes == 100
+        seg = mem.allocate("a", 60)
+        assert mem.free_bytes == 40
+        mem.free(seg)
+        assert mem.free_bytes == 100
+
+    def test_exhaustion_raises(self):
+        mem = PooledSharedMemory(pool_size=100)
+        mem.allocate("a", 80)
+        with pytest.raises(OutOfSharedMemoryError):
+            mem.allocate("b", 30)
+
+    def test_free_replenishes(self):
+        mem = PooledSharedMemory(pool_size=100)
+        seg = mem.allocate("a", 80)
+        mem.free(seg)
+        mem.allocate("b", 90)  # now fits
+
+    def test_failed_duplicate_does_not_leak_pool(self):
+        mem = PooledSharedMemory(pool_size=100)
+        mem.allocate("a", 40)
+        with pytest.raises(SharedMemoryError):
+            mem.allocate("a", 40)
+        assert mem.free_bytes == 60
+
+    def test_release_all_restores_pool(self):
+        mem = PooledSharedMemory(pool_size=100)
+        mem.allocate("a", 30)
+        mem.allocate("b", 30)
+        mem.release_all()
+        assert mem.free_bytes == 100
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(SharedMemoryError):
+            PooledSharedMemory(pool_size=0)
+
+
+class TestFactory:
+    def test_kinds_registered(self):
+        kinds = available_sharedmem_kinds()
+        for kind in ("local", "pooled", "posix"):
+            assert kind in kinds
+
+    def test_factory_with_kwargs(self):
+        mem = sharedmem_factory("pooled", pool_size=64)
+        assert isinstance(mem, PooledSharedMemory)
+        assert mem.free_bytes == 64
+
+    def test_unknown_backend(self):
+        with pytest.raises(SharedMemoryError):
+            sharedmem_factory("holographic")
+
+
+class TestLocalSpecifics:
+    def test_segment_names(self):
+        mem = LocalSharedMemory()
+        mem.allocate("x", 4)
+        mem.allocate("y", 4)
+        assert set(mem.segment_names()) == {"x", "y"}

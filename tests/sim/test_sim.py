@@ -1,0 +1,116 @@
+"""Unit tests for the simulation substrate: hosts, latency, metrics."""
+
+import pytest
+
+from repro.adf.parser import parse_adf
+from repro.errors import MemoError
+from repro.network.transport import NetworkFabric
+from repro.sim.host import SimHost, hosts_from_adf
+from repro.sim.metrics import ClusterMetrics, chi_square_uniform, distribution_error
+from repro.sim.netsim import LatencyModel, apply_latency
+
+
+class TestSimHost:
+    def test_power(self):
+        assert SimHost("h", num_procs=128, proc_cost=0.5).power == 256.0
+
+    def test_service_time_scales_with_power(self):
+        slow = SimHost("s", num_procs=1, proc_cost=1.0)
+        fast = SimHost("f", num_procs=4, proc_cost=1.0)
+        assert fast.service_time(1.0) == slow.service_time(1.0) / 4
+
+    def test_invariants(self):
+        with pytest.raises(MemoError):
+            SimHost("h", num_procs=0)
+        with pytest.raises(MemoError):
+            SimHost("h", proc_cost=0)
+        with pytest.raises(MemoError):
+            SimHost("h", word_bits=48)
+
+    def test_hosts_from_adf_word_sizes(self):
+        adf = parse_adf(
+            "APP a\nHOSTS\nsparc 1 sun4 1\nmpp 128 sp1 0.5\npc 1 i486 1\n"
+        )
+        hosts = hosts_from_adf(adf)
+        assert hosts["sparc"].word_bits == 32
+        assert hosts["mpp"].word_bits == 64
+        assert hosts["pc"].word_bits == 16
+
+
+class TestLatencyModel:
+    def test_affine(self):
+        model = LatencyModel(base_seconds=0.001, seconds_per_cost=0.002)
+        assert model.latency_for_cost(2.0) == pytest.approx(0.005)
+
+    def test_zero(self):
+        assert LatencyModel().is_zero
+        assert not LatencyModel(0.001, 0).is_zero
+
+    def test_negative_rejected(self):
+        with pytest.raises(MemoError):
+            LatencyModel(-1, 0)
+
+    def test_apply_to_fabric(self):
+        adf = parse_adf("APP a\nHOSTS\nh1 1 x 1\nh2 1 x 1\nPPC\nh1 <-> h2 3\n")
+        fabric = NetworkFabric()
+        apply_latency(fabric, adf, LatencyModel(0.001, 0.002))
+        assert fabric.latency("h1", "h2") == pytest.approx(0.007)
+        assert fabric.latency("h2", "h1") == pytest.approx(0.007)
+
+    def test_zero_model_is_noop(self):
+        adf = parse_adf("APP a\nHOSTS\nh1 1 x 1\nh2 1 x 1\nPPC\nh1 <-> h2 3\n")
+        fabric = NetworkFabric()
+        apply_latency(fabric, adf, LatencyModel())
+        assert fabric.latency("h1", "h2") == 0.0
+
+
+class TestStatistics:
+    def test_distribution_error_zero_for_exact(self):
+        observed = {"a": 50, "b": 50}
+        assert distribution_error(observed, {"a": 0.5, "b": 0.5}) == 0.0
+
+    def test_distribution_error_max_for_disjoint(self):
+        assert distribution_error({"a": 100}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_distribution_error_partial(self):
+        observed = {"a": 75, "b": 25}
+        err = distribution_error(observed, {"a": 0.5, "b": 0.5})
+        assert err == pytest.approx(0.25)
+
+    def test_empty_observed(self):
+        assert distribution_error({}, {"a": 1.0}) == 0.0
+
+    def test_chi_square_uniform_small_for_even(self):
+        even = {str(i): 1000 for i in range(4)}
+        assert chi_square_uniform(even) == 0.0
+
+    def test_chi_square_large_for_skew(self):
+        skewed = {"a": 4000, "b": 10, "c": 10, "d": 10}
+        assert chi_square_uniform(skewed) > 100
+
+    def test_chi_square_degenerate(self):
+        assert chi_square_uniform({}) == 0.0
+        assert chi_square_uniform({"only": 5}) == 0.0
+
+
+class TestClusterMetrics:
+    def test_from_fabric(self):
+        fabric = NetworkFabric()
+        fabric.record_traffic("a", "b", 100)
+        fabric.record_traffic("a", "b", 50)
+        fabric.record_traffic("b", "a", 10)
+        metrics = ClusterMetrics.from_fabric(fabric)
+        assert metrics.link_messages[("a", "b")] == 2
+        assert metrics.link_bytes[("a", "b")] == 150
+        assert metrics.total_messages() == 3
+        assert metrics.total_bytes() == 160
+        assert metrics.inter_host_messages() == 3
+
+    def test_add_server_stats(self):
+        metrics = ClusterMetrics()
+        metrics.add_server_stats(
+            {"folder.0.puts": 7, "folder.0.live_folders": 3, "memo.requests": 99}
+        )
+        metrics.add_server_stats({"folder.1.puts": 5})
+        assert metrics.server_puts == {"0": 7, "1": 5}
+        assert metrics.server_folders == {"0": 3}

@@ -1,0 +1,123 @@
+"""Unit tests for the absolute data domains (paper section 3.1.3)."""
+
+import math
+
+import pytest
+
+from repro.errors import DecodingError, LossyMappingError
+from repro.transferable.domains import DOMAINS, domain_for
+
+
+class TestIntDomains:
+    @pytest.mark.parametrize(
+        "name,lo,hi",
+        [
+            ("int8", -128, 127),
+            ("int16", -(1 << 15), (1 << 15) - 1),
+            ("int32", -(1 << 31), (1 << 31) - 1),
+            ("int64", -(1 << 63), (1 << 63) - 1),
+            ("uint8", 0, 255),
+            ("uint16", 0, (1 << 16) - 1),
+            ("uint32", 0, (1 << 32) - 1),
+            ("uint64", 0, (1 << 64) - 1),
+        ],
+    )
+    def test_bounds(self, name, lo, hi):
+        d = DOMAINS[name]
+        assert d.contains(lo) and d.contains(hi)
+        assert not d.contains(lo - 1)
+        assert not d.contains(hi + 1)
+
+    def test_pack_roundtrip_extremes(self):
+        d = DOMAINS["int16"]
+        for v in (-32768, -1, 0, 1, 32767):
+            assert d.unpack(d.pack(v)) == v
+
+    def test_alpha_to_486_lossy_mapping_rejected(self):
+        """The paper's motivating example: a 64-bit value > 16 bits."""
+        big = 70_000
+        assert DOMAINS["int64"].contains(big)
+        with pytest.raises(LossyMappingError):
+            DOMAINS["int16"].pack(big)
+
+    def test_negative_rejected_by_unsigned(self):
+        with pytest.raises(LossyMappingError):
+            DOMAINS["uint32"].pack(-1)
+
+    def test_bool_not_an_int(self):
+        assert not DOMAINS["int8"].contains(True)
+
+    def test_non_int_rejected(self):
+        assert not DOMAINS["int32"].contains("5")
+        assert not DOMAINS["int32"].contains(5.0)
+
+    def test_unpack_wrong_width(self):
+        with pytest.raises(DecodingError):
+            DOMAINS["int32"].unpack(b"\x00\x01")
+
+    def test_width_bytes(self):
+        assert len(DOMAINS["int64"].pack(0)) == 8
+        assert len(DOMAINS["uint128"].pack(0)) == 16
+
+    def test_big_endian_encoding(self):
+        assert DOMAINS["uint16"].pack(0x0102) == b"\x01\x02"
+
+    def test_int128(self):
+        d = DOMAINS["int128"]
+        v = (1 << 100) + 12345
+        assert d.unpack(d.pack(v)) == v
+
+
+class TestFloatDomains:
+    def test_float64_roundtrip(self):
+        d = DOMAINS["float64"]
+        for v in (0.0, -1.5, 3.141592653589793, 1e300, -1e-300):
+            assert d.unpack(d.pack(v)) == v
+
+    def test_float32_overflow_is_lossy(self):
+        with pytest.raises(LossyMappingError):
+            DOMAINS["float32"].pack(1e39)
+
+    def test_float32_max_finite_ok(self):
+        d = DOMAINS["float32"]
+        v = 3.4e38  # near but below binary32 max
+        out = d.unpack(d.pack(v))
+        assert math.isfinite(out)
+
+    def test_float_specials_roundtrip(self):
+        d = DOMAINS["float64"]
+        assert math.isinf(d.unpack(d.pack(math.inf)))
+        assert math.isnan(d.unpack(d.pack(math.nan)))
+
+    def test_int_is_not_float(self):
+        assert not DOMAINS["float64"].contains(3)
+
+    def test_unpack_wrong_width(self):
+        with pytest.raises(DecodingError):
+            DOMAINS["float32"].unpack(b"\x00" * 8)
+
+
+class TestBoolDomain:
+    def test_roundtrip(self):
+        d = DOMAINS["bool"]
+        assert d.unpack(d.pack(True)) is True
+        assert d.unpack(d.pack(False)) is False
+
+    def test_int_not_bool(self):
+        assert not DOMAINS["bool"].contains(1)
+
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(DecodingError):
+            DOMAINS["bool"].unpack(b"\x02")
+
+
+class TestLookup:
+    def test_domain_for_known(self):
+        assert domain_for("int32").name == "int32"
+
+    def test_domain_for_unknown(self):
+        with pytest.raises(KeyError):
+            domain_for("int7")
+
+    def test_all_domains_have_distinct_names(self):
+        assert len(DOMAINS) == len({d.name for d in DOMAINS.values()})

@@ -1,0 +1,127 @@
+"""Unit tests for the transferable struct registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import EncodingError, UnknownTransferableError
+from repro.transferable.registry import TransferableRegistry, transferable_struct
+from repro.transferable.wire import decode, encode
+
+
+class TestRegistration:
+    def test_dataclass_fields_inferred(self):
+        registry = TransferableRegistry()
+
+        @dataclasses.dataclass
+        class Pair:
+            a: int
+            b: int
+
+        registry.register_struct(Pair)
+        info = registry.lookup_name("Pair")
+        assert info.fields == ("a", "b")
+
+    def test_slots_fields_inferred(self):
+        registry = TransferableRegistry()
+
+        class Slotted:
+            __slots__ = ("x", "y")
+
+        registry.register_struct(Slotted)
+        assert registry.lookup_name("Slotted").fields == ("x", "y")
+
+    def test_explicit_fields(self):
+        registry = TransferableRegistry()
+
+        class Loose:
+            pass
+
+        registry.register_struct(Loose, fields=("p", "q"))
+        assert registry.lookup_name("Loose").fields == ("p", "q")
+
+    def test_uninferrable_fields_rejected(self):
+        registry = TransferableRegistry()
+
+        class Opaque:
+            pass
+
+        with pytest.raises(EncodingError, match="cannot infer"):
+            registry.register_struct(Opaque)
+
+    def test_custom_wire_name(self):
+        registry = TransferableRegistry()
+
+        @dataclasses.dataclass
+        class V:
+            x: int
+
+        registry.register_struct(V, name="app.Vector")
+        assert registry.lookup_name("app.Vector").cls is V
+
+    def test_name_collision_rejected(self):
+        registry = TransferableRegistry()
+
+        @dataclasses.dataclass
+        class A:
+            x: int
+
+        @dataclasses.dataclass
+        class B:
+            x: int
+
+        registry.register_struct(A, name="N")
+        with pytest.raises(EncodingError, match="already registered"):
+            registry.register_struct(B, name="N")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        registry = TransferableRegistry()
+
+        @dataclasses.dataclass
+        class C:
+            x: int
+
+        registry.register_struct(C)
+        registry.register_struct(C)  # no error
+
+    def test_unknown_name_lookup(self):
+        with pytest.raises(UnknownTransferableError):
+            TransferableRegistry().lookup_name("ghost")
+
+    def test_lookup_class_returns_none_for_unknown(self):
+        assert TransferableRegistry().lookup_class(int) is None
+
+
+class TestDecorator:
+    def test_decorator_registers_in_given_registry(self):
+        registry = TransferableRegistry()
+
+        @transferable_struct(registry=registry)
+        @dataclasses.dataclass
+        class D:
+            v: int
+
+        assert decode(encode(D(3), registry=registry), registry=registry).v == 3
+
+    def test_frozen_dataclass_roundtrip(self):
+        registry = TransferableRegistry()
+
+        @transferable_struct(registry=registry)
+        @dataclasses.dataclass(frozen=True)
+        class Frozen:
+            v: int
+
+        out = decode(encode(Frozen(9), registry=registry), registry=registry)
+        assert out == Frozen(9)
+
+    def test_decode_with_missing_registration_fails(self):
+        registry = TransferableRegistry()
+
+        @dataclasses.dataclass
+        class E:
+            v: int
+
+        registry.register_struct(E)
+        data = encode(E(1), registry=registry)
+        with pytest.raises(UnknownTransferableError):
+            decode(data, registry=TransferableRegistry())

@@ -1,0 +1,131 @@
+"""Unit tests for the transferable scalar wrappers."""
+
+import pytest
+
+from repro.errors import DecodingError, LossyMappingError
+from repro.transferable.scalars import (
+    SCALAR_TYPES,
+    Blob,
+    Bool,
+    Char,
+    Float32,
+    Float64,
+    Int16,
+    Int32,
+    Int64,
+    String,
+    UInt8,
+)
+
+
+class TestConstruction:
+    def test_valid_value_stored(self):
+        assert Int16(300).value == 300
+
+    def test_out_of_domain_rejected_at_construction(self):
+        with pytest.raises(LossyMappingError):
+            Int16(70_000)
+
+    def test_immutable(self):
+        x = Int32(5)
+        with pytest.raises(AttributeError):
+            x._value = 6
+
+    def test_repr(self):
+        assert repr(Int32(5)) == "Int32(5)"
+
+
+class TestEquality:
+    def test_same_domain_same_value_equal(self):
+        assert Int16(5) == Int16(5)
+        assert hash(Int16(5)) == hash(Int16(5))
+
+    def test_different_domain_not_equal(self):
+        assert Int16(5) != Int32(5)
+
+    def test_different_value_not_equal(self):
+        assert Int16(5) != Int16(6)
+
+    def test_not_equal_to_raw_value(self):
+        assert Int16(5) != 5
+
+    def test_usable_in_sets(self):
+        assert len({Int16(5), Int16(5), Int32(5)}) == 2
+
+
+class TestCodec:
+    @pytest.mark.parametrize("cls,value", [
+        (Int16, -1234),
+        (Int64, 1 << 40),
+        (UInt8, 255),
+        (Bool, True),
+        (Float64, 2.5),
+    ])
+    def test_pack_unpack(self, cls, value):
+        assert cls.unpack(cls(value).pack()) == cls(value)
+
+    def test_float32_canonicalizes(self):
+        x = Float32(0.1)
+        # 0.1 is not binary32-representable; the stored value is the nearest.
+        assert x.value != 0.1
+        assert Float32.unpack(x.pack()) == x
+
+    def test_float32_overflow_rejected(self):
+        with pytest.raises(LossyMappingError):
+            Float32(1e39)
+
+
+class TestChar:
+    def test_roundtrip(self):
+        assert Char.unpack(Char("λ").pack()).value == "λ"
+
+    def test_multichar_rejected(self):
+        with pytest.raises(LossyMappingError):
+            Char("ab")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(LossyMappingError):
+            Char(65)
+
+    def test_invalid_code_point_rejected(self):
+        with pytest.raises(DecodingError):
+            Char.unpack((0x110000).to_bytes(4, "big"))
+
+
+class TestStringBlob:
+    def test_string_roundtrip(self):
+        s = String("héllo wörld")
+        assert String.unpack(s.pack()).value == "héllo wörld"
+
+    def test_string_rejects_bytes(self):
+        with pytest.raises(LossyMappingError):
+            String(b"bytes")
+
+    def test_string_invalid_utf8(self):
+        with pytest.raises(DecodingError):
+            String.unpack(b"\xff\xfe")
+
+    def test_blob_roundtrip(self):
+        b = Blob(b"\x00\x01\xff")
+        assert Blob.unpack(b.pack()).value == b"\x00\x01\xff"
+
+    def test_blob_accepts_bytearray(self):
+        assert Blob(bytearray(b"xy")).value == b"xy"
+
+    def test_blob_rejects_str(self):
+        with pytest.raises(LossyMappingError):
+            Blob("text")
+
+
+def test_scalar_types_table_is_complete():
+    for name, cls in SCALAR_TYPES.items():
+        assert isinstance(name, str) and isinstance(cls, type)
+    # Every table entry constructs something sensible.
+    samples = {
+        "int8": 1, "int16": 1, "int32": 1, "int64": 1, "int128": 1,
+        "uint8": 1, "uint16": 1, "uint32": 1, "uint64": 1, "uint128": 1,
+        "bool": True, "float32": 1.0, "float64": 1.0,
+        "char": "a", "string": "s", "blob": b"b",
+    }
+    for name, value in samples.items():
+        assert SCALAR_TYPES[name](value).value is not None

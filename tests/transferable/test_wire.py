@@ -1,0 +1,122 @@
+"""Unit tests for the TLV wire codec: framing, validation, fuzz resistance."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DecodingError
+from repro.transferable.registry import TransferableRegistry
+from repro.transferable.scalars import Float32, Int16, Int64, String
+from repro.transferable.wire import MAGIC, decode, encode, encoded_size
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            True,
+            0,
+            -1,
+            1 << 100,
+            -(1 << 100),
+            3.5,
+            "unicode λ ☃",
+            b"\x00\xff",
+            [1, [2, [3]]],
+            {"k": (1, 2), "j": {3: 4}},
+            {Int16(1), Int16(2)},
+            Int64(-5),
+            Float32(1.5),
+            String("wrapped"),
+        ],
+    )
+    def test_values(self, obj):
+        assert decode(encode(obj)) == obj
+
+    def test_cycle_over_the_wire(self):
+        lst: list = ["head"]
+        lst.append(lst)
+        result = decode(encode(lst))
+        assert result[1] is result
+
+    def test_struct_over_the_wire(self):
+        registry = TransferableRegistry()
+
+        @dataclasses.dataclass
+        class Task:
+            name: str
+            deps: list
+
+        registry.register_struct(Task)
+        t = Task("build", [Task("fetch", [])])
+        out = decode(encode(t, registry=registry), registry=registry)
+        assert out.name == "build" and out.deps[0].name == "fetch"
+
+    def test_encoded_size_matches(self):
+        obj = {"payload": list(range(50))}
+        assert encoded_size(obj) == len(encode(obj))
+
+    def test_deterministic_encoding(self):
+        obj = {"a": [1, 2], "b": {3, 4}}
+        assert encode(obj) == encode(obj)
+
+
+class TestValidation:
+    def test_magic(self):
+        assert encode(None)[:2] == MAGIC
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DecodingError, match="magic"):
+            decode(b"XX" + encode(1)[2:])
+
+    def test_bad_version_rejected(self):
+        data = bytearray(encode(1))
+        data[2] = 99
+        with pytest.raises(DecodingError, match="version"):
+            decode(bytes(data))
+
+    def test_truncated_rejected(self):
+        data = encode([1, 2, 3])
+        with pytest.raises(DecodingError):
+            decode(data[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(DecodingError, match="trailing"):
+            decode(encode(1) + b"\x00")
+
+    def test_out_of_range_child_rejected(self):
+        # A list node claiming a child beyond the node table.
+        data = bytearray(encode([1]))
+        # Corrupt: child id bytes of the list node point past the table.
+        # Find the last 4 bytes before the int node... simpler: flip the
+        # root to reference junk by corrupting count field is messy, so we
+        # corrupt a child id directly by brute force and expect *some*
+        # DecodingError rather than silence.
+        corrupted = 0
+        for i in range(11, len(data)):
+            mutated = bytearray(data)
+            mutated[i] ^= 0xFF
+            try:
+                decode(bytes(mutated))
+            except DecodingError:
+                corrupted += 1
+            except Exception as exc:  # noqa: BLE001
+                pytest.fail(f"non-DecodingError leaked: {type(exc).__name__}: {exc}")
+        assert corrupted > 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(b"")
+
+
+class TestSizes:
+    def test_small_int_is_compact(self):
+        # magic(2)+ver(1)+count(4)+root(4) + tag(1)+len(4)+payload(1) = 17
+        assert len(encode(7)) == 17
+
+    def test_shared_structure_smaller_than_copies(self):
+        shared = list(range(100))
+        aliased = [shared, shared]
+        copied = [list(range(100)), list(range(100))]
+        assert len(encode(aliased)) < len(encode(copied))
