@@ -1,0 +1,132 @@
+"""REP1 — put fan-out overhead vs. replication factor, and fail-over cost.
+
+Replication buys durability with extra acknowledged work per put: a write
+accepted by a chain member is copied to every other live member before the
+ack.  This bench quantifies that price on a three-host in-memory cluster —
+acknowledged-put latency and total fabric messages at factors 1/2/3 — and
+measures how long a routed get takes when it must fail over past a dead
+primary.
+"""
+
+import time
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.core.keys import Key, Symbol
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="rep1-replication")
+
+HOSTS = ["r1", "r2", "r3"]
+N_PUTS = 150
+
+
+def _cluster(factor):
+    adf = system_default_adf(HOSTS, app="bench", replication_factor=factor)
+    cluster = Cluster(
+        adf, idle_timeout=5.0, heartbeat_interval=0.5, failure_threshold=2
+    ).start()
+    cluster.register()
+    return cluster
+
+
+def _timed_puts(memo, n=N_PUTS):
+    start = time.perf_counter()
+    for i in range(n):
+        memo.put(Key(Symbol("w"), (i,)), i, wait=True)
+    return (time.perf_counter() - start) / n
+
+
+def test_put_fanout_overhead_vs_replication_factor(benchmark):
+    rows = [("factor", "µs/acked put", "fabric msgs", "replications")]
+    baseline = None
+    for factor in (1, 2, 3):
+        cluster = _cluster(factor)
+        try:
+            memo = cluster.memo_api(HOSTS[0], "bench")
+            per_put = _timed_puts(memo)
+            traffic = cluster.fabric.traffic()
+            messages = sum(s.messages for s in traffic.values())
+            replications = sum(
+                s.stats.snapshot()["replications_out"]
+                for s in cluster.servers.values()
+            )
+        finally:
+            cluster.stop()
+        if baseline is None:
+            baseline = per_put
+        rows.append(
+            (
+                factor,
+                f"{per_put * 1e6:.0f} ({per_put / baseline:.2f}x)",
+                messages,
+                replications,
+            )
+        )
+    report("REP1: acked-put cost vs replication factor (3 hosts)", rows)
+
+    # The measured sample for the benchmark table: factor-2 acked put.
+    cluster = _cluster(2)
+    try:
+        memo = cluster.memo_api(HOSTS[0], "bench")
+        counter = iter(range(10_000_000))
+
+        def one_put():
+            memo.put(Key(Symbol("b"), (next(counter),)), 1, wait=True)
+
+        benchmark(one_put)
+    finally:
+        cluster.stop()
+
+
+def test_failover_read_latency(benchmark):
+    """How much a get pays to walk past a dead primary to a backup."""
+    cluster = _cluster(2)
+    try:
+        memo = cluster.memo_api("r1", "bench")
+        reg = cluster.servers["r1"].registration("bench")
+        from repro.core.keys import FolderName
+
+        victim_keys = [
+            Key(Symbol("f"), (i,))
+            for i in range(3000)
+            if reg.placement.replica_chain(
+                FolderName("bench", Key(Symbol("f"), (i,)))
+            )[0][1] == "r2"
+        ][:N_PUTS]
+        for key in victim_keys:
+            memo.put(key, "v", wait=True)
+
+        start = time.perf_counter()
+        healthy = [memo.get_skip(k) for k in victim_keys[: len(victim_keys) // 2]]
+        healthy_per = (time.perf_counter() - start) / max(1, len(healthy))
+
+        cluster.kill_host("r2")
+        rest = victim_keys[len(victim_keys) // 2 :]
+        start = time.perf_counter()
+        failed_over = [memo.get_skip(k) for k in rest]
+        failover_per = (time.perf_counter() - start) / max(1, len(failed_over))
+
+        report(
+            "REP1b: get latency, healthy primary vs fail-over to backup",
+            [
+                ("path", "µs/get"),
+                ("healthy primary", f"{healthy_per * 1e6:.0f}"),
+                ("via backup", f"{failover_per * 1e6:.0f}"),
+            ],
+        )
+
+        counter = iter(range(len(rest)))
+
+        def one_failover_get():
+            # After the first get the primary is already suspected, so this
+            # measures the steady-state backup-read path.
+            idx = next(counter, None)
+            if idx is not None:
+                memo.get_skip(rest[idx])
+
+        benchmark.pedantic(one_failover_get, rounds=1, iterations=1, warmup_rounds=0)
+    finally:
+        cluster.stop()

@@ -23,15 +23,17 @@ __all__ = ["system_default_adf", "merge_with_default"]
 def system_default_adf(
     hosts: list[str] | None = None,
     app: str = "default",
+    replication_factor: int = 1,
 ) -> ADF:
     """The ADF an installation would write for *hosts*.
 
     One processor of unit cost per host, one folder server per host, one
     ``worker`` process per host (plus a ``boss`` on the first), and a
-    fully connected unit-cost topology.
+    fully connected unit-cost topology.  ``replication_factor`` > 1 turns
+    on primary+backup replica chains for every folder.
     """
     names = hosts or ["localhost"]
-    adf = ADF(app=app)
+    adf = ADF(app=app, replication_factor=replication_factor)
     adf.hosts = [HostDecl(name) for name in names]
     adf.folders = [FolderDecl(str(i), name) for i, name in enumerate(names)]
     adf.processes = [ProcessDecl("0", "boss", names[0])]
@@ -56,4 +58,11 @@ def merge_with_default(partial: ADF, default: ADF) -> ADF:
     merged.folders = list(partial.folders or default.folders)
     merged.processes = list(partial.processes or default.processes)
     merged.links = list(partial.links or default.links)
+    # The factor has no empty state; a partial that kept the default 1
+    # inherits the system setting, anything explicit wins.
+    merged.replication_factor = (
+        partial.replication_factor
+        if partial.replication_factor != 1
+        else default.replication_factor
+    )
     return merged

@@ -77,13 +77,20 @@ class LinkDecl:
 
 @dataclass
 class ADF:
-    """A complete application description."""
+    """A complete application description.
+
+    ``replication_factor`` (the REPLICATION section) is the number of
+    *distinct hosts* that hold each folder; 1 — the default — is the
+    paper's single-owner placement, and higher values enable the replica
+    chain / fail-over machinery.
+    """
 
     app: str
     hosts: list[HostDecl] = field(default_factory=list)
     folders: list[FolderDecl] = field(default_factory=list)
     processes: list[ProcessDecl] = field(default_factory=list)
     links: list[LinkDecl] = field(default_factory=list)
+    replication_factor: int = 1
 
     # -- derived views ---------------------------------------------------------
 
@@ -130,6 +137,11 @@ class ADF:
         """
         if not self.app:
             raise ADFError("ADF is missing the APP section")
+        if not isinstance(self.replication_factor, int) or self.replication_factor < 1:
+            raise ADFError(
+                f"replication factor must be an integer >= 1, "
+                f"got {self.replication_factor!r}"
+            )
         if not self.hosts:
             raise ADFError("ADF declares no hosts")
         names = self.host_names()

@@ -31,7 +31,10 @@ Details implemented:
   the cost of the (first) host declared with that architecture, so
   ``sun4*0.5`` reads "half a sun4's cost";
 * ``<->`` declares a duplex link, ``->`` a simplex link, each with an
-  optional trailing cost (default 1).
+  optional trailing cost (default 1);
+* a ``REPLICATION`` section (an extension beyond the paper) holding a
+  single ``factor N`` line sets the folder replica-chain length; omitted
+  or ``factor 1`` is the paper's single-owner placement.
 """
 
 from __future__ import annotations
@@ -43,7 +46,7 @@ from repro.errors import ADFSyntaxError
 
 __all__ = ["parse_adf", "parse_adf_file", "evaluate_cost_expression"]
 
-_SECTIONS = ("APP", "HOSTS", "FOLDERS", "PROCESSES", "PPC")
+_SECTIONS = ("APP", "HOSTS", "FOLDERS", "PROCESSES", "PPC", "REPLICATION")
 _RANGE_RE = re.compile(r"^(\d+)-(\d+)$")
 
 # -- cost expression evaluation ------------------------------------------------
@@ -240,6 +243,24 @@ def parse_adf(text: str) -> ADF:
 
         if section == "PPC":
             adf.links.append(_parse_link(fields, line_no))
+            continue
+
+        if section == "REPLICATION":
+            if len(fields) != 2 or fields[0].lower() != "factor":
+                raise ADFSyntaxError(
+                    "REPLICATION line needs: factor <n>", line_no
+                )
+            try:
+                factor = int(fields[1])
+            except ValueError:
+                raise ADFSyntaxError(
+                    f"bad replication factor {fields[1]!r}", line_no
+                ) from None
+            if factor < 1:
+                raise ADFSyntaxError(
+                    f"replication factor must be >= 1, got {factor}", line_no
+                )
+            adf.replication_factor = factor
             continue
 
     return adf

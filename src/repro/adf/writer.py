@@ -53,6 +53,12 @@ def write_adf(adf: ADF) -> str:
             lines.append(f"{proc.proc_id}  {proc.directory}  {proc.host}")
         lines.append("")
 
+    if adf.replication_factor != 1:
+        lines.append("REPLICATION")
+        lines.append("# Distinct hosts per folder (replica chain length)")
+        lines.append(f"factor {adf.replication_factor}")
+        lines.append("")
+
     if adf.links:
         lines.append("PPC")
         lines.append("# Point-to-Point Connection with cost")

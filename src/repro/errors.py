@@ -77,6 +77,16 @@ class ProtocolError(CommunicationError):
     """A well-formed frame carried a semantically invalid message."""
 
 
+class HostDownError(CommunicationError):
+    """Every host in a folder's replica chain was unreachable.
+
+    Raised by the chain-routing fail-over path when the primary *and* all
+    backups refuse connections or answer with shutdown errors; with the
+    default ``replication_factor=1`` it simply replaces a bare
+    communication failure for a dead single owner.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Shared-memory foundation (paper section 3.1.2)
 # ---------------------------------------------------------------------------
@@ -126,6 +136,24 @@ class FolderServerError(ServerError):
 
 class NotRegisteredError(ServerError):
     """A request named an application that never registered (section 4.4)."""
+
+
+class FolderMigratedError(ServerError):
+    """A blocked get's folder was migrated out from under it.
+
+    Raised *into* waiters when ownership rebalancing (or anti-entropy
+    resync) extracts their folder; the memo server catches it and re-routes
+    the request under the current placement, so the getter transparently
+    re-blocks at the folder's new home instead of stranding on a condition
+    variable whose folder no longer receives puts.
+    """
+
+
+class ReplicationError(ServerError):
+    """The replication subsystem was misconfigured or could not fan out.
+
+    Covers bad replication factors, replicate requests targeting hosts
+    outside a folder's chain, and resync failures."""
 
 
 class ADFError(MemoError):

@@ -32,6 +32,9 @@ __all__ = [
     "GetRequest",
     "GetAltSkipRequest",
     "RegisterRequest",
+    "ReplicatePut",
+    "Heartbeat",
+    "SyncPull",
     "StatsRequest",
     "ShutdownRequest",
     "ForwardEnvelope",
@@ -120,11 +123,16 @@ class RegisterRequest:
     links: dict  # host -> {neighbor: cost}
     host_costs: dict  # host -> effective processor cost (cost × #procs)
     folder_servers: tuple  # ((server_id, host), ...)
+    replication_factor: int = 1  # distinct hosts per folder (1 = paper's single owner)
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "folder_servers", tuple(tuple(fs) for fs in self.folder_servers)
         )
+        if self.replication_factor < 1:
+            raise ProtocolError(
+                f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
 
 
 @dataclass(frozen=True)
@@ -138,6 +146,66 @@ class MigrateRequest:
     """
 
     app: str
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class ReplicatePut:
+    """Copy one memo onto a backup host's replica store.
+
+    Sent by whichever chain member accepted a write (the primary, or an
+    acting primary during fail-over) to every other live member of the
+    folder's replica chain, and by :class:`SyncPull` handlers re-seeding a
+    rejoined backup.  Applying a replicate is idempotent only in the
+    at-least-once sense: re-sends may duplicate a memo, never lose one.
+
+    Attributes:
+        app: application whose placement names the chain.
+        folder: the folder the memo belongs to.
+        payload: the memo's transferable bytes.
+        origin: depositing process (diagnostics).
+        delayed: True for a parked ``put_delayed`` memo.
+        release_to: the delayed memo's release target (when *delayed*).
+    """
+
+    app: str
+    folder: FolderName
+    payload: bytes
+    origin: str = ""
+    delayed: bool = False
+    release_to: FolderName | None = None
+
+    def __post_init__(self) -> None:
+        if self.delayed and self.release_to is None:
+            raise ProtocolError("delayed ReplicatePut requires release_to")
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness probe between memo servers (failure detection).
+
+    Carries the *sender's* host name so the receiver can mark it alive —
+    hearing from a host is itself evidence of life, making every heartbeat
+    round a two-way refresh.
+    """
+
+    host: str
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class SyncPull:
+    """Anti-entropy pull issued by a host rejoining the cluster.
+
+    The receiver (1) extracts every replica-held folder whose *primary* is
+    the requester and re-deposits the contents through ordinary routing
+    (the same machinery as :class:`MigrateRequest`), and (2) re-sends
+    :class:`ReplicatePut` copies of its own primary folders that list the
+    requester as a backup, restoring the requester's replica store.
+    """
+
+    app: str
+    requester: str
     origin: str = ""
 
 
@@ -204,6 +272,9 @@ _MESSAGE_TYPES = (
     GetAltSkipRequest,
     RegisterRequest,
     MigrateRequest,
+    ReplicatePut,
+    Heartbeat,
+    SyncPull,
     StatsRequest,
     ShutdownRequest,
     ForwardEnvelope,

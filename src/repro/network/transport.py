@@ -175,7 +175,8 @@ class InMemoryListener(Listener):
     def __init__(self, fabric: NetworkFabric, address: Address) -> None:
         self._fabric = fabric
         self._address = address
-        self._backlog: "queue.Queue[InMemoryConnection]" = queue.Queue()
+        #: None is the close sentinel: it wakes a blocked accept instantly.
+        self._backlog: "queue.Queue[InMemoryConnection | None]" = queue.Queue()
         self._closed = threading.Event()
         fabric.bind(self)
 
@@ -203,13 +204,17 @@ class InMemoryListener(Listener):
                 if remaining <= 0:
                     raise TimeoutError("accept timed out")
             try:
-                return self._backlog.get(timeout=remaining)
+                conn = self._backlog.get(timeout=remaining)
             except queue.Empty:
                 continue
+            if conn is None:
+                raise ConnectionClosedError("listener closed")
+            return conn
 
     def close(self) -> None:
         self._closed.set()
         self._fabric.unbind(self._address)
+        self._backlog.put(None)
 
 
 class InMemoryTransport(Transport):

@@ -1,0 +1,103 @@
+"""Anti-entropy resynchronization for rejoining hosts.
+
+When a host crashes, its primary folders are served by backups (which
+accept writes into their replica stores) and its own replica copies of
+other hosts' folders are gone.  A restarted memo server therefore comes up
+empty on both counts; the :class:`Resyncer` closes both gaps with one
+:class:`~repro.network.protocol.SyncPull` to every peer:
+
+* the peer *returns* replica-held folders whose primary is the requester
+  by re-depositing them through ordinary routing — the exact machinery
+  :class:`~repro.network.protocol.MigrateRequest` uses, so a resync is
+  just a migration whose destination happens to be the rejoined host (and
+  the primary's ordinary fan-out re-creates the backups as a side
+  effect);
+* the peer *re-seeds* the requester's replica store with copies of its own
+  primary folders that name the requester as a backup.
+
+Guarantee: at-least-once.  Every memo acknowledged before the crash is
+either on a surviving chain member or already consumed; resync never
+drops one, but a falsely-suspected primary (alive, just unreachable) can
+yield duplicates once the partition heals.  Unordered-queue semantics make
+duplicates benign for the paper's workloads; applications needing
+exactly-once layer idempotence keys on top.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReplicationError
+from repro.network.connection import Address, Transport
+from repro.network.protocol import Reply, SyncPull, recv_message, send_message
+
+__all__ = ["Resyncer"]
+
+
+class Resyncer:
+    """Pulls missed memos back onto a freshly restarted host.
+
+    Args:
+        host: the rejoined host (the puller).
+        transport: medium to reach peers over.
+        address_book: host → memo-server address (the cluster's shared one).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        transport: Transport,
+        address_book: dict[str, Address],
+    ) -> None:
+        self.host = host
+        self.transport = transport
+        self.address_book = address_book
+
+    def resync(
+        self, apps: list[str], timeout: float = 10.0
+    ) -> dict[str, dict[str, int]]:
+        """Run one SyncPull round against every peer for every app.
+
+        Returns per-peer aggregated counters (``returned`` memos routed
+        back to this host, ``reseeded`` replica copies pushed to it).
+
+        Raises:
+            ReplicationError: a peer explicitly rejected the pull.
+            Unreachable peers are skipped — they are down themselves and
+            will run their own resync when they return.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for peer, address in sorted(self.address_book.items()):
+            if peer == self.host:
+                continue
+            totals = {"returned": 0, "reseeded": 0}
+            for app in apps:
+                reply = self._pull(peer, address, app, timeout)
+                if reply is None:
+                    continue
+                if not reply.ok:
+                    raise ReplicationError(
+                        f"sync pull for {app!r} rejected by {peer}: {reply.error}"
+                    )
+                totals["returned"] += int(reply.stats.get("returned", 0))
+                totals["reseeded"] += int(reply.stats.get("reseeded", 0))
+            stats[peer] = totals
+        return stats
+
+    def _pull(
+        self, peer: str, address: Address, app: str, timeout: float
+    ) -> Reply | None:
+        try:
+            conn = self.transport.connect(address)
+        except Exception:
+            return None  # peer is down; nothing to pull from it
+        try:
+            send_message(conn, SyncPull(app=app, requester=self.host))
+            reply = recv_message(conn, timeout=timeout)
+        except Exception:
+            return None
+        finally:
+            conn.close()
+        if not isinstance(reply, Reply):
+            raise ReplicationError(
+                f"sync pull to {peer} returned {type(reply).__qualname__}"
+            )
+        return reply

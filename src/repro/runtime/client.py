@@ -7,13 +7,24 @@ returns as soon as the request bytes are sent ("control is immediately
 returned", section 6.1.2) and the pending acknowledgements are drained
 before the next synchronous call, preserving read-your-writes ordering and
 still surfacing any asynchronous put failure on the very next API call.
+
+Connection hygiene rules:
+
+* a :class:`TimeoutError` inside ``request`` abandons the connection — the
+  reply is still in flight, and reusing the socket would hand the *next*
+  request a stale reply (request/reply desync);
+* a closed connection triggers bounded reconnect-and-resend, which is what
+  lets a client ride through its memo server being killed and restarted
+  (fail-over gives at-least-once delivery: a resent put may duplicate a
+  memo whose first ack was lost, never lose one).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
-from repro.errors import MemoError, ProtocolError
+from repro.errors import CommunicationError, ConnectionClosedError, MemoError, ProtocolError
 from repro.network.connection import Address, Transport
 from repro.network.protocol import Reply, recv_message, send_message
 
@@ -21,20 +32,35 @@ __all__ = ["MemoClient"]
 
 
 class MemoClient:
-    """Request/reply client with deferred-acknowledgement writes."""
+    """Request/reply client with deferred-acknowledgement writes.
+
+    Args:
+        transport: medium to (re)connect over.
+        server_address: the local memo server.
+        origin: process name stamped on requests (diagnostics).
+        reconnect_attempts: how many times a request/post retries over a
+            fresh connection after the old one closes (0 disables).
+        reconnect_delay: pause before each reconnect attempt, giving a
+            restarting server time to bind.
+    """
 
     def __init__(
         self,
         transport: Transport,
         server_address: Address,
         origin: str = "",
+        reconnect_attempts: int = 3,
+        reconnect_delay: float = 0.1,
     ) -> None:
         self.origin = origin
         self.server_address = server_address
+        self._transport = transport
         self._conn = transport.connect(server_address)
         self._lock = threading.Lock()
         self._pending_acks = 0
         self._deferred_error: str | None = None
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_delay = reconnect_delay
 
     # -- plumbing -------------------------------------------------------------
 
@@ -49,12 +75,72 @@ class MemoClient:
             error, self._deferred_error = self._deferred_error, None
             raise MemoError(f"asynchronous put failed: {error}")
 
+    def _discard_connection_locked(self) -> None:
+        """Drop the current connection; its in-flight state is abandoned.
+
+        Un-drained acknowledgements die with the connection; they become a
+        deferred error so the loss still surfaces on the next call.
+        """
+        self._conn.close()
+        if self._pending_acks and self._deferred_error is None:
+            self._deferred_error = (
+                f"connection lost with {self._pending_acks} unacknowledged puts"
+            )
+        self._pending_acks = 0
+
+    def _reconnect_locked(self) -> None:
+        self._discard_connection_locked()
+        time.sleep(self._reconnect_delay)
+        self._conn = self._transport.connect(self.server_address)
+
     def request(self, msg: object, timeout: float | None = None) -> Reply:
-        """Send *msg* and wait for its reply (draining async acks first)."""
+        """Send *msg* and wait for its reply (draining async acks first).
+
+        A timeout discards the connection (the reply is still in flight;
+        reusing the socket would desync every later request/reply pair) and
+        reconnects for subsequent calls.  A connection closed under the
+        request — e.g. the server was killed — retries over a fresh
+        connection up to the configured attempt budget.
+        """
         with self._lock:
-            self._drain_locked()
-            send_message(self._conn, msg)
-            reply = recv_message(self._conn, timeout)
+            attempts = 0
+            while True:
+                try:
+                    self._drain_locked()
+                    send_message(self._conn, msg)
+                    reply = recv_message(self._conn, timeout)
+                    if (
+                        isinstance(reply, Reply)
+                        and not reply.ok
+                        and reply.error.startswith("shutdown:")
+                        and attempts < self._reconnect_attempts
+                    ):
+                        # A dying server instance answered mid-teardown; if
+                        # a healthy instance is (or comes) back at the same
+                        # address — kill/restart fail-over — retry there.
+                        # When reconnecting fails the shutdown reply stands.
+                        attempts += 1
+                        try:
+                            self._reconnect_locked()
+                        except CommunicationError:
+                            break
+                        continue
+                    break
+                except TimeoutError:
+                    try:
+                        self._reconnect_locked()
+                    except CommunicationError:
+                        pass  # the timeout is what the caller must see
+                    raise
+                except ConnectionClosedError:
+                    attempts += 1
+                    if attempts > self._reconnect_attempts:
+                        raise
+                    try:
+                        self._reconnect_locked()
+                    except CommunicationError:
+                        if attempts >= self._reconnect_attempts:
+                            raise
         if not isinstance(reply, Reply):
             raise ProtocolError(f"expected Reply, got {type(reply).__qualname__}")
         return reply
@@ -62,8 +148,21 @@ class MemoClient:
     def post(self, msg: object) -> None:
         """Send *msg* without waiting; its ack is drained later."""
         with self._lock:
-            send_message(self._conn, msg)
-            self._pending_acks += 1
+            attempts = 0
+            while True:
+                try:
+                    send_message(self._conn, msg)
+                    self._pending_acks += 1
+                    return
+                except ConnectionClosedError:
+                    attempts += 1
+                    if attempts > self._reconnect_attempts:
+                        raise
+                    try:
+                        self._reconnect_locked()
+                    except CommunicationError:
+                        if attempts >= self._reconnect_attempts:
+                            raise
 
     def flush(self) -> None:
         """Wait for all outstanding async acknowledgements."""

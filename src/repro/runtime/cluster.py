@@ -22,8 +22,9 @@ from repro.network.connection import Address, Transport
 from repro.network.protocol import StatsRequest
 from repro.network.tcp import TCPTransport
 from repro.network.transport import InMemoryTransport, NetworkFabric
+from repro.replication.resync import Resyncer
 from repro.runtime.client import MemoClient
-from repro.runtime.registration import register_everywhere
+from repro.runtime.registration import register_everywhere, registration_request_for
 from repro.servers.hashing import HashWeightPolicy
 from repro.servers.memo_server import MEMO_PORT, MemoServer
 from repro.sim.metrics import ClusterMetrics
@@ -43,6 +44,10 @@ class Cluster:
         policy: hash-weight policy installed on every memo server
             (ablation knob for SEC5A/ABL1).
         idle_timeout: thread-cache idle timer for all servers.
+        heartbeat_interval: failure-detector probe period for every server
+            (probing only runs while some app has ``replication_factor > 1``).
+        failure_threshold: consecutive missed probes before a host is
+            suspected dead.
     """
 
     def __init__(
@@ -53,6 +58,8 @@ class Cluster:
         latency: LatencyModel | None = None,
         policy: HashWeightPolicy | None = None,
         idle_timeout: float = 2.0,
+        heartbeat_interval: float = 0.1,
+        failure_threshold: int = 3,
     ) -> None:
         adf.validate()
         self.adf = adf
@@ -61,7 +68,13 @@ class Cluster:
         self.servers: dict[str, MemoServer] = {}
         self.fabric: NetworkFabric | None = None
         self._transports: dict[str, Transport] = {}
-        self._registered_apps: set[str] = set()
+        self._registered_adfs: dict[str, ADF] = {}
+        self._server_kwargs = {
+            "idle_timeout": idle_timeout,
+            "policy": policy,
+            "heartbeat_interval": heartbeat_interval,
+            "failure_threshold": failure_threshold,
+        }
         self._lock = threading.Lock()
         self._started = False
 
@@ -76,9 +89,8 @@ class Cluster:
                     host,
                     transport,
                     address_book=self.address_book,
-                    idle_timeout=idle_timeout,
-                    policy=policy,
                     listen_port=MEMO_PORT,
+                    **self._server_kwargs,
                 )
         elif transport_kind == "tcp":
             if latency is not None and not latency.is_zero:
@@ -92,9 +104,8 @@ class Cluster:
                     host,
                     transport,
                     address_book=self.address_book,
-                    idle_timeout=idle_timeout,
-                    policy=policy,
                     listen_port=0,  # OS-assigned; recorded in the book
+                    **self._server_kwargs,
                 )
         else:
             raise RuntimeLaunchError(f"unknown transport kind {transport_kind!r}")
@@ -122,6 +133,80 @@ class Cluster:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
+    # -- chaos / fail-over lifecycle ------------------------------------------------
+
+    def kill_host(self, host: str) -> None:
+        """Take *host*'s memo server down, simulating a machine loss.
+
+        The host's listener unbinds and its blocked getters are woken, so
+        peers see connection failures, suspect it, and fail folders over
+        to backups.  The dead server object stays in :attr:`servers` until
+        :meth:`restart_host` replaces it.
+        """
+        server = self.servers.get(host)
+        if server is None:
+            raise RuntimeLaunchError(f"no memo server on host {host!r}")
+        server.stop()
+
+    def restart_host(self, host: str) -> dict[str, dict[str, int]]:
+        """Bring a killed host back empty, re-register it, and resync it.
+
+        Models a machine rejoining after a crash: a fresh memo server
+        binds the host's address, learns every registered application
+        again, and then runs one anti-entropy round
+        (:class:`~repro.replication.resync.Resyncer`) so peers return the
+        folders it primaries and re-seed its replica store.  Returns the
+        per-peer resync stats (empty when nothing replicates).
+        """
+        old = self.servers.get(host)
+        if old is None:
+            raise RuntimeLaunchError(f"no memo server on host {host!r}")
+        old.stop()  # idempotent; normally already dead
+        transport = self._transports[host]
+        listen_port = MEMO_PORT if self.transport_kind == "memory" else 0
+        server = MemoServer(
+            host,
+            transport,
+            address_book=self.address_book,
+            listen_port=listen_port,
+            **self._server_kwargs,
+        )
+        # The book may still hold the dead server's address (TCP ports are
+        # dynamic); the shared dict updates every peer at once.
+        self.address_book[host] = server.address
+        self.servers[host] = server
+        if self._started:
+            server.start()
+        with self._lock:
+            adfs = [
+                adf
+                for adf in self._registered_adfs.values()
+                if host in adf.host_names()
+            ]
+        for adf in adfs:
+            self._register_one(adf, host)
+        replicated = [adf.app for adf in adfs if adf.replication_factor > 1]
+        if not replicated:
+            return {}
+        return Resyncer(host, transport, self.address_book).resync(replicated)
+
+    def _register_one(self, adf: ADF, host: str) -> None:
+        """Re-run the section-4.4 registration against a single host."""
+        from repro.network.protocol import recv_message, send_message
+
+        request = registration_request_for(adf)
+        conn = self._transports[host].connect(self.address_book[host])
+        try:
+            send_message(conn, request)
+            reply = recv_message(conn, timeout=10.0)
+        finally:
+            conn.close()
+        if not getattr(reply, "ok", False):
+            raise RuntimeLaunchError(
+                f"memo server on {host} rejected re-registration: "
+                f"{getattr(reply, 'error', 'unknown error')}"
+            )
+
     # -- registration -------------------------------------------------------------
 
     def register(self, adf: ADF | None = None) -> None:
@@ -139,12 +224,12 @@ class Cluster:
         anchor = target.host_names()[0]
         register_everywhere(target, self._transports[anchor], self.address_book)
         with self._lock:
-            self._registered_apps.add(target.app)
+            self._registered_adfs[target.app] = target
 
     @property
     def registered_apps(self) -> tuple[str, ...]:
         with self._lock:
-            return tuple(sorted(self._registered_apps))
+            return tuple(sorted(self._registered_adfs))
 
     def rebalance(self, adf: ADF) -> dict[str, dict]:
         """Re-register *adf* and migrate folder contents to their new owners.

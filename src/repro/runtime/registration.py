@@ -29,6 +29,7 @@ def registration_request_for(adf: ADF) -> RegisterRequest:
         links=adf.links_dict(),
         host_costs=adf.host_power(),
         folder_servers=tuple(adf.folder_server_placement()),
+        replication_factor=adf.replication_factor,
     )
 
 

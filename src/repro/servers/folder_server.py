@@ -30,7 +30,7 @@ from typing import Callable
 
 from repro.core.keys import FolderName
 from repro.core.memo import MemoRecord
-from repro.errors import FolderServerError, ShutdownError
+from repro.errors import FolderMigratedError, FolderServerError, ShutdownError
 
 __all__ = ["Folder", "FolderServer", "FolderServerStats"]
 
@@ -63,6 +63,9 @@ class Folder:
     #: Parked ``put_delayed`` memos: (record, release-to folder).
     delayed: list[tuple[MemoRecord, FolderName]] = field(default_factory=list)
     waiters: int = 0
+    #: Set when the folder is extracted for migration; blocked waiters wake
+    #: with :class:`FolderMigratedError` and re-route.
+    migrated: bool = False
 
     def is_vanished(self) -> bool:
         """True when nothing keeps this folder alive."""
@@ -110,7 +113,10 @@ class FolderServer:
         return folder
 
     def _maybe_vanish(self, folder: Folder) -> None:
-        if folder.is_vanished() and folder.name in self._folders:
+        # Identity check, not name check: a waiter interrupted by
+        # migration holds a *detached* Folder whose name may since have
+        # been re-created; vanishing the newcomer would drop its memos.
+        if folder.is_vanished() and self._folders.get(folder.name) is folder:
             del self._folders[folder.name]
             self.stats.folders_vanished += 1
 
@@ -125,12 +131,17 @@ class FolderServer:
 
     # -- operations -----------------------------------------------------------
 
-    def put(self, name: FolderName, record: MemoRecord) -> None:
+    def put(
+        self, name: FolderName, record: MemoRecord, *, trigger_release: bool = True
+    ) -> None:
         """Deposit *record* into folder *name*; never blocks.
 
         Arrival also triggers release of every delayed memo parked on the
         folder (section 6.1.2: "It will remain in the folder key1 until
-        another memo arrives into that folder").
+        another memo arrives into that folder").  Replica stores apply
+        copies with ``trigger_release=False``: the authoritative server
+        already ran the trigger, and re-running it per copy would release
+        each delayed memo once per replica.
         """
         to_release: list[tuple[MemoRecord, FolderName]] = []
         with self._cond:
@@ -138,7 +149,7 @@ class FolderServer:
             folder = self._folder(name)
             folder.memos.append(record)
             self.stats.puts += 1
-            if folder.delayed:
+            if folder.delayed and trigger_release:
                 to_release = folder.delayed
                 folder.delayed = []
             self._cond.notify_all()
@@ -175,9 +186,14 @@ class FolderServer:
                 if not folder.memos:
                     self.stats.blocked_waits += 1
                 ok = self._cond.wait_for(
-                    lambda: bool(folder.memos) or self._shutdown, timeout=timeout
+                    lambda: bool(folder.memos)
+                    or folder.migrated
+                    or self._shutdown,
+                    timeout=timeout,
                 )
                 self._ensure_up()
+                if folder.migrated and not folder.memos:
+                    raise FolderMigratedError(f"folder {name} migrated away")
                 if not ok:
                     raise TimeoutError(f"get({name}) timed out")
                 record = self._pick(folder)
@@ -197,9 +213,14 @@ class FolderServer:
                 if not folder.memos:
                     self.stats.blocked_waits += 1
                 ok = self._cond.wait_for(
-                    lambda: bool(folder.memos) or self._shutdown, timeout=timeout
+                    lambda: bool(folder.memos)
+                    or folder.migrated
+                    or self._shutdown,
+                    timeout=timeout,
                 )
                 self._ensure_up()
+                if folder.migrated and not folder.memos:
+                    raise FolderMigratedError(f"folder {name} migrated away")
                 if not ok:
                     raise TimeoutError(f"get_copy({name}) timed out")
                 record = self._peek(folder)
@@ -255,22 +276,50 @@ class FolderServer:
 
         Used by ownership rebalancing: when an application re-registers
         with new host costs, folders whose new owner is elsewhere are
-        extracted here and re-deposited through normal routing.  Folders
-        with blocked waiters are skipped — a waiter is pinned to this
-        server's condition variable, so migrating underneath it would
-        strand it; such folders migrate when the waiter leaves.
+        extracted here and re-deposited through normal routing.  Blocked
+        waiters are *interrupted* with :class:`FolderMigratedError` rather
+        than skipped: new puts route to the folder's new owner, so a waiter
+        left pinned to this condition variable would strand forever; the
+        memo server catches the interrupt and re-blocks the get at the new
+        home.
         """
         moved = []
         with self._cond:
             self._ensure_up()
             for name in list(self._folders):
                 folder = self._folders[name]
-                if folder.waiters > 0 or not should_move(name):
+                if not should_move(name):
                     continue
                 del self._folders[name]
                 self.stats.folders_vanished += 1
-                moved.append((name, folder.memos, folder.delayed))
+                memos, delayed = folder.memos, folder.delayed
+                if folder.waiters:
+                    # Detach the contents before flagging, so a woken
+                    # waiter cannot consume a memo migration is moving.
+                    folder.memos, folder.delayed = [], []
+                    folder.migrated = True
+                moved.append((name, memos, delayed))
+            self._cond.notify_all()
         return moved
+
+    def snapshot_folders(
+        self,
+        predicate: Callable[[FolderName], bool],
+    ) -> list[tuple[FolderName, list[MemoRecord], list[tuple[MemoRecord, FolderName]]]]:
+        """Copies of every folder *predicate* selects, without removal.
+
+        Anti-entropy re-seeding reads through this: unlike
+        :meth:`extract_folders` the folders stay in place (the data is
+        being *copied* to a backup, not re-homed), so blocked waiters are
+        irrelevant and included.
+        """
+        out = []
+        with self._cond:
+            self._ensure_up()
+            for name, folder in self._folders.items():
+                if predicate(name):
+                    out.append((name, list(folder.memos), list(folder.delayed)))
+        return out
 
     # -- introspection ----------------------------------------------------------
 

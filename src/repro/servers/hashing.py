@@ -35,7 +35,13 @@ from repro.core.keys import FolderName
 from repro.errors import ServerError
 from repro.network.routing import RoutingTable
 
-__all__ = ["weighted_rendezvous", "HashWeightPolicy", "FolderPlacement"]
+__all__ = [
+    "weighted_rendezvous",
+    "weighted_rendezvous_ranked",
+    "weighted_rendezvous_topk",
+    "HashWeightPolicy",
+    "FolderPlacement",
+]
 
 _HASH_DENOM = float(1 << 64)
 
@@ -48,8 +54,46 @@ def _unit_hash(key: bytes, salt: bytes) -> float:
     return x / (_HASH_DENOM + 2.0)
 
 
+def weighted_rendezvous_ranked(key: bytes, weights: dict[str, float]) -> list[str]:
+    """All server ids for *key*, ordered by descending rendezvous score.
+
+    The first entry is exactly :func:`weighted_rendezvous`'s winner; the
+    rest form the natural fail-over order: removing the winner from the
+    weight set promotes the runner-up, which is what makes the ranking a
+    consistent replica chain — every host computes the same chain from the
+    same shared inputs, with no coordination.
+    """
+    if not weights:
+        raise ServerError("weighted_rendezvous requires at least one server")
+    scored: list[tuple[float, str]] = []
+    for sid in sorted(weights):
+        w = weights[sid]
+        if w <= 0:
+            raise ServerError(f"server {sid!r} has non-positive weight {w}")
+        u = _unit_hash(key, sid.encode("utf-8"))
+        scored.append((-w / math.log(u), sid))
+    # Descending score; ties (impossible with a 256-bit hash, but kept
+    # deterministic) break toward the lexically smaller id, matching the
+    # strict-greater scan the top-1 function historically used.
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [sid for _score, sid in scored]
+
+
+def weighted_rendezvous_topk(key: bytes, weights: dict[str, float], k: int) -> list[str]:
+    """The *k* highest-scoring server ids for *key* (ordered)."""
+    if k < 1:
+        raise ServerError(f"top-k rendezvous needs k >= 1, got {k}")
+    return weighted_rendezvous_ranked(key, weights)[:k]
+
+
 def weighted_rendezvous(key: bytes, weights: dict[str, float]) -> str:
     """Pick the winning server id for *key* under rendezvous weights.
+
+    Kept as a single allocation-free scan rather than
+    ``weighted_rendezvous_ranked(...)[0]`` — this is the per-request hot
+    path for the default single-owner configuration, and the strict-``>``
+    over ascending ids gives the identical tie-break as the ranking's
+    ``(-score, sid)`` sort.
 
     Args:
         key: canonical folder-name bytes.
@@ -112,6 +156,10 @@ class FolderPlacement:
         routing: the application's routing table (for the locality
             discount); optional when the policy disables link costs.
         policy: which signals to use.
+        replication_factor: how many *distinct hosts* should hold each
+            folder (primary first).  1 — the default — reproduces the
+            paper's single-owner placement exactly; K > 1 extends each
+            folder's rendezvous ranking into an ordered replica chain.
     """
 
     def __init__(
@@ -120,10 +168,16 @@ class FolderPlacement:
         host_power: dict[str, float],
         routing: RoutingTable | None = None,
         policy: HashWeightPolicy | None = None,
+        replication_factor: int = 1,
     ) -> None:
         if not folder_servers:
             raise ServerError("an application needs at least one folder server")
+        if replication_factor < 1:
+            raise ServerError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
         self.policy = policy or HashWeightPolicy()
+        self.replication_factor = replication_factor
         self.servers: dict[str, str] = {}
         for sid, host in folder_servers:
             if sid in self.servers:
@@ -185,3 +239,32 @@ class FolderPlacement:
         """Convenience: ``(server_id, host)`` owning *folder*."""
         sid = self.place(folder)
         return sid, self.servers[sid]
+
+    def replica_chain(self, folder: FolderName) -> tuple[tuple[str, str], ...]:
+        """The ordered ``(server_id, host)`` replica set for *folder*.
+
+        The chain walks the full rendezvous ranking and keeps the first
+        server seen on each *distinct* host, up to the replication factor —
+        co-hosted backups would not survive a host loss, so a host appears
+        at most once.  Entry 0 is always :meth:`place_host`'s owner; the
+        chain is shorter than the factor when the application simply has
+        fewer hosts.  Every host derives the identical chain from the
+        shared ADF inputs (the same consistency argument as for
+        single-owner placement).
+        """
+        if self.replication_factor == 1:
+            # The dominant (default) case: skip the full ranking sort and
+            # take the seed system's single-scan winner directly.
+            return (self.place_host(folder),)
+        ranked = weighted_rendezvous_ranked(folder.canonical(), self._weights)
+        chain: list[tuple[str, str]] = []
+        hosts_taken: set[str] = set()
+        for sid in ranked:
+            host = self.servers[sid]
+            if host in hosts_taken:
+                continue
+            chain.append((sid, host))
+            hosts_taken.add(host)
+            if len(chain) >= self.replication_factor:
+                break
+        return tuple(chain)

@@ -23,6 +23,17 @@ Every request receives exactly one :class:`~repro.network.protocol.Reply`
 on its connection; asynchronous ``put`` is a *client-side* behaviour (the
 client defers reading the acknowledgement), so the server protocol stays
 strictly request/reply.
+
+Replication (``replication_factor > 1``): a folder's placement becomes an
+ordered *replica chain* of distinct hosts.  The router walks the chain,
+skipping hosts the local :class:`~repro.replication.failure.FailureDetector`
+suspects, so reads land on a live backup when the primary dies; whichever
+chain member accepts a write applies it locally and fans
+:class:`~repro.network.protocol.ReplicatePut` copies out to the other live
+members before acknowledging.  Backup copies live in per-server *replica*
+folder servers, kept apart from primary data so ownership, migration, and
+stats stay exact.  With the default factor of 1 every one of these paths
+collapses to the paper's single-owner behaviour.
 """
 
 from __future__ import annotations
@@ -35,8 +46,11 @@ from repro.core.memo import MemoRecord
 from repro.errors import (
     CommunicationError,
     ConnectionClosedError,
+    FolderMigratedError,
+    HostDownError,
     NotRegisteredError,
     ProtocolError,
+    ReplicationError,
     RoutingError,
     ServerError,
     ShutdownError,
@@ -46,17 +60,21 @@ from repro.network.protocol import (
     ForwardEnvelope,
     GetAltSkipRequest,
     GetRequest,
+    Heartbeat,
     MigrateRequest,
     PutDelayedRequest,
     PutRequest,
     RegisterRequest,
+    ReplicatePut,
     Reply,
     ShutdownRequest,
     StatsRequest,
+    SyncPull,
     recv_message,
     send_message,
 )
 from repro.network.routing import RoutingTable
+from repro.replication.failure import FailureDetector, HeartbeatMonitor
 from repro.servers.folder_server import FolderServer
 from repro.servers.hashing import FolderPlacement, HashWeightPolicy
 from repro.servers.threadcache import ThreadCache
@@ -79,6 +97,12 @@ class MemoServerStats:
     forwards_in: int = 0
     registrations: int = 0
     errors: int = 0
+    replications_out: int = 0
+    replications_in: int = 0
+    replication_failures: int = 0
+    failover_dispatches: int = 0
+    resync_returned: int = 0
+    resync_reseeded: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def bump(self, name: str, by: int = 1) -> None:
@@ -101,6 +125,7 @@ class AppRegistration:
     app: str
     routing: RoutingTable
     placement: FolderPlacement
+    replication_factor: int = 1
 
 
 class _ConnectionPool:
@@ -119,7 +144,13 @@ class _ConnectionPool:
         self._lock = threading.Lock()
         self._closed = False
 
-    def acquire(self, address: Address) -> Connection:
+    def acquire(self, address: Address) -> tuple[Connection, bool]:
+        """Returns ``(conn, reused)`` — reused means it came from the pool.
+
+        A reused connection may be silently dead (its peer restarted); the
+        caller retries such failures once on a fresh connection before
+        concluding the host is down.
+        """
         with self._lock:
             if self._closed:
                 raise ShutdownError("connection pool is closed")
@@ -127,8 +158,15 @@ class _ConnectionPool:
             while bucket:
                 conn = bucket.pop()
                 if not conn.closed:
-                    return conn
-        return self._transport.connect(address)
+                    return conn, True
+        return self._transport.connect(address), False
+
+    def drop(self, address: Address) -> None:
+        """Close every idle connection to *address* (peer died/restarted)."""
+        with self._lock:
+            bucket = self._idle.pop(address, [])
+        for conn in bucket:
+            conn.close()
 
     def release(self, address: Address, conn: Connection) -> None:
         if conn.closed:
@@ -170,6 +208,11 @@ class MemoServer:
         policy: hash-weight policy for folder placement (ablation knob).
         listen_port: port to bind; defaults to :data:`MEMO_PORT` (use 0 for
             OS-assigned TCP ports).
+        heartbeat_interval: seconds between failure-detector probe rounds
+            (the monitor only runs once an application registers with
+            ``replication_factor > 1``).
+        failure_threshold: consecutive missed probes before a peer is
+            suspected dead.
     """
 
     def __init__(
@@ -180,14 +223,21 @@ class MemoServer:
         idle_timeout: float = 2.0,
         policy: HashWeightPolicy | None = None,
         listen_port: int = MEMO_PORT,
+        heartbeat_interval: float = 0.1,
+        failure_threshold: int = 3,
     ) -> None:
         self.host = host
         self.transport = transport
         self.address_book = address_book if address_book is not None else {}
         self.policy = policy
         self.stats = MemoServerStats()
+        self.failure = FailureDetector(threshold=failure_threshold)
         self._registrations: dict[str, AppRegistration] = {}
         self._folder_servers: dict[str, FolderServer] = {}
+        #: Backup copies, keyed by the *local* folder-server id named in a
+        #: folder's replica chain.  Kept apart from the primary stores so
+        #: ownership checks, migration, and live-memo counts stay exact.
+        self._replica_servers: dict[str, FolderServer] = {}
         self._reg_lock = threading.Lock()
         self._cache = ThreadCache(idle_timeout, name=f"memo-{host}")
         self._pool = _ConnectionPool(transport)
@@ -195,6 +245,15 @@ class MemoServer:
         self.address_book.setdefault(host, self._listener.address)
         self._accept_thread: threading.Thread | None = None
         self._running = threading.Event()
+        self._monitor = HeartbeatMonitor(
+            host,
+            transport,
+            self.address_book,
+            self.failure,
+            interval=heartbeat_interval,
+        )
+        self._stop_lock = threading.Lock()
+        self._stopped = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -205,6 +264,10 @@ class MemoServer:
 
     def start(self) -> None:
         """Begin accepting connections."""
+        if self._stopped:
+            raise ServerError(
+                f"memo server {self.host} was stopped; create a new instance"
+            )
         if self._running.is_set():
             raise ServerError(f"memo server {self.host} already started")
         self._running.set()
@@ -214,17 +277,30 @@ class MemoServer:
         self._accept_thread.start()
 
     def stop(self) -> None:
-        """Shut down: wake blocked getters, close listener and pool."""
-        if not self._running.is_set():
-            return
+        """Shut down: wake blocked getters, close listener and pool.
+
+        Idempotent and race-free: concurrent callers (e.g. a
+        :class:`ShutdownRequest`'s daemon thread racing a direct
+        ``stop()``) are serialized on a once-flag, and the accept thread
+        is joined so no late connection slips past the teardown.
+        """
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
         self._running.clear()
+        self._monitor.stop()
         with self._reg_lock:
             folder_servers = list(self._folder_servers.values())
+            folder_servers += list(self._replica_servers.values())
         for fs in folder_servers:
             fs.shutdown()
         self._listener.close()
         self._pool.close_all()
         self._cache.shutdown()
+        thread = self._accept_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=2.0)
 
     def _accept_loop(self) -> None:
         while self._running.is_set():
@@ -268,11 +344,20 @@ class MemoServer:
             if isinstance(msg, ForwardEnvelope):
                 return self._handle_envelope(msg)
             if isinstance(msg, (PutRequest, PutDelayedRequest, GetRequest)):
-                return self._route(msg.folder, msg)
+                return self._route_with_retry(msg.folder, msg)
             if isinstance(msg, GetAltSkipRequest):
                 return self._handle_get_alt(msg)
             if isinstance(msg, MigrateRequest):
                 return self._handle_migrate(msg)
+            if isinstance(msg, ReplicatePut):
+                return self._handle_replicate(msg)
+            if isinstance(msg, Heartbeat):
+                # Hearing from a host is itself proof of life.
+                if msg.host:
+                    self.failure.mark_alive(msg.host)
+                return Reply(ok=True)
+            if isinstance(msg, SyncPull):
+                return self._handle_sync_pull(msg)
             if isinstance(msg, StatsRequest):
                 return Reply(ok=True, stats=self._collect_stats())
             if isinstance(msg, ShutdownRequest):
@@ -281,6 +366,9 @@ class MemoServer:
             raise ProtocolError(f"unhandled message {type(msg).__qualname__}")
         except ShutdownError as exc:
             return Reply(ok=False, error=f"shutdown: {exc}")
+        except HostDownError as exc:
+            self.stats.bump("errors")
+            return Reply(ok=False, error=f"host down: {exc}")
         except (NotRegisteredError, RoutingError, ServerError, ProtocolError) as exc:
             self.stats.bump("errors")
             return Reply(ok=False, error=f"{type(exc).__name__}: {exc}")
@@ -300,9 +388,12 @@ class MemoServer:
             host_power=dict(msg.host_costs),
             routing=routing,
             policy=self.policy,
+            replication_factor=msg.replication_factor,
         )
         with self._reg_lock:
-            self._registrations[msg.app] = AppRegistration(msg.app, routing, placement)
+            self._registrations[msg.app] = AppRegistration(
+                msg.app, routing, placement, msg.replication_factor
+            )
             # Materialize folder servers placed on this host (shared across
             # applications: identity is the server id, data is disjoint
             # because folder names are app-qualified).
@@ -312,6 +403,10 @@ class MemoServer:
                         sid, host=self.host, emit_put=self._emit_put
                     )
         self.stats.bump("registrations")
+        # Failure detection only matters (and only costs traffic) once some
+        # application actually replicates.
+        if msg.replication_factor > 1 and self._running.is_set():
+            self._monitor.start()
         return Reply(ok=True)
 
     def registration(self, app: str) -> AppRegistration:
@@ -376,9 +471,27 @@ class MemoServer:
                             ok=False,
                             error=f"migration of delayed {name} failed: {reply.error}",
                         )
+        # Replica copies whose chain no longer lists this host are stale:
+        # the primary's own migration re-deposited (and re-fanned-out) the
+        # data, so the leftover copies are dropped, not re-routed.
+        dropped = 0
+        with self._reg_lock:
+            replica_servers = dict(self._replica_servers)
+        for sid, fs in replica_servers.items():
+            def is_stale(name: FolderName, sid: str = sid) -> bool:
+                if name.app != msg.app:
+                    return False
+                chain = reg.placement.replica_chain(name)
+                return (sid, self.host) not in chain[1:]
+
+            dropped += len(fs.extract_folders(is_stale))
         return Reply(
             ok=True,
-            stats={"migrated_folders": moved_folders, "migrated_memos": moved_memos},
+            stats={
+                "migrated_folders": moved_folders,
+                "migrated_memos": moved_memos,
+                "dropped_replica_folders": dropped,
+            },
         )
 
     def _emit_put(self, folder: FolderName, record: MemoRecord) -> None:
@@ -389,16 +502,81 @@ class MemoServer:
         if not reply.ok:
             self.stats.bump("errors")
 
-    # -- routing (sections 4.1 and 5) ----------------------------------------------
+    # -- routing (sections 4.1 and 5, plus replica-chain fail-over) ------------------
+
+    def _suspect(self, host: str) -> None:
+        """Declare *host* dead and flush idle connections to it."""
+        self.failure.mark_dead(host)
+        address = self.address_book.get(host)
+        if address is not None:
+            self._pool.drop(address)
+
+    def _route_with_retry(self, folder: FolderName, msg: object) -> Reply:
+        """Route, transparently re-routing when the folder migrates.
+
+        A blocked get whose folder is rebalanced away wakes with
+        :class:`FolderMigratedError` (locally as the exception, remotely
+        as an error reply); the placement in force *now* names the
+        folder's new home, so the request simply re-enters routing and
+        re-blocks there.  Bounded to catch pathological ping-ponging.
+        """
+        for _attempt in range(8):
+            try:
+                reply = self._route(folder, msg)
+            except FolderMigratedError:
+                continue
+            if not reply.ok and "FolderMigratedError" in reply.error:
+                continue
+            return reply
+        return Reply(
+            ok=False, error=f"folder {folder} kept migrating; giving up"
+        )
 
     def _route(self, folder: FolderName, msg: object) -> Reply:
+        """Serve *msg* at the first reachable member of *folder*'s chain.
+
+        With ``replication_factor=1`` the chain is exactly the single
+        owner, and this walks the seed code path: local dispatch or one
+        forward, errors propagated unchanged.  With a longer chain,
+        suspected hosts are skipped up front (unless *every* member is
+        suspected, in which case each is tried — a wholly-suspected chain
+        usually means the detector is stale, not the cluster gone), and a
+        connection failure or shutdown reply marks the host dead and falls
+        through to the next member.
+        """
         reg = self.registration(folder.app)
-        sid, owner_host = reg.placement.place_host(folder)
-        if owner_host == self.host:
-            self.stats.bump("local_dispatches")
-            return self._dispatch_local(sid, msg)
-        self.stats.bump("forwards_out")
-        return self._forward(reg, owner_host, msg)
+        chain = reg.placement.replica_chain(folder)
+        candidates = [c for c in chain if self.failure.is_alive(c[1])]
+        if not candidates:
+            candidates = list(chain)
+        failures: list[str] = []
+        for index, (sid, host) in enumerate(candidates):
+            last = index == len(candidates) - 1
+            if host == self.host:
+                self.stats.bump("local_dispatches")
+                return self._dispatch_chain(reg, chain, sid, msg)
+            self.stats.bump("forwards_out")
+            try:
+                reply = self._forward(reg, host, msg)
+            except CommunicationError as exc:
+                if len(chain) == 1:
+                    raise
+                self._suspect(host)
+                failures.append(f"{host}: {exc}")
+                if last:
+                    break
+                continue
+            if not reply.ok and reply.error.startswith("shutdown:") and not last:
+                # The member answered mid-teardown; its data is on the
+                # next chain member, so treat it like a dead host.
+                self._suspect(host)
+                failures.append(f"{host}: {reply.error}")
+                continue
+            return reply
+        raise HostDownError(
+            f"no reachable replica for {folder} "
+            f"(chain {[h for _s, h in chain]}): " + "; ".join(failures)
+        )
 
     def _forward(self, reg: AppRegistration, owner_host: str, msg: object) -> Reply:
         envelope = ForwardEnvelope(
@@ -414,15 +592,41 @@ class MemoServer:
         address = self.address_book.get(next_hop)
         if address is None:
             raise RoutingError(f"no address known for host {next_hop!r}")
-        conn = self._pool.acquire(address)
-        try:
-            send_message(conn, envelope)
-            reply = recv_message(conn)
-        except (ConnectionClosedError, TimeoutError) as exc:
-            self._pool.discard(conn)
-            raise CommunicationError(
-                f"forward to {envelope.target_host} via {next_hop} failed: {exc}"
-            ) from exc
+        retried = False
+        while True:
+            conn, reused = self._pool.acquire(address)
+            try:
+                send_message(conn, envelope)
+                reply = recv_message(conn)
+            except (ConnectionClosedError, TimeoutError) as exc:
+                self._pool.discard(conn)
+                if reused and not retried:
+                    # A pooled connection can be silently dead (the peer
+                    # restarted since it idled); flush the bucket and try
+                    # once on a provably fresh connection before deciding
+                    # the host itself is down.
+                    self._pool.drop(address)
+                    retried = True
+                    continue
+                raise CommunicationError(
+                    f"forward to {envelope.target_host} via {next_hop} failed: {exc}"
+                ) from exc
+            if (
+                reused
+                and not retried
+                and isinstance(reply, Reply)
+                and not reply.ok
+                and reply.error.startswith("shutdown:")
+            ):
+                # A zombie serving thread of a dead incarnation can answer
+                # one last request on a pooled connection with a shutdown
+                # error while a restarted server is already healthy at the
+                # same address — same staleness, different symptom.
+                self._pool.discard(conn)
+                self._pool.drop(address)
+                retried = True
+                continue
+            break
         self._pool.release(address, conn)
         if not isinstance(reply, Reply):
             raise ProtocolError(
@@ -440,16 +644,20 @@ class MemoServer:
         if envelope.target_host == self.host:
             if isinstance(inner, (PutRequest, PutDelayedRequest, GetRequest)):
                 reg = self.registration(envelope.app)
-                sid, owner_host = reg.placement.place_host(inner.folder)
-                if owner_host != self.host:
+                chain = reg.placement.replica_chain(inner.folder)
+                entry = self._chain_entry(chain, self.host)
+                if entry is None:
                     raise RoutingError(
-                        f"folder {inner.folder} hashed to {owner_host}, "
-                        f"but envelope targeted {self.host} — inconsistent ADFs?"
+                        f"folder {inner.folder} is not chained to {self.host} "
+                        f"(chain {[h for _s, h in chain]}), but the envelope "
+                        f"targeted it — inconsistent ADFs?"
                     )
                 self.stats.bump("local_dispatches")
-                return self._dispatch_local(sid, inner)
+                return self._dispatch_chain(reg, chain, entry[0], inner)
             if isinstance(inner, GetAltSkipRequest):
                 return self._get_alt_local(inner)
+            if isinstance(inner, ReplicatePut):
+                return self._handle_replicate(inner)
             raise ProtocolError(
                 f"envelope carried unexpected {type(inner).__qualname__}"
             )
@@ -473,8 +681,58 @@ class MemoServer:
             raise ServerError(f"host {self.host} has no folder server {sid!r}")
         return fs
 
-    def _dispatch_local(self, sid: str, msg: object) -> Reply:
-        fs = self._folder_server(sid)
+    def _replica_server(self, sid: str) -> FolderServer:
+        """The backup store for chain entries naming local server *sid*."""
+        with self._reg_lock:
+            fs = self._replica_servers.get(sid)
+            if fs is None:
+                fs = FolderServer(
+                    f"replica:{sid}", host=self.host, emit_put=self._emit_put
+                )
+                self._replica_servers[sid] = fs
+        return fs
+
+    @staticmethod
+    def _chain_entry(
+        chain: tuple[tuple[str, str], ...], host: str
+    ) -> tuple[str, str] | None:
+        """This host's ``(sid, host)`` entry in a replica chain, if any."""
+        for sid, chain_host in chain:
+            if chain_host == host:
+                return sid, chain_host
+        return None
+
+    def _dispatch_chain(
+        self,
+        reg: AppRegistration,
+        chain: tuple[tuple[str, str], ...],
+        sid: str,
+        msg: object,
+    ) -> Reply:
+        """Serve *msg* on this host — as primary, or as acting backup.
+
+        The primary serves from its ordinary folder server; a backup
+        serves from its replica store (which holds copies of everything
+        the dead primary acknowledged — this is what lets blocked ``get``\\ s
+        complete through a fail-over).  Whoever accepts a write fans it out
+        to the other live chain members *before* acknowledging, so an
+        acknowledged put survives the loss of any single chain member.
+        """
+        is_primary = chain[0][1] == self.host
+        if is_primary:
+            sid = chain[0][0]
+            fs = self._folder_server(sid)
+        else:
+            self.stats.bump("failover_dispatches")
+            fs = self._replica_server(sid)
+        reply = self._apply_store(fs, msg)
+        if reply.ok and len(chain) > 1 and isinstance(
+            msg, (PutRequest, PutDelayedRequest)
+        ):
+            self._fan_out(reg, chain, msg)
+        return reply
+
+    def _apply_store(self, fs: FolderServer, msg: object) -> Reply:
         if isinstance(msg, PutRequest):
             fs.put(msg.folder, MemoRecord(payload=msg.payload, origin=msg.origin))
             return Reply(ok=True, found=True)
@@ -500,6 +758,229 @@ class MemoServer:
             )
         raise ProtocolError(f"cannot dispatch {type(msg).__qualname__} locally")
 
+    # -- replication (replica chains, fan-out, anti-entropy) -------------------------
+
+    def _fan_out(
+        self,
+        reg: AppRegistration,
+        chain: tuple[tuple[str, str], ...],
+        msg: PutRequest | PutDelayedRequest,
+    ) -> None:
+        """Copy an accepted write to every other live chain member.
+
+        Failures demote the target to dead and are counted, not raised:
+        the write is already durable on this host, and the dead member
+        will pull the copy back through anti-entropy when it rejoins.
+        """
+        if isinstance(msg, PutDelayedRequest):
+            rep = ReplicatePut(
+                app=reg.app,
+                folder=msg.folder,
+                payload=msg.payload,
+                origin=msg.origin,
+                delayed=True,
+                release_to=msg.release_to,
+            )
+        else:
+            rep = ReplicatePut(
+                app=reg.app,
+                folder=msg.folder,
+                payload=msg.payload,
+                origin=msg.origin,
+            )
+        for _sid, member in chain:
+            if member == self.host or not self.failure.is_alive(member):
+                continue
+            try:
+                reply = self._send_envelope(
+                    reg,
+                    ForwardEnvelope(
+                        app=reg.app,
+                        target_host=member,
+                        inner=encode(rep),
+                        trail=(self.host,),
+                    ),
+                )
+            except CommunicationError:
+                self._suspect(member)
+                self.stats.bump("replication_failures")
+                continue
+            if reply.ok:
+                self.stats.bump("replications_out")
+            else:
+                self.stats.bump("replication_failures")
+
+    def _handle_replicate(self, msg: ReplicatePut) -> Reply:
+        """Apply a replica copy to the right local store.
+
+        A backup stores the copy in its replica server; re-application is
+        *quiet* (no delayed-release trigger) because the authoritative
+        member already ran the trigger — running it again on every copy
+        would release each delayed memo once per replica.
+        """
+        reg = self.registration(msg.app)
+        chain = reg.placement.replica_chain(msg.folder)
+        entry = self._chain_entry(chain, self.host)
+        if entry is None:
+            raise ReplicationError(
+                f"{self.host} is not in the replica chain of {msg.folder} "
+                f"(chain {[h for _s, h in chain]})"
+            )
+        self.stats.bump("replications_in")
+        if chain[0][1] == self.host:
+            fs = self._folder_server(chain[0][0])
+        else:
+            fs = self._replica_server(entry[0])
+        record = MemoRecord(payload=msg.payload, origin=msg.origin)
+        if msg.delayed:
+            assert msg.release_to is not None  # enforced by the message
+            fs.put_delayed(msg.folder, msg.release_to, record)
+        else:
+            fs.put(msg.folder, record, trigger_release=False)
+        return Reply(ok=True, found=True)
+
+    def _handle_sync_pull(self, msg: SyncPull) -> Reply:
+        """Anti-entropy: return and re-seed memos for a rejoined host.
+
+        Phase 1 *returns* replica-held folders whose primary is the
+        requester by extracting them and re-depositing through ordinary
+        routing — the same machinery as :class:`MigrateRequest`; the
+        requester's own fan-out then rebuilds the backups.  Phase 2
+        *re-seeds* the requester's replica store with copies of local
+        primary folders that name it as a backup.
+        """
+        reg = self.registration(msg.app)
+        # A pull is proof the requester is back (it may still be marked
+        # dead here, which would bounce the returned puts straight back
+        # into our own replica store).
+        self.failure.mark_alive(msg.requester)
+        with self._reg_lock:
+            replicas = dict(self._replica_servers)
+            primaries = dict(self._folder_servers)
+
+        returned = 0
+        for fs in replicas.values():
+            def primary_is_requester(name: FolderName) -> bool:
+                if name.app != msg.app:
+                    return False
+                chain = reg.placement.replica_chain(name)
+                return chain[0][1] == msg.requester
+
+            extracted = fs.extract_folders(primary_is_requester)
+            failure: str | None = None
+            for index, (name, memos, delayed) in enumerate(extracted):
+                # Consume each list head only after a confirmed return, so
+                # a mid-stream failure leaves exactly the unreturned tail.
+                while memos and failure is None:
+                    record = memos[0]
+                    failure = self._route_soft(
+                        name,
+                        PutRequest(
+                            folder=name, payload=record.payload, origin=record.origin
+                        ),
+                    )
+                    if failure is None:
+                        memos.pop(0)
+                        returned += 1
+                while delayed and failure is None:
+                    record, release_to = delayed[0]
+                    failure = self._route_soft(
+                        name,
+                        PutDelayedRequest(
+                            folder=name,
+                            release_to=release_to,
+                            payload=record.payload,
+                            origin=record.origin,
+                        ),
+                    )
+                    if failure is None:
+                        delayed.pop(0)
+                        returned += 1
+                if failure is not None:
+                    # These replica copies may be the memos' only
+                    # surviving incarnation (the requester restarted
+                    # empty); put everything unreturned back so a later
+                    # pull still finds it, then report the failure.
+                    for rname, rmemos, rdelayed in extracted[index:]:
+                        for rec in rmemos:
+                            fs.put(rname, rec, trigger_release=False)
+                        for rec, rel in rdelayed:
+                            fs.put_delayed(rname, rel, rec)
+                    self.stats.bump("resync_returned", returned)
+                    return Reply(
+                        ok=False, error=f"resync of {name} failed: {failure}"
+                    )
+
+        reseeded = 0
+        for sid, fs in primaries.items():
+            snapshot = fs.snapshot_folders(lambda name: name.app == msg.app)
+            for name, memos, delayed in snapshot:
+                chain = reg.placement.replica_chain(name)
+                if chain[0] != (sid, self.host):
+                    continue
+                if not any(h == msg.requester for _s, h in chain[1:]):
+                    continue
+                for record in memos:
+                    reseeded += self._reseed(
+                        reg,
+                        msg.requester,
+                        ReplicatePut(
+                            app=msg.app,
+                            folder=name,
+                            payload=record.payload,
+                            origin=record.origin,
+                        ),
+                    )
+                for record, release_to in delayed:
+                    reseeded += self._reseed(
+                        reg,
+                        msg.requester,
+                        ReplicatePut(
+                            app=msg.app,
+                            folder=name,
+                            payload=record.payload,
+                            origin=record.origin,
+                            delayed=True,
+                            release_to=release_to,
+                        ),
+                    )
+
+        self.stats.bump("resync_returned", returned)
+        self.stats.bump("resync_reseeded", reseeded)
+        return Reply(ok=True, stats={"returned": returned, "reseeded": reseeded})
+
+    def _route_soft(self, folder: FolderName, msg: object) -> str | None:
+        """Route, reporting any failure as a string instead of raising."""
+        try:
+            reply = self._route(folder, msg)
+        except (CommunicationError, ServerError) as exc:
+            return f"{type(exc).__name__}: {exc}"
+        if not reply.ok:
+            return reply.error
+        return None
+
+    def _reseed(self, reg: AppRegistration, target: str, rep: ReplicatePut) -> int:
+        """Push one replica copy to *target*; returns 1 on success."""
+        try:
+            reply = self._send_envelope(
+                reg,
+                ForwardEnvelope(
+                    app=reg.app,
+                    target_host=target,
+                    inner=encode(rep),
+                    trail=(self.host,),
+                ),
+            )
+        except CommunicationError:
+            self._suspect(target)
+            self.stats.bump("replication_failures")
+            return 0
+        if not reply.ok:
+            self.stats.bump("replication_failures")
+            return 0
+        self.stats.bump("replications_out")
+        return 1
+
     # -- get_alt (section 6.1.2) -------------------------------------------------------
 
     def _handle_get_alt(self, msg: GetAltSkipRequest) -> Reply:
@@ -518,7 +999,7 @@ class MemoServer:
         groups: dict[str, list[FolderName]] = {}
         order: list[str] = []
         for folder in msg.folders:
-            _sid, owner = reg.placement.place_host(folder)
+            owner = self._serving_host(reg, folder)
             if owner not in groups:
                 groups[owner] = []
                 order.append(owner)
@@ -545,24 +1026,41 @@ class MemoServer:
                 return reply
         return Reply(ok=True, found=False)
 
+    def _serving_host(self, reg: AppRegistration, folder: FolderName) -> str:
+        """The first chain member believed alive (primary when healthy)."""
+        chain = reg.placement.replica_chain(folder)
+        for _sid, host in chain:
+            if self.failure.is_alive(host):
+                return host
+        return chain[0][1]
+
     def _get_alt_local(self, msg: GetAltSkipRequest) -> Reply:
-        """Check co-located folders, grouped per owning folder server."""
+        """Check co-located folders, grouped per serving folder server.
+
+        A folder may be served here as its primary or — when its primary
+        is dead — out of this host's replica store; the two stores are
+        checked under distinct group keys so a folder never reads from the
+        wrong one.
+        """
         reg = self.registration(msg.folders[0].app)
-        by_sid: dict[str, list[FolderName]] = {}
-        order: list[str] = []
+        by_store: dict[tuple[bool, str], list[FolderName]] = {}
+        order: list[tuple[bool, str]] = []
         for folder in msg.folders:
-            sid, owner = reg.placement.place_host(folder)
-            if owner != self.host:
+            chain = reg.placement.replica_chain(folder)
+            entry = self._chain_entry(chain, self.host)
+            if entry is None:
                 raise RoutingError(
-                    f"folder {folder} is owned by {owner}, not {self.host}"
+                    f"folder {folder} is not chained to {self.host} "
+                    f"(chain {[h for _s, h in chain]})"
                 )
-            if sid not in by_sid:
-                by_sid[sid] = []
-                order.append(sid)
-            by_sid[sid].append(folder)
-        for sid in order:
-            fs = self._folder_server(sid)
-            hit = fs.get_alt_skip(tuple(by_sid[sid]))
+            key = (chain[0][1] == self.host, entry[0])
+            if key not in by_store:
+                by_store[key] = []
+                order.append(key)
+            by_store[key].append(folder)
+        for is_primary, sid in order:
+            fs = self._folder_server(sid) if is_primary else self._replica_server(sid)
+            hit = fs.get_alt_skip(tuple(by_store[(is_primary, sid)]))
             if hit is not None:
                 name, record = hit
                 return Reply(ok=True, found=True, payload=record.payload, folder=name)
@@ -575,19 +1073,31 @@ class MemoServer:
         stats.update(
             {f"cache.{k}": v for k, v in self._cache.stats.snapshot().items()}
         )
+        stats.update(
+            {f"failure.{k}": v for k, v in self.failure.snapshot().items()}
+        )
         with self._reg_lock:
             folder_servers = dict(self._folder_servers)
+            replica_servers = dict(self._replica_servers)
         for sid, fs in folder_servers.items():
             for k, v in fs.stats.snapshot().items():
                 stats[f"folder.{sid}.{k}"] = v
             stats[f"folder.{sid}.live_folders"] = fs.folder_count()
             stats[f"folder.{sid}.live_memos"] = fs.memo_count()
+        for sid, fs in replica_servers.items():
+            stats[f"replica.{sid}.live_folders"] = fs.folder_count()
+            stats[f"replica.{sid}.live_memos"] = fs.memo_count()
         return stats
 
     def local_folder_servers(self) -> dict[str, FolderServer]:
         """Direct handles to this host's folder servers (tests/benches)."""
         with self._reg_lock:
             return dict(self._folder_servers)
+
+    def local_replica_servers(self) -> dict[str, FolderServer]:
+        """Direct handles to this host's replica stores (tests/benches)."""
+        with self._reg_lock:
+            return dict(self._replica_servers)
 
     def __repr__(self) -> str:
         return f"<MemoServer {self.host} at {self.address}>"

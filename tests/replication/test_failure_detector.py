@@ -1,0 +1,111 @@
+"""Unit tests: failure detector thresholds and heartbeat probing."""
+
+import time
+
+import pytest
+
+from repro.network.connection import Address
+from repro.network.transport import InMemoryTransport, NetworkFabric
+from repro.replication.failure import FailureDetector, HeartbeatMonitor
+from repro.servers.memo_server import MEMO_PORT, MemoServer
+
+
+class TestFailureDetector:
+    def test_unknown_hosts_presumed_alive(self):
+        detector = FailureDetector()
+        assert detector.is_alive("never-seen")
+
+    def test_threshold_failures_turn_host_dead(self):
+        detector = FailureDetector(threshold=3)
+        assert not detector.record_failure("h")
+        assert not detector.record_failure("h")
+        assert detector.is_alive("h")
+        assert detector.record_failure("h")  # newly dead
+        assert not detector.is_alive("h")
+        assert not detector.record_failure("h")  # already dead
+
+    def test_mark_alive_resets_failure_count(self):
+        detector = FailureDetector(threshold=2)
+        detector.record_failure("h")
+        detector.mark_alive("h")
+        # One more failure is again below threshold.
+        assert not detector.record_failure("h")
+        assert detector.is_alive("h")
+
+    def test_mark_dead_is_immediate(self):
+        detector = FailureDetector(threshold=5)
+        detector.mark_dead("h")
+        assert not detector.is_alive("h")
+        assert detector.dead_hosts() == ("h",)
+        detector.mark_alive("h")
+        assert detector.is_alive("h")
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FailureDetector(threshold=0)
+
+
+class TestHeartbeatMonitor:
+    def _server(self, fabric, host, book):
+        transport = InMemoryTransport(fabric, host)
+        server = MemoServer(host, transport, address_book=book)
+        server.start()
+        return server, transport
+
+    def test_probe_marks_live_peer_alive_and_dead_peer_dead(self):
+        fabric = NetworkFabric()
+        book: dict[str, Address] = {}
+        a, transport_a = self._server(fabric, "a", book)
+        b, _transport_b = self._server(fabric, "b", book)
+        try:
+            detector = FailureDetector(threshold=2)
+            detector.mark_dead("b")
+            monitor = HeartbeatMonitor("a", transport_a, book, detector)
+            monitor.probe_once()
+            assert detector.is_alive("b")
+
+            b.stop()
+            monitor.probe_once()
+            monitor.probe_once()
+            assert not detector.is_alive("b")
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_receiving_a_heartbeat_marks_sender_alive(self):
+        fabric = NetworkFabric()
+        book: dict[str, Address] = {}
+        a, transport_a = self._server(fabric, "a", book)
+        b, _ = self._server(fabric, "b", book)
+        try:
+            b.failure.mark_dead("a")
+            monitor = HeartbeatMonitor("a", transport_a, book, a.failure)
+            monitor.probe_once()
+            # b heard from a, so b's detector cleared the suspicion.
+            assert b.failure.is_alive("a")
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_monitor_thread_start_stop(self):
+        fabric = NetworkFabric()
+        book: dict[str, Address] = {}
+        a, transport_a = self._server(fabric, "a", book)
+        b, _ = self._server(fabric, "b", book)
+        try:
+            detector = FailureDetector(threshold=2)
+            monitor = HeartbeatMonitor(
+                "a", transport_a, book, detector, interval=0.02
+            )
+            monitor.start()
+            assert monitor.running
+            b.stop()
+            deadline = time.monotonic() + 5.0
+            while detector.is_alive("b") and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not detector.is_alive("b")
+            monitor.stop()
+            assert not monitor.running
+        finally:
+            a.stop()
+            b.stop()
