@@ -191,7 +191,10 @@ def parse_adf(text: str) -> ADF:
         if not line:
             continue
         fields = line.split()
-        head = fields[0].upper()
+        # Section keywords are case-sensitive (always written uppercase):
+        # a lowercase data token like a host literally named "app" or
+        # "hosts" must not be mistaken for a section header.
+        head = fields[0]
 
         if head in _SECTIONS:
             section = head

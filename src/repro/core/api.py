@@ -146,6 +146,26 @@ class Memo:
         else:
             self.client.post(msg)
 
+    def put_many(
+        self, items: Iterable[tuple[Key | Symbol, object]]
+    ) -> None:
+        """Deposit a batch of ``(key, value)`` pairs in one pipelined burst.
+
+        Semantically identical to calling :meth:`put` per pair (control
+        returns immediately, acknowledgements are deferred), but the whole
+        batch rides one client lock acquisition and is written back-to-back
+        over the connection, encoding each memo only as the wire is ready
+        for it — the bulk-ingest shape the hot-path bench measures.
+        """
+        self.client.put_many(
+            PutRequest(
+                folder=self._folder(key),
+                payload=self._encode(value),
+                origin=self.process_name,
+            )
+            for key, value in items
+        )
+
     def put_delayed(
         self,
         key1: Key | Symbol,

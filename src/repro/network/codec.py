@@ -1,0 +1,392 @@
+"""Compact positional codec for protocol control messages.
+
+The transferable TLV format (:mod:`repro.transferable.wire`) is fully
+self-describing: every message carries its struct name, every field its
+field name, and the object graph is linearized node by node.  That is the
+right trade for *user data* — arbitrary, possibly self-referential
+structures crossing heterogeneous machines — but pure overhead for the 13
+fixed control messages of the server protocol, which dominate the wire.
+Section 5 of the paper reasons about performance in messages and bytes per
+link; this module is where the control plane wins those bytes back.
+
+Frame layout::
+
+    magic   2 bytes  b"DC"       (distinct from the TLV codec's b"DM")
+    version 1 byte   0x01
+    tag     1 byte   message type (see the registrations in protocol.py)
+    body    positional fields, no names, no graph
+
+Body primitives::
+
+    uvarint   LEB128 unsigned integer (lengths, counts, key indexes)
+    str       uvarint byte-length + UTF-8 bytes
+    bytes     uvarint byte-length + raw bytes
+    bool      1 byte (0 or 1)
+    f64       8-byte IEEE-754 binary64, big-endian
+    folder    app str, symbol str, uvarint index count, uvarint indexes
+    tlv       uvarint byte-length + an embedded TLV stream (0 = empty);
+              used only for open-ended fields like ``Reply.stats``
+
+:func:`decode_message` dispatches on the leading magic, so a stream may
+freely interleave compact frames with TLV frames — old peers, recorded
+seed streams, and memo payloads (which stay in the transferable format)
+all keep decoding.  :func:`encode_message` falls back to the TLV codec
+for any type without a registered compact spec.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.errors import DecodingError, EncodingError, MemoError
+from repro.transferable import wire as _tlv
+
+__all__ = [
+    "COMPACT_MAGIC",
+    "COMPACT_VERSION",
+    "register_compact",
+    "encode_message",
+    "decode_message",
+]
+
+COMPACT_MAGIC = b"DC"
+COMPACT_VERSION = 1
+
+_HEADER = COMPACT_MAGIC + bytes((COMPACT_VERSION,))
+_F64 = struct.Struct(">d")
+
+
+# ---------------------------------------------------------------------------
+# Primitive writers
+# ---------------------------------------------------------------------------
+
+
+def _w_uv(out: bytearray, n: int) -> None:
+    if n < 0:
+        raise EncodingError(f"compact codec cannot encode negative int {n}")
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _w_str(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8")
+    _w_uv(out, len(raw))
+    out += raw
+
+
+def _w_bytes(out: bytearray, b: bytes) -> None:
+    _w_uv(out, len(b))
+    out += b
+
+
+def _w_bool(out: bytearray, b: bool) -> None:
+    out.append(1 if b else 0)
+
+
+def _w_folder(out: bytearray, f: FolderName) -> None:
+    _w_str(out, f.app)
+    _w_str(out, f.key.symbol.name)
+    _w_uv(out, len(f.key.index))
+    for x in f.key.index:
+        _w_uv(out, x)
+
+
+def _w_opt_folder(out: bytearray, f: FolderName | None) -> None:
+    if f is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _w_folder(out, f)
+
+
+def _w_folder_tuple(out: bytearray, folders: tuple) -> None:
+    _w_uv(out, len(folders))
+    for f in folders:
+        _w_folder(out, f)
+
+
+def _w_str_tuple(out: bytearray, items: tuple) -> None:
+    _w_uv(out, len(items))
+    for s in items:
+        _w_str(out, s)
+
+
+def _w_server_pairs(out: bytearray, pairs: tuple) -> None:
+    _w_uv(out, len(pairs))
+    for sid, host in pairs:
+        _w_str(out, sid)
+        _w_str(out, host)
+
+
+def _w_float_dict(out: bytearray, d: dict) -> None:
+    _w_uv(out, len(d))
+    for k, v in d.items():
+        _w_str(out, k)
+        out += _F64.pack(v)
+
+
+def _w_link_dict(out: bytearray, d: dict) -> None:
+    _w_uv(out, len(d))
+    for k, nbrs in d.items():
+        _w_str(out, k)
+        _w_float_dict(out, nbrs)
+
+
+def _w_tlv(out: bytearray, value: object) -> None:
+    if not value:
+        _w_uv(out, 0)
+        return
+    blob = _tlv.encode(value)
+    _w_uv(out, len(blob))
+    out += blob
+
+
+# ---------------------------------------------------------------------------
+# Primitive readers
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked cursor over a compact frame body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: memoryview, pos: int) -> None:
+        self.data = data
+        self.pos = pos
+
+    def take(self, n: int) -> memoryview:
+        if self.pos + n > len(self.data):
+            raise DecodingError(
+                f"truncated compact frame: wanted {n} bytes at offset "
+                f"{self.pos}, have {len(self.data) - self.pos}"
+            )
+        view = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return view
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodingError("truncated compact frame: wanted 1 byte")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def uv(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.u8()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise DecodingError("varint exceeds 64 bits")
+
+    def r_str(self) -> str:
+        n = self.uv()
+        try:
+            return str(self.take(n), "utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodingError("invalid UTF-8 in compact frame") from exc
+
+    def r_bytes(self) -> bytes:
+        return bytes(self.take(self.uv()))
+
+    def r_bool(self) -> bool:
+        b = self.u8()
+        if b not in (0, 1):
+            raise DecodingError(f"bad bool byte {b:#x} in compact frame")
+        return bool(b)
+
+    def r_f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def r_folder(self) -> FolderName:
+        app = self.r_str()
+        symbol = self.r_str()
+        index = tuple(self.uv() for _ in range(self.uv()))
+        return FolderName(app, Key(Symbol(symbol), index))
+
+    def r_opt_folder(self) -> FolderName | None:
+        if self.u8() == 0:
+            return None
+        return self.r_folder()
+
+    def r_folder_tuple(self) -> tuple:
+        return tuple(self.r_folder() for _ in range(self.uv()))
+
+    def r_str_tuple(self) -> tuple:
+        return tuple(self.r_str() for _ in range(self.uv()))
+
+    def r_server_pairs(self) -> tuple:
+        return tuple((self.r_str(), self.r_str()) for _ in range(self.uv()))
+
+    def r_float_dict(self) -> dict:
+        return {self.r_str(): self.r_f64() for _ in range(self.uv())}
+
+    def r_link_dict(self) -> dict:
+        return {self.r_str(): self.r_float_dict() for _ in range(self.uv())}
+
+    def r_tlv(self) -> object:
+        n = self.uv()
+        if n == 0:
+            return {}
+        return _tlv.decode(self.take(n))
+
+    def at_end(self) -> bool:
+        return self.pos == len(self.data)
+
+
+_WRITERS: dict[str, Callable] = {
+    "str": _w_str,
+    "bytes": _w_bytes,
+    "bool": _w_bool,
+    "uint": _w_uv,
+    "folder": _w_folder,
+    "opt_folder": _w_opt_folder,
+    "folder_tuple": _w_folder_tuple,
+    "str_tuple": _w_str_tuple,
+    "server_pairs": _w_server_pairs,
+    "float_dict": _w_float_dict,
+    "link_dict": _w_link_dict,
+    "tlv": _w_tlv,
+}
+
+_READERS: dict[str, Callable[[_Reader], object]] = {
+    "str": _Reader.r_str,
+    "bytes": _Reader.r_bytes,
+    "bool": _Reader.r_bool,
+    "uint": _Reader.uv,
+    "folder": _Reader.r_folder,
+    "opt_folder": _Reader.r_opt_folder,
+    "folder_tuple": _Reader.r_folder_tuple,
+    "str_tuple": _Reader.r_str_tuple,
+    "server_pairs": _Reader.r_server_pairs,
+    "float_dict": _Reader.r_float_dict,
+    "link_dict": _Reader.r_link_dict,
+    "tlv": _Reader.r_tlv,
+}
+
+
+# ---------------------------------------------------------------------------
+# Spec registry
+# ---------------------------------------------------------------------------
+
+
+class _Spec:
+    __slots__ = ("cls", "tag", "writers", "readers")
+
+    def __init__(self, cls: type, tag: int, fields: tuple) -> None:
+        self.cls = cls
+        self.tag = tag
+        self.writers = tuple((name, _WRITERS[kind]) for name, kind in fields)
+        self.readers = tuple(_READERS[kind] for _name, kind in fields)
+
+
+_SPECS_BY_TYPE: dict[type, _Spec] = {}
+_SPECS_BY_TAG: dict[int, _Spec] = {}
+
+
+def register_compact(
+    cls: type, tag: int, fields: tuple[tuple[str, str], ...]
+) -> None:
+    """Register a positional compact encoding for *cls*.
+
+    Args:
+        cls: a frozen dataclass; *fields* must name its init fields in
+            declaration order (the decoder constructs ``cls(*values)``).
+        tag: unique 1-byte message type tag.
+        fields: ``(attribute_name, kind)`` pairs; kinds are the primitive
+            names in the module docstring.
+    """
+    if not 0 <= tag <= 0xFF:
+        raise EncodingError(f"compact tag must fit one byte, got {tag}")
+    if tag in _SPECS_BY_TAG:
+        raise EncodingError(
+            f"compact tag {tag} already taken by "
+            f"{_SPECS_BY_TAG[tag].cls.__qualname__}"
+        )
+    if cls in _SPECS_BY_TYPE:
+        raise EncodingError(f"{cls.__qualname__} already has a compact spec")
+    spec = _Spec(cls, tag, fields)
+    _SPECS_BY_TYPE[cls] = spec
+    _SPECS_BY_TAG[tag] = spec
+
+
+# ---------------------------------------------------------------------------
+# Encode / decode
+# ---------------------------------------------------------------------------
+
+
+def encode_message(msg: object) -> bytes:
+    """Encode one control message, compactly when a spec is registered.
+
+    Types without a compact spec fall back to the self-describing TLV
+    codec, so the call accepts anything :func:`repro.transferable.wire.encode`
+    accepts; :func:`decode_message` reverses either framing.
+    """
+    spec = _SPECS_BY_TYPE.get(type(msg))
+    if spec is None:
+        return _tlv.encode(msg)
+    out = bytearray(_HEADER)
+    out.append(spec.tag)
+    for name, write in spec.writers:
+        write(out, getattr(msg, name))
+    return bytes(out)
+
+
+def decode_message(data: bytes | memoryview) -> object:
+    """Decode one message, dispatching on the leading frame magic.
+
+    ``b"DC"`` frames take the compact path; ``b"DM"`` frames are full TLV
+    streams (seed peers, memo payloads used as messages in tests).  The
+    compact path re-runs each dataclass's own validation, so hostile bytes
+    cannot construct a message an honest sender could not have built.
+
+    Raises:
+        DecodingError: unknown magic, unknown tag, truncated or trailing
+            bytes, or field values the message type rejects.
+    """
+    view = memoryview(data)
+    magic = bytes(view[:2])
+    if magic == _tlv.MAGIC:
+        return _tlv.decode(view)
+    if magic != COMPACT_MAGIC:
+        raise DecodingError(
+            f"bad magic {magic!r}: neither a compact nor a TLV frame"
+        )
+    if len(view) < 4:
+        raise DecodingError("truncated compact frame: missing header")
+    if view[2] != COMPACT_VERSION:
+        raise DecodingError(f"unsupported compact version {view[2]}")
+    spec = _SPECS_BY_TAG.get(view[3])
+    if spec is None:
+        raise DecodingError(f"unknown compact message tag {view[3]:#x}")
+    r = _Reader(view, 4)
+    try:
+        # Field readers construct Key/Symbol/FolderName eagerly, so their
+        # validation errors must convert here too, not only the final
+        # dataclass construction's.
+        values = [read(r) for read in spec.readers]
+        if not r.at_end():
+            raise DecodingError(
+                f"{len(view) - r.pos} trailing bytes after compact "
+                f"{spec.cls.__qualname__}"
+            )
+        return spec.cls(*values)
+    except DecodingError:
+        raise
+    except MemoError as exc:
+        raise DecodingError(
+            f"compact {spec.cls.__qualname__} failed validation: {exc}"
+        ) from exc

@@ -1,9 +1,12 @@
 """Typed request/reply messages of the D-Memo server protocol.
 
-Every message is a frozen dataclass registered as a transferable struct and
-moved as transferable wire bytes — the system's own data-domain machinery
-carries its control plane, so a heterogeneous port only ever has to
-implement the transferable codec once.
+Every message is a frozen dataclass with two wire representations: a
+compact positional framing (1-byte type tag, no struct or field names —
+:mod:`repro.network.codec`) used on the hot path, and the self-describing
+transferable TLV framing, kept registered so memo payloads can embed
+protocol messages and seed-era TLV control streams still decode.  The two
+framings are distinguished by their leading magic, so a receiver needs no
+negotiation.
 
 Message flow (Figures 1 and 2 of the paper):
 
@@ -20,10 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.keys import FolderName
-from repro.errors import ProtocolError
+from repro.errors import DecodingError, ProtocolError
+from repro.network.codec import decode_message, encode_message, register_compact
 from repro.network.connection import Connection
 from repro.transferable.registry import default_registry
-from repro.transferable.wire import decode, encode
 
 __all__ = [
     "PutRequest",
@@ -281,26 +284,92 @@ _MESSAGE_TYPES = (
     Reply,
 )
 
+# Registered in the transferable registry too: the TLV fallback framing
+# (and any memo payload embedding a protocol message) must keep working.
 for _cls in _MESSAGE_TYPES:
     default_registry.register_struct(_cls, name=f"dmemo.proto.{_cls.__name__}")
 
+# Compact positional encodings (hot-path framing).  Field tuples must list
+# the dataclass init fields in declaration order — the decoder constructs
+# positionally.  Tags are wire ABI: never renumber, only append.
+register_compact(PutRequest, 1, (("folder", "folder"), ("payload", "bytes"), ("origin", "str")))
+register_compact(
+    PutDelayedRequest,
+    2,
+    (("folder", "folder"), ("release_to", "folder"), ("payload", "bytes"), ("origin", "str")),
+)
+register_compact(GetRequest, 3, (("folder", "folder"), ("mode", "str"), ("origin", "str")))
+register_compact(GetAltSkipRequest, 4, (("folders", "folder_tuple"), ("origin", "str")))
+register_compact(
+    RegisterRequest,
+    5,
+    (
+        ("app", "str"),
+        ("links", "link_dict"),
+        ("host_costs", "float_dict"),
+        ("folder_servers", "server_pairs"),
+        ("replication_factor", "uint"),
+    ),
+)
+register_compact(MigrateRequest, 6, (("app", "str"), ("origin", "str")))
+register_compact(
+    ReplicatePut,
+    7,
+    (
+        ("app", "str"),
+        ("folder", "folder"),
+        ("payload", "bytes"),
+        ("origin", "str"),
+        ("delayed", "bool"),
+        ("release_to", "opt_folder"),
+    ),
+)
+register_compact(Heartbeat, 8, (("host", "str"), ("origin", "str")))
+register_compact(SyncPull, 9, (("app", "str"), ("requester", "str"), ("origin", "str")))
+register_compact(StatsRequest, 10, (("origin", "str"),))
+register_compact(ShutdownRequest, 11, (("origin", "str"),))
+register_compact(
+    ForwardEnvelope,
+    12,
+    (("app", "str"), ("target_host", "str"), ("inner", "bytes"), ("trail", "str_tuple")),
+)
+register_compact(
+    Reply,
+    13,
+    (
+        ("ok", "bool"),
+        ("found", "bool"),
+        ("payload", "bytes"),
+        ("folder", "opt_folder"),
+        ("error", "str"),
+        ("stats", "tlv"),
+    ),
+)
+
 
 def send_message(conn: Connection, message: object) -> int:
-    """Encode and send one protocol message; returns encoded size."""
-    data = encode(message)
+    """Encode and send one protocol message; returns encoded size.
+
+    Protocol messages take the compact framing; anything else falls back
+    to the self-describing TLV codec (see :mod:`repro.network.codec`).
+    """
+    data = encode_message(message)
     conn.send(data)
     return len(data)
 
 
 def recv_message(conn: Connection, timeout: float | None = None) -> object:
-    """Receive and decode one protocol message.
+    """Receive and decode one protocol message (compact or TLV framing).
 
     Raises:
         ProtocolError: the bytes decoded to something that is not a
-            registered protocol message.
+            registered protocol message, or could not be decoded at all.
     """
     data = conn.recv(timeout)
-    msg = decode(data)
+    try:
+        msg = decode_message(data)
+    except DecodingError as exc:
+        raise ProtocolError(f"undecodable message frame: {exc}") from exc
     if not isinstance(msg, _MESSAGE_TYPES):
         raise ProtocolError(f"unexpected message type {type(msg).__qualname__}")
     return msg

@@ -32,6 +32,22 @@ class LinkStats:
     bytes: int = 0
 
 
+class _LinkCounter:
+    """One link's live counters behind its own lock.
+
+    Sharding the accounting per (src, dst) keeps every ``send`` on every
+    connection from funnelling through one fabric-global lock — on a busy
+    simulated cluster that lock *was* the network.
+    """
+
+    __slots__ = ("lock", "messages", "bytes")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.messages = 0
+        self.bytes = 0
+
+
 class NetworkFabric:
     """The simulated medium: listeners, latency, and traffic accounting."""
 
@@ -39,7 +55,7 @@ class NetworkFabric:
         self._lock = threading.Lock()
         self._listeners: dict[Address, "InMemoryListener"] = {}
         self._latency: dict[tuple[str, str], float] = {}
-        self._stats: dict[tuple[str, str], LinkStats] = {}
+        self._counters: dict[tuple[str, str], _LinkCounter] = {}
         #: Count of broadcast operations; D-Memo never broadcasts, and the
         #: integration tests assert this stays zero.
         self.broadcast_count = 0
@@ -55,30 +71,56 @@ class NetworkFabric:
             self._latency[(host_b, host_a)] = seconds
 
     def latency(self, host_a: str, host_b: str) -> float:
-        """Current latency between two hosts (0 when unset or same host)."""
+        """Current latency between two hosts (0 when unset or same host).
+
+        Lock-free: a single dict read is atomic under the GIL, and this
+        sits on the per-message send path of every connection.
+        """
         if host_a == host_b:
             return 0.0
-        with self._lock:
-            return self._latency.get((host_a, host_b), 0.0)
+        return self._latency.get((host_a, host_b), 0.0)
 
     # -- traffic metrics ------------------------------------------------------
 
+    def _counter(self, key: tuple[str, str]) -> _LinkCounter:
+        counter = self._counters.get(key)  # lock-free fast path
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(key, _LinkCounter())
+        return counter
+
     def record_traffic(self, src: str, dst: str, nbytes: int) -> None:
         """Account one message of *nbytes* from *src* to *dst*."""
-        with self._lock:
-            stats = self._stats.setdefault((src, dst), LinkStats())
-            stats.messages += 1
-            stats.bytes += nbytes
+        counter = self._counter((src, dst))
+        with counter.lock:
+            counter.messages += 1
+            counter.bytes += nbytes
 
     def traffic(self) -> dict[tuple[str, str], LinkStats]:
-        """Snapshot of all per-link counters."""
+        """Merged snapshot of all per-link counters (all-zero links omitted)."""
         with self._lock:
-            return {k: LinkStats(v.messages, v.bytes) for k, v in self._stats.items()}
+            items = list(self._counters.items())
+        out: dict[tuple[str, str], LinkStats] = {}
+        for key, counter in items:
+            with counter.lock:
+                if counter.messages or counter.bytes:
+                    out[key] = LinkStats(counter.messages, counter.bytes)
+        return out
 
     def reset_traffic(self) -> None:
-        """Zero all counters (used between bench phases)."""
+        """Zero all counters (used between bench phases).
+
+        Counters are zeroed in place under their own locks — never removed
+        from the dict — so a concurrent ``record_traffic`` that already
+        grabbed its counter keeps incrementing the live object and its
+        message is visible to the next snapshot, not lost to an orphan.
+        """
         with self._lock:
-            self._stats.clear()
+            counters = list(self._counters.values())
+        for counter in counters:
+            with counter.lock:
+                counter.messages = 0
+                counter.bytes = 0
 
     # -- listener registry ----------------------------------------------------
 

@@ -24,6 +24,7 @@ machinery.
 from __future__ import annotations
 
 import threading
+from typing import Callable
 
 from repro.network.connection import Address, Transport
 from repro.network.protocol import Heartbeat, Reply, recv_message, send_message
@@ -40,15 +41,29 @@ class FailureDetector:
 
     Args:
         threshold: consecutive probe failures before a host is suspected.
+        on_transition: optional callback invoked — outside the detector's
+            lock — whenever a host flips alive <-> dead, with the host name
+            and its new liveness.  The memo server uses it to invalidate
+            its routing cache; the callback must not call back into the
+            detector's mutators.
     """
 
-    def __init__(self, threshold: int = 3) -> None:
+    def __init__(
+        self,
+        threshold: int = 3,
+        on_transition: Callable[[str, bool], None] | None = None,
+    ) -> None:
         if threshold < 1:
             raise ValueError(f"failure threshold must be >= 1, got {threshold}")
         self.threshold = threshold
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._failures: dict[str, int] = {}
         self._dead: set[str] = set()
+
+    def _notify(self, host: str, alive: bool) -> None:
+        if self.on_transition is not None:
+            self.on_transition(host, alive)
 
     def is_alive(self, host: str) -> bool:
         """Whether *host* is currently believed alive."""
@@ -59,24 +74,32 @@ class FailureDetector:
         """Clear all suspicion of *host* (probe success / heard from it)."""
         with self._lock:
             self._failures.pop(host, None)
+            revived = host in self._dead
             self._dead.discard(host)
+        if revived:
+            self._notify(host, True)
 
     def mark_dead(self, host: str) -> None:
         """Declare *host* dead immediately (hard connection evidence)."""
         with self._lock:
             self._failures[host] = self.threshold
+            newly = host not in self._dead
             self._dead.add(host)
+        if newly:
+            self._notify(host, False)
 
     def record_failure(self, host: str) -> bool:
         """Account one failed probe; returns True when *host* turns dead."""
         with self._lock:
             count = self._failures.get(host, 0) + 1
             self._failures[host] = count
+            newly = False
             if count >= self.threshold:
                 newly = host not in self._dead
                 self._dead.add(host)
-                return newly
-            return False
+        if newly:
+            self._notify(host, False)
+        return newly
 
     def dead_hosts(self) -> tuple[str, ...]:
         """Currently-suspected hosts (diagnostics/stats)."""

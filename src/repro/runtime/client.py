@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Iterable
 
 from repro.errors import CommunicationError, ConnectionClosedError, MemoError, ProtocolError
 from repro.network.connection import Address, Transport
@@ -163,6 +164,37 @@ class MemoClient:
                     except CommunicationError:
                         if attempts >= self._reconnect_attempts:
                             raise
+
+    def put_many(self, msgs: "Iterable[object]") -> None:
+        """Pipeline a batch of put requests over the deferred-ack path.
+
+        Equivalent to calling :meth:`post` once per message, but the whole
+        batch rides a single lock acquisition and the acknowledgements are
+        drained later as usual — the wire sees back-to-back request frames
+        with no interleaved waiting.  *msgs* is consumed lazily, so a
+        generator producer overlaps its encoding with the server already
+        working the earlier frames.  On a connection loss mid-batch the
+        current message is resent on the fresh connection (the already-sent
+        prefix becomes a deferred error, exactly as :meth:`post` handles
+        its in-flight acks).
+        """
+        with self._lock:
+            for msg in msgs:
+                attempts = 0
+                while True:
+                    try:
+                        send_message(self._conn, msg)
+                        self._pending_acks += 1
+                        break
+                    except ConnectionClosedError:
+                        attempts += 1
+                        if attempts > self._reconnect_attempts:
+                            raise
+                        try:
+                            self._reconnect_locked()
+                        except CommunicationError:
+                            if attempts >= self._reconnect_attempts:
+                                raise
 
     def flush(self) -> None:
         """Wait for all outstanding async acknowledgements."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from dataclasses import dataclass
 
 from repro.core.keys import FolderName
@@ -41,6 +42,7 @@ __all__ = [
     "weighted_rendezvous_topk",
     "HashWeightPolicy",
     "FolderPlacement",
+    "PlacementCache",
 ]
 
 _HASH_DENOM = float(1 << 64)
@@ -184,6 +186,19 @@ class FolderPlacement:
                 raise ServerError(f"duplicate folder server id {sid!r}")
             self.servers[sid] = host
         self._weights = self._compute_weights(host_power, routing)
+        # Placement is a pure function of the construction inputs, so a
+        # per-instance memo never goes stale: re-registration replaces the
+        # whole FolderPlacement.  Entries cost K salted SHA-256 hashes each
+        # to compute, so steady-state routing becomes one dict hit.  Plain
+        # dicts are safe here: get/set are atomic under the GIL and a racing
+        # duplicate compute returns the identical value.
+        self._place_cache: dict[bytes, str] = {}
+        self._chain_cache: dict[bytes, tuple[tuple[str, str], ...]] = {}
+
+    #: Memo-cache entry bound; folders beyond this keep working, they just
+    #: rehash (one app addressing >64k distinct folders at once is a scan,
+    #: not a working set).
+    _CACHE_MAX = 65536
 
     def _compute_weights(
         self,
@@ -226,7 +241,14 @@ class FolderPlacement:
 
     def place(self, folder: FolderName) -> str:
         """The server id owning *folder* — identical on every host."""
-        return weighted_rendezvous(folder.canonical(), self._weights)
+        key = folder.canonical()
+        sid = self._place_cache.get(key)
+        if sid is None:
+            sid = weighted_rendezvous(key, self._weights)
+            if len(self._place_cache) >= self._CACHE_MAX:
+                self._place_cache.clear()
+            self._place_cache[key] = sid
+        return sid
 
     def host_of(self, server_id: str) -> str:
         """Which host a folder server lives on."""
@@ -254,9 +276,14 @@ class FolderPlacement:
         """
         if self.replication_factor == 1:
             # The dominant (default) case: skip the full ranking sort and
-            # take the seed system's single-scan winner directly.
+            # take the seed system's single-scan winner directly (cached
+            # in :meth:`place`).
             return (self.place_host(folder),)
-        ranked = weighted_rendezvous_ranked(folder.canonical(), self._weights)
+        key = folder.canonical()
+        cached = self._chain_cache.get(key)
+        if cached is not None:
+            return cached
+        ranked = weighted_rendezvous_ranked(key, self._weights)
         chain: list[tuple[str, str]] = []
         hosts_taken: set[str] = set()
         for sid in ranked:
@@ -267,4 +294,70 @@ class FolderPlacement:
             hosts_taken.add(host)
             if len(chain) >= self.replication_factor:
                 break
-        return tuple(chain)
+        result = tuple(chain)
+        if len(self._chain_cache) >= self._CACHE_MAX:
+            self._chain_cache.clear()
+        self._chain_cache[key] = result
+        return result
+
+
+class PlacementCache:
+    """Epoch-guarded routing cache keyed by ``(app, folder)``.
+
+    The memo server's steady-state routing decision — the replica chain
+    plus its live-candidate filtering — depends on more than the pure
+    placement hash: the registration in force and the failure detector's
+    current suspicions.  This cache memoizes the whole decision behind a
+    single epoch counter; any event that can change routing bumps the
+    epoch, instantly invalidating every entry:
+
+    * (re-)registration — new placement inputs;
+    * migration — folder contents move to their new owners;
+    * a failure-detector transition — a host flipping alive <-> dead
+      changes which chain members are candidates.
+
+    The protocol is compute-then-publish: read :meth:`epoch` *before*
+    computing the value, then :meth:`put` with that epoch.  A bump that
+    races the computation leaves the entry stale-stamped, so :meth:`get`
+    rejects it — a late publish can never resurrect pre-bump routing.
+    """
+
+    def __init__(self, max_entries: int = 16384) -> None:
+        if max_entries < 1:
+            raise ServerError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._epoch = 0
+        self._entries: dict[object, tuple[int, object]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch; capture it before computing a value to cache."""
+        return self._epoch
+
+    def bump(self) -> int:
+        """Invalidate everything; returns the new epoch."""
+        with self._lock:
+            self._epoch += 1
+            self._entries.clear()
+            return self._epoch
+
+    def get(self, key: object) -> object | None:
+        """The cached value for *key*, or None when absent or stale."""
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != self._epoch:
+            return None
+        return entry[1]
+
+    def put(self, key: object, epoch: int, value: object) -> None:
+        """Publish *value* computed at *epoch* (dropped if a bump raced it)."""
+        if epoch != self._epoch:
+            return
+        if len(self._entries) >= self.max_entries:
+            with self._lock:
+                if len(self._entries) >= self.max_entries:
+                    self._entries.clear()
+        self._entries[key] = (epoch, value)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -55,6 +55,7 @@ from repro.errors import (
     ServerError,
     ShutdownError,
 )
+from repro.network.codec import decode_message, encode_message
 from repro.network.connection import Address, Connection, Transport
 from repro.network.protocol import (
     ForwardEnvelope,
@@ -76,9 +77,8 @@ from repro.network.protocol import (
 from repro.network.routing import RoutingTable
 from repro.replication.failure import FailureDetector, HeartbeatMonitor
 from repro.servers.folder_server import FolderServer
-from repro.servers.hashing import FolderPlacement, HashWeightPolicy
+from repro.servers.hashing import FolderPlacement, HashWeightPolicy, PlacementCache
 from repro.servers.threadcache import ThreadCache
-from repro.transferable.wire import decode, encode
 
 __all__ = ["MemoServer", "MemoServerStats", "AppRegistration", "MEMO_PORT"]
 
@@ -231,7 +231,13 @@ class MemoServer:
         self.address_book = address_book if address_book is not None else {}
         self.policy = policy
         self.stats = MemoServerStats()
-        self.failure = FailureDetector(threshold=failure_threshold)
+        #: Epoch-guarded (app, folder) -> (chain, live candidates) routing
+        #: cache; bumped by registration, migration, and liveness flips.
+        self.placement_cache = PlacementCache()
+        self.failure = FailureDetector(
+            threshold=failure_threshold,
+            on_transition=self._on_liveness_change,
+        )
         self._registrations: dict[str, AppRegistration] = {}
         self._folder_servers: dict[str, FolderServer] = {}
         #: Backup copies, keyed by the *local* folder-server id named in a
@@ -402,6 +408,7 @@ class MemoServer:
                     self._folder_servers[sid] = FolderServer(
                         sid, host=self.host, emit_put=self._emit_put
                     )
+        self.placement_cache.bump()  # new placement inputs: old routes are void
         self.stats.bump("registrations")
         # Failure detection only matters (and only costs traffic) once some
         # application actually replicates.
@@ -409,9 +416,15 @@ class MemoServer:
             self._monitor.start()
         return Reply(ok=True)
 
+    def _on_liveness_change(self, host: str, alive: bool) -> None:
+        """A peer flipped alive <-> dead: cached candidate lists are void."""
+        self.placement_cache.bump()
+
     def registration(self, app: str) -> AppRegistration:
-        with self._reg_lock:
-            reg = self._registrations.get(app)
+        # Lock-free read: dict lookups are atomic under the GIL, and a
+        # racing re-registration just means this request sees either the
+        # old or the new registration — both were valid an instant apart.
+        reg = self._registrations.get(app)
         if reg is None:
             raise NotRegisteredError(
                 f"application {app!r} is not registered with memo server {self.host}"
@@ -429,6 +442,7 @@ class MemoServer:
         transfer channel, "dynamic data migration" is just puts.
         """
         reg = self.registration(msg.app)
+        self.placement_cache.bump()  # contents are moving: drop cached routes
         with self._reg_lock:
             folder_servers = dict(self._folder_servers)
         moved_memos = 0
@@ -543,12 +557,27 @@ class MemoServer:
         usually means the detector is stale, not the cluster gone), and a
         connection failure or shutdown reply marks the host dead and falls
         through to the next member.
+
+        The chain + live-candidate decision is memoized in the epoch-guarded
+        :class:`~repro.servers.hashing.PlacementCache` — steady-state
+        routing is one dict hit instead of K salted hashes per request.
         """
+        # Epoch BEFORE any routing input (registration, liveness): the
+        # stamp must predate everything the computation reads, so a
+        # re-registration or liveness flip landing mid-computation bumps
+        # past the stamp and the stale publish is rejected.
+        epoch = self.placement_cache.epoch
         reg = self.registration(folder.app)
-        chain = reg.placement.replica_chain(folder)
-        candidates = [c for c in chain if self.failure.is_alive(c[1])]
-        if not candidates:
-            candidates = list(chain)
+        cache_key = (folder.app, folder.canonical())
+        cached = self.placement_cache.get(cache_key)
+        if cached is None:
+            chain = reg.placement.replica_chain(folder)
+            candidates = [c for c in chain if self.failure.is_alive(c[1])]
+            if not candidates:
+                candidates = list(chain)
+            self.placement_cache.put(cache_key, epoch, (chain, candidates))
+        else:
+            chain, candidates = cached
         failures: list[str] = []
         for index, (sid, host) in enumerate(candidates):
             last = index == len(candidates) - 1
@@ -579,10 +608,13 @@ class MemoServer:
         )
 
     def _forward(self, reg: AppRegistration, owner_host: str, msg: object) -> Reply:
+        # The envelope carries the inner request's already-encoded bytes —
+        # a compact frame inside a compact frame, never a second graph
+        # linearization pass.
         envelope = ForwardEnvelope(
             app=reg.app,
             target_host=owner_host,
-            inner=encode(msg),
+            inner=encode_message(msg),
             trail=(self.host,),
         )
         return self._send_envelope(reg, envelope)
@@ -640,7 +672,7 @@ class MemoServer:
             raise RoutingError(
                 f"routing loop: {self.host} already in trail {envelope.trail}"
             )
-        inner = decode(envelope.inner)
+        inner = decode_message(envelope.inner)
         if envelope.target_host == self.host:
             if isinstance(inner, (PutRequest, PutDelayedRequest, GetRequest)):
                 reg = self.registration(envelope.app)
@@ -768,6 +800,13 @@ class MemoServer:
     ) -> None:
         """Copy an accepted write to every other live chain member.
 
+        The :class:`ReplicatePut` is encoded *once* and the copies go out
+        *concurrently* (extra legs on thread-cache workers, the last on
+        this thread), so the pre-ack replication cost is the slowest
+        member's round trip, not the sum of all of them.  All legs are
+        awaited before returning — the copy-before-ack durability
+        guarantee is untouched.
+
         Failures demote the target to dead and are counted, not raised:
         the write is already durable on this host, and the dead member
         will pull the copy back through anti-entropy when it rejoins.
@@ -788,27 +827,71 @@ class MemoServer:
                 payload=msg.payload,
                 origin=msg.origin,
             )
-        for _sid, member in chain:
-            if member == self.host or not self.failure.is_alive(member):
-                continue
+        targets = [
+            member
+            for _sid, member in chain
+            if member != self.host and self.failure.is_alive(member)
+        ]
+        if not targets:
+            return
+        inner = encode_message(rep)
+        if len(targets) == 1:
+            self._replicate_to(reg, targets[0], inner)
+            return
+        done = threading.Event()
+        remaining = [len(targets)]
+        count_lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def one_leg(member: str) -> None:
             try:
-                reply = self._send_envelope(
-                    reg,
-                    ForwardEnvelope(
-                        app=reg.app,
-                        target_host=member,
-                        inner=encode(rep),
-                        trail=(self.host,),
-                    ),
-                )
-            except CommunicationError:
-                self._suspect(member)
-                self.stats.bump("replication_failures")
-                continue
-            if reply.ok:
-                self.stats.bump("replications_out")
-            else:
-                self.stats.bump("replication_failures")
+                self._replicate_to(reg, member, inner)
+            except Exception as exc:  # noqa: BLE001 - surfaced after the join
+                # _replicate_to absorbs communication failures itself; what
+                # reaches here (e.g. ShutdownError mid-teardown) must not
+                # vanish in a worker thread nor let the inline leg skip the
+                # join below — it is re-raised once every leg has landed,
+                # matching the sequential loop's error surface.
+                with count_lock:
+                    errors.append(exc)
+            finally:
+                with count_lock:
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done.set()
+
+        for member in targets[:-1]:
+            try:
+                self._cache.submit(one_leg, member)
+            except ServerError:
+                # The thread cache shut down under us (server stopping);
+                # degrade to the sequential path for this leg.
+                one_leg(member)
+        one_leg(targets[-1])
+        done.wait()
+        if errors:
+            raise errors[0]
+
+    def _replicate_to(self, reg: AppRegistration, member: str, inner: bytes) -> None:
+        """Push one pre-encoded :class:`ReplicatePut` frame to *member*."""
+        try:
+            reply = self._send_envelope(
+                reg,
+                ForwardEnvelope(
+                    app=reg.app,
+                    target_host=member,
+                    inner=inner,
+                    trail=(self.host,),
+                ),
+            )
+        except CommunicationError:
+            self._suspect(member)
+            self.stats.bump("replication_failures")
+            return
+        if reply.ok:
+            self.stats.bump("replications_out")
+        else:
+            self.stats.bump("replication_failures")
 
     def _handle_replicate(self, msg: ReplicatePut) -> Reply:
         """Apply a replica copy to the right local store.
@@ -967,7 +1050,7 @@ class MemoServer:
                 ForwardEnvelope(
                     app=reg.app,
                     target_host=target,
-                    inner=encode(rep),
+                    inner=encode_message(rep),
                     trail=(self.host,),
                 ),
             )
@@ -1016,7 +1099,9 @@ class MemoServer:
                 envelope = ForwardEnvelope(
                     app=reg.app,
                     target_host=owner,
-                    inner=encode(GetAltSkipRequest(folders=subset, origin=msg.origin)),
+                    inner=encode_message(
+                        GetAltSkipRequest(folders=subset, origin=msg.origin)
+                    ),
                     trail=(self.host,),
                 )
                 reply = self._send_envelope(reg, envelope)

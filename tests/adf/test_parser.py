@@ -157,6 +157,11 @@ class TestLexicalDetails:
         assert adf.app == "a"
         assert adf.hosts[0].name == "h"
 
+    def test_lowercase_keyword_names_are_plain_data(self):
+        """A host literally named "app"/"hosts" is data, not a header."""
+        adf = parse_adf("APP a\nHOSTS\napp 1 x 1\nhosts 1 x 1\n")
+        assert [h.name for h in adf.hosts] == ["app", "hosts"]
+
     def test_blank_lines_ignored(self):
         adf = parse_adf("\n\nAPP a\n\n\nHOSTS\nh 1 x 1\n\n")
         assert len(adf.hosts) == 1

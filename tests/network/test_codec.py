@@ -1,0 +1,216 @@
+"""Compact codec: cross-codec round-trips, back-compat, frame rejection."""
+
+import pytest
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.errors import DecodingError, ProtocolError
+from repro.network.codec import (
+    COMPACT_MAGIC,
+    decode_message,
+    encode_message,
+)
+from repro.network.connection import Address
+from repro.network.protocol import (
+    ForwardEnvelope,
+    GetAltSkipRequest,
+    GetRequest,
+    Heartbeat,
+    MigrateRequest,
+    PutDelayedRequest,
+    PutRequest,
+    RegisterRequest,
+    ReplicatePut,
+    Reply,
+    ShutdownRequest,
+    StatsRequest,
+    SyncPull,
+    recv_message,
+    send_message,
+)
+from repro.network.transport import InMemoryTransport, NetworkFabric
+from repro.transferable.wire import MAGIC as TLV_MAGIC
+from repro.transferable.wire import encode as tlv_encode
+
+
+def folder(name="f", app="app", index=(1, 2)):
+    return FolderName(app, Key(Symbol(name), index))
+
+
+# One representative instance per protocol message type — all 13.
+ALL_MESSAGES = [
+    PutRequest(folder(), b"payload", "proc1"),
+    PutDelayedRequest(folder("a"), folder("b"), b"x", "p"),
+    GetRequest(folder(), mode="copy", origin="p"),
+    GetAltSkipRequest(folders=(folder("a"), folder("b", index=())), origin="p"),
+    RegisterRequest(
+        app="inv",
+        links={"h1": {"h2": 1.0}, "h2": {"h1": 1.0}},
+        host_costs={"h1": 1.0, "h2": 2.5},
+        folder_servers=(("0", "h1"), ("1", "h2")),
+        replication_factor=2,
+    ),
+    MigrateRequest(app="inv", origin="p"),
+    ReplicatePut(
+        app="inv",
+        folder=folder(),
+        payload=b"pp",
+        origin="p",
+        delayed=True,
+        release_to=folder("g"),
+    ),
+    Heartbeat(host="h1", origin="p"),
+    SyncPull(app="inv", requester="h2", origin="p"),
+    StatsRequest(origin="p"),
+    ShutdownRequest(origin="p"),
+    ForwardEnvelope("inv", "h2", b"inner-bytes", trail=("h1", "h3")),
+    Reply(ok=True, found=True, payload=b"v", folder=folder(), stats={"memo.requests": 5}),
+]
+
+_ids = [type(m).__name__ for m in ALL_MESSAGES]
+
+
+class TestCrossCodecRoundTrip:
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=_ids)
+    def test_compact_roundtrip(self, msg):
+        data = encode_message(msg)
+        assert data[:2] == COMPACT_MAGIC
+        assert decode_message(data) == msg
+
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=_ids)
+    def test_tlv_fallback_still_decodes(self, msg):
+        """A seed-era TLV control frame must decode unchanged."""
+        data = tlv_encode(msg)
+        assert data[:2] == TLV_MAGIC
+        assert decode_message(data) == msg
+
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=_ids)
+    def test_compact_is_smaller(self, msg):
+        assert len(encode_message(msg)) < len(tlv_encode(msg))
+
+    def test_put_request_bytes_reduction_target(self):
+        """The acceptance bar: >= 40% fewer wire bytes per PutRequest."""
+        msg = PutRequest(folder(), b"x" * 64, "worker-3")
+        compact, tlv = len(encode_message(msg)), len(tlv_encode(msg))
+        assert compact <= 0.6 * tlv, (compact, tlv)
+
+    def test_unregistered_type_falls_back_to_tlv(self):
+        data = encode_message({"plain": ["transferable", 1]})
+        assert data[:2] == TLV_MAGIC
+        assert decode_message(data) == {"plain": ["transferable", 1]}
+
+    def test_optional_fields_roundtrip(self):
+        plain = ReplicatePut(app="a", folder=folder(), payload=b"", origin="")
+        assert decode_message(encode_message(plain)) == plain
+        empty = Reply()
+        assert decode_message(encode_message(empty)) == empty
+
+
+class TestFrameRejection:
+    def test_unknown_magic_rejected(self):
+        with pytest.raises(DecodingError, match="bad magic"):
+            decode_message(b"ZZ\x01\x01garbage")
+
+    def test_empty_and_tiny_frames_rejected(self):
+        for data in (b"", b"D", b"DC", b"DC\x01"):
+            with pytest.raises(DecodingError):
+                decode_message(data)
+
+    def test_unsupported_version_rejected(self):
+        good = encode_message(Heartbeat(host="h"))
+        with pytest.raises(DecodingError, match="version"):
+            decode_message(good[:2] + b"\x7f" + good[3:])
+
+    def test_unknown_tag_rejected(self):
+        good = encode_message(Heartbeat(host="h"))
+        with pytest.raises(DecodingError, match="unknown compact message tag"):
+            decode_message(good[:3] + b"\xee" + good[4:])
+
+    @pytest.mark.parametrize("msg", ALL_MESSAGES, ids=_ids)
+    def test_truncated_frames_rejected(self, msg):
+        """Every strict prefix of a compact frame must fail loudly."""
+        data = encode_message(msg)
+        for cut in range(4, len(data)):
+            with pytest.raises(DecodingError):
+                decode_message(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_message(Heartbeat(host="h1"))
+        with pytest.raises(DecodingError, match="trailing"):
+            decode_message(data + b"\x00")
+
+    def test_overlong_varint_rejected(self):
+        # Header + PutRequest tag, then a varint that never terminates.
+        with pytest.raises(DecodingError):
+            decode_message(b"DC\x01\x01" + b"\xff" * 11)
+
+    def test_hostile_folder_fields_rejected_as_decoding_errors(self):
+        """Validation failures inside field readers (Symbol/Key/FolderName
+        construction) must surface as DecodingError, not raw MemoError."""
+        from repro.network import codec as c
+
+        # GetRequest (tag 3) whose folder carries an empty symbol name.
+        bad_symbol = bytearray(b"DC\x01\x03")
+        c._w_str(bad_symbol, "app")
+        c._w_str(bad_symbol, "")  # Symbol("") raises
+        c._w_uv(bad_symbol, 0)
+        c._w_str(bad_symbol, "get")
+        c._w_str(bad_symbol, "")
+        with pytest.raises(DecodingError, match="validation"):
+            decode_message(bytes(bad_symbol))
+
+        # PutRequest (tag 1) whose key index overflows unsigned 64-bit.
+        bad_index = bytearray(b"DC\x01\x01")
+        c._w_str(bad_index, "app")
+        c._w_str(bad_index, "s")
+        c._w_uv(bad_index, 1)
+        c._w_uv(bad_index, 1 << 64)  # Key rejects > UINT64_MAX
+        c._w_bytes(bad_index, b"")
+        c._w_str(bad_index, "")
+        with pytest.raises(DecodingError):
+            decode_message(bytes(bad_index))
+
+    def test_invalid_field_values_rejected(self):
+        """Hostile bytes cannot construct a message validation would refuse."""
+        bad_mode = GetRequest(folder(), mode="get")
+        data = encode_message(bad_mode)
+        # "get" is the last str field before origin; corrupt it to "gXt".
+        patched = data.replace(b"\x03get", b"\x03gXt")
+        assert patched != data
+        with pytest.raises(DecodingError, match="validation"):
+            decode_message(patched)
+
+
+class TestOverConnection:
+    def _pair(self):
+        fabric = NetworkFabric()
+        transport = InMemoryTransport(fabric, "h")
+        listener = transport.listen(Address("h", 1))
+        client = transport.connect(listener.address)
+        server = listener.accept(timeout=2)
+        return client, server, listener
+
+    def test_mixed_codec_stream(self):
+        """Compact and TLV frames interleave freely on one connection."""
+        client, server, listener = self._pair()
+        try:
+            first = PutRequest(folder(), b"one", "p")
+            second = GetRequest(folder(), mode="skip", origin="p")
+            send_message(client, first)  # compact framing
+            client.send(tlv_encode(second))  # a seed-era peer's framing
+            assert recv_message(server, timeout=2) == first
+            assert recv_message(server, timeout=2) == second
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_garbage_frame_surfaces_as_protocol_error(self):
+        client, server, listener = self._pair()
+        try:
+            client.send(b"\x00\x01\x02\x03")
+            with pytest.raises(ProtocolError):
+                recv_message(server, timeout=2)
+        finally:
+            client.close()
+            server.close()
+            listener.close()

@@ -59,6 +59,31 @@ class TestMemoClient:
         assert client.request(StatsRequest()).ok
         client.close()
 
+    def test_put_many_pipelines_batch(self, one_host_cluster):
+        from repro.transferable.wire import encode
+
+        client = one_host_cluster.client_for("solo", "c")
+        batch = [
+            PutRequest(fname(one_host_cluster, i), encode(i), origin="c")
+            for i in range(8)
+        ]
+        client.put_many(batch)
+        assert client.pending_acks == 8
+        client.flush()
+        assert client.pending_acks == 0
+        for i in range(8):
+            reply = client.request(
+                GetRequest(fname(one_host_cluster, i), mode="skip")
+            )
+            assert reply.ok and reply.found
+        client.close()
+
+    def test_put_many_empty_batch_is_noop(self, one_host_cluster):
+        client = one_host_cluster.client_for("solo", "c")
+        client.put_many([])
+        assert client.pending_acks == 0
+        client.close()
+
     def test_context_manager(self, one_host_cluster):
         with one_host_cluster.client_for("solo", "c") as client:
             assert client.request(StatsRequest()).ok

@@ -79,6 +79,7 @@ class TestRunApplication:
         registry = ProgramRegistry()
         jar = Symbol("jar")
         results = Symbol("results")
+        stop = Symbol("stop")
 
         @registry.register("boss")
         def boss(memo, ctx):
@@ -88,6 +89,11 @@ class TestRunApplication:
             total = 0
             for _ in range(10):
                 total += memo.get(Key(results))
+            # All tasks are processed: release every worker.  (A worker
+            # that won no task at all must still be able to terminate.)
+            for _ in range(2):
+                memo.put(Key(stop), True)
+            memo.flush()
             return total
 
         @registry.register("worker")
@@ -98,11 +104,11 @@ class TestRunApplication:
                 from repro.core.api import NIL
 
                 if task is NIL:
+                    if memo.get_skip(Key(stop)) is not NIL:
+                        return done
                     import time
 
                     time.sleep(0.01)
-                    if done and memo.get_skip(Key(jar)) is NIL:
-                        return done
                     continue
                 memo.put(Key(results), task * task)
                 done += 1
