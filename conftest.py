@@ -1,0 +1,32 @@
+"""Repo-wide pytest configuration: the hang guard.
+
+Pipelining bugs tend to present as deadlocks — a lane worker waiting on a
+reply that will never come wedges the whole workflow rather than failing
+a test.  With ``DMEMO_TEST_TIMEOUT=<seconds>`` set (CI does), every test
+arms a :mod:`faulthandler` watchdog: a test exceeding the budget dumps
+every thread's stack and kills the process, so the workflow fails fast
+with the evidence attached instead of idling until the job timeout.
+
+No third-party plugin needed — the stdlib timer is re-armed per test and
+cancelled on completion.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    seconds = float(os.environ.get("DMEMO_TEST_TIMEOUT", "0") or 0)
+    if seconds <= 0:
+        yield
+        return
+    faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

@@ -157,11 +157,10 @@ class Memo:
         over the connection, encoding each memo only as the wire is ready
         for it — the bulk-ingest shape the hot-path bench measures.
         """
+        folder, encode_payload, origin = self._folder, self._encode, self.process_name
         self.client.put_many(
             PutRequest(
-                folder=self._folder(key),
-                payload=self._encode(value),
-                origin=self.process_name,
+                folder=folder(key), payload=encode_payload(value), origin=origin
             )
             for key, value in items
         )

@@ -119,8 +119,16 @@ class FolderName:
             raise MemoError("application name must be non-empty")
 
     def canonical(self) -> bytes:
-        """Stable byte representation including the application prefix."""
-        return self.app.encode("utf-8") + b"\x01" + self.key.canonical()
+        """Stable byte representation including the application prefix.
+
+        Computed once per instance: the placement hash and the routing
+        cache both consume it on every request that touches the folder.
+        """
+        cached = getattr(self, "_canonical", None)
+        if cached is None:
+            cached = self.app.encode("utf-8") + b"\x01" + self.key.canonical()
+            object.__setattr__(self, "_canonical", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"{self.app}:{self.key}"

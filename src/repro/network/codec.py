@@ -4,7 +4,7 @@ The transferable TLV format (:mod:`repro.transferable.wire`) is fully
 self-describing: every message carries its struct name, every field its
 field name, and the object graph is linearized node by node.  That is the
 right trade for *user data* — arbitrary, possibly self-referential
-structures crossing heterogeneous machines — but pure overhead for the 13
+structures crossing heterogeneous machines — but pure overhead for the 14
 fixed control messages of the server protocol, which dominate the wire.
 Section 5 of the paper reasons about performance in messages and bytes per
 link; this module is where the control plane wins those bytes back.
@@ -12,9 +12,18 @@ link; this module is where the control plane wins those bytes back.
 Frame layout::
 
     magic   2 bytes  b"DC"       (distinct from the TLV codec's b"DM")
-    version 1 byte   0x01
+    version 1 byte   0x01 plain | 0x02 correlated
     tag     1 byte   message type (see the registrations in protocol.py)
+    corr    uvarint  correlation id (version 0x02 frames only)
     body    positional fields, no names, no graph
+
+A version-2 ("correlated") frame is byte-identical to a version-1 frame
+except for the version byte and one LEB128 correlation id between the tag
+and the body.  The id names the request a reply answers, which is what
+lets a connection carry many requests at once and return their replies
+out of order (per-connection pipelining).  Version-1 frames and TLV
+frames carry no id — old peers and recorded seed streams keep decoding,
+and a receiver treats them as strict request/reply traffic.
 
 Body primitives::
 
@@ -46,15 +55,21 @@ from repro.transferable import wire as _tlv
 __all__ = [
     "COMPACT_MAGIC",
     "COMPACT_VERSION",
+    "CORRELATED_VERSION",
     "register_compact",
     "encode_message",
+    "encode_correlated_burst",
     "decode_message",
+    "decode_tagged",
+    "split_correlated",
 ]
 
 COMPACT_MAGIC = b"DC"
 COMPACT_VERSION = 1
+CORRELATED_VERSION = 2
 
 _HEADER = COMPACT_MAGIC + bytes((COMPACT_VERSION,))
+_HEADER_CORR = COMPACT_MAGIC + bytes((CORRELATED_VERSION,))
 _F64 = struct.Struct(">d")
 
 
@@ -119,6 +134,12 @@ def _w_str_tuple(out: bytearray, items: tuple) -> None:
         _w_str(out, s)
 
 
+def _w_bytes_tuple(out: bytearray, items: tuple) -> None:
+    _w_uv(out, len(items))
+    for b in items:
+        _w_bytes(out, b)
+
+
 def _w_server_pairs(out: bytearray, pairs: tuple) -> None:
     _w_uv(out, len(pairs))
     for sid, host in pairs:
@@ -181,6 +202,15 @@ class _Reader:
         return b
 
     def uv(self) -> int:
+        # Fast path: almost every varint on the wire (lengths, indexes,
+        # correlation ids early in a connection's life) fits one byte.
+        pos = self.pos
+        data = self.data
+        if pos < len(data):
+            b = data[pos]
+            if b < 0x80:
+                self.pos = pos + 1
+                return b
         result = 0
         shift = 0
         while True:
@@ -194,13 +224,30 @@ class _Reader:
 
     def r_str(self) -> str:
         n = self.uv()
+        pos = self.pos
+        end = pos + n
+        data = self.data
+        if end > len(data):
+            raise DecodingError(
+                f"truncated compact frame: wanted {n} bytes at offset {pos}"
+            )
+        self.pos = end
         try:
-            return str(self.take(n), "utf-8")
+            return str(data[pos:end], "utf-8")
         except UnicodeDecodeError as exc:
             raise DecodingError("invalid UTF-8 in compact frame") from exc
 
     def r_bytes(self) -> bytes:
-        return bytes(self.take(self.uv()))
+        n = self.uv()
+        pos = self.pos
+        end = pos + n
+        data = self.data
+        if end > len(data):
+            raise DecodingError(
+                f"truncated compact frame: wanted {n} bytes at offset {pos}"
+            )
+        self.pos = end
+        return bytes(data[pos:end])
 
     def r_bool(self) -> bool:
         b = self.u8()
@@ -214,7 +261,13 @@ class _Reader:
     def r_folder(self) -> FolderName:
         app = self.r_str()
         symbol = self.r_str()
-        index = tuple(self.uv() for _ in range(self.uv()))
+        n = self.uv()
+        if n == 0:
+            index = ()
+        elif n == 1:  # the overwhelmingly common key shape
+            index = (self.uv(),)
+        else:
+            index = tuple(self.uv() for _ in range(n))
         return FolderName(app, Key(Symbol(symbol), index))
 
     def r_opt_folder(self) -> FolderName | None:
@@ -227,6 +280,9 @@ class _Reader:
 
     def r_str_tuple(self) -> tuple:
         return tuple(self.r_str() for _ in range(self.uv()))
+
+    def r_bytes_tuple(self) -> tuple:
+        return tuple(self.r_bytes() for _ in range(self.uv()))
 
     def r_server_pairs(self) -> tuple:
         return tuple((self.r_str(), self.r_str()) for _ in range(self.uv()))
@@ -256,6 +312,7 @@ _WRITERS: dict[str, Callable] = {
     "opt_folder": _w_opt_folder,
     "folder_tuple": _w_folder_tuple,
     "str_tuple": _w_str_tuple,
+    "bytes_tuple": _w_bytes_tuple,
     "server_pairs": _w_server_pairs,
     "float_dict": _w_float_dict,
     "link_dict": _w_link_dict,
@@ -271,6 +328,7 @@ _READERS: dict[str, Callable[[_Reader], object]] = {
     "opt_folder": _Reader.r_opt_folder,
     "folder_tuple": _Reader.r_folder_tuple,
     "str_tuple": _Reader.r_str_tuple,
+    "bytes_tuple": _Reader.r_bytes_tuple,
     "server_pairs": _Reader.r_server_pairs,
     "float_dict": _Reader.r_float_dict,
     "link_dict": _Reader.r_link_dict,
@@ -328,47 +386,153 @@ def register_compact(
 # ---------------------------------------------------------------------------
 
 
-def encode_message(msg: object) -> bytes:
+def encode_message(msg: object, corr_id: int | None = None) -> bytes:
     """Encode one control message, compactly when a spec is registered.
 
     Types without a compact spec fall back to the self-describing TLV
     codec, so the call accepts anything :func:`repro.transferable.wire.encode`
     accepts; :func:`decode_message` reverses either framing.
+
+    Args:
+        msg: the message to encode.
+        corr_id: when not None, emit a version-2 *correlated* frame
+            carrying this id between the tag and the body.  Only types
+            with a compact spec can carry an id (the TLV framing has no
+            slot for one — by design, so id-less streams stay id-less).
     """
     spec = _SPECS_BY_TYPE.get(type(msg))
     if spec is None:
+        if corr_id is not None:
+            raise EncodingError(
+                f"{type(msg).__qualname__} has no compact spec and the TLV "
+                f"fallback cannot carry a correlation id"
+            )
         return _tlv.encode(msg)
-    out = bytearray(_HEADER)
-    out.append(spec.tag)
+    if corr_id is None:
+        out = bytearray(_HEADER)
+        out.append(spec.tag)
+    else:
+        if corr_id < 0:
+            raise EncodingError(f"correlation id must be >= 0, got {corr_id}")
+        out = bytearray(_HEADER_CORR)
+        out.append(spec.tag)
+        _w_uv(out, corr_id)
     for name, write in spec.writers:
         write(out, getattr(msg, name))
     return bytes(out)
 
 
+def encode_correlated_burst(pairs) -> list[bytes]:
+    """Encode ``(message, corr_id)`` pairs into correlated frames.
+
+    Equivalent to ``[encode_message(m, c) for m, c in pairs]`` but the
+    positional body is encoded once per distinct message *object*: a burst
+    of replies completed together is dominated by identical acknowledgement
+    singletons, whose bytes differ only in the correlation id.
+    """
+    body_cache: dict[int, tuple[int, bytes]] = {}
+    frames: list[bytes] = []
+    for msg, corr_id in pairs:
+        cached = body_cache.get(id(msg))
+        if cached is None:
+            spec = _SPECS_BY_TYPE.get(type(msg))
+            if spec is None:
+                raise EncodingError(
+                    f"{type(msg).__qualname__} has no compact spec and "
+                    f"cannot ride a correlated burst"
+                )
+            body = bytearray()
+            for name, write in spec.writers:
+                write(body, getattr(msg, name))
+            cached = (spec.tag, bytes(body))
+            body_cache[id(msg)] = cached
+        tag, body_bytes = cached
+        out = bytearray(_HEADER_CORR)
+        out.append(tag)
+        _w_uv(out, corr_id)
+        out += body_bytes
+        frames.append(bytes(out))
+    return frames
+
+
+def split_correlated(data: bytes) -> tuple[int, bytes] | None:
+    """Cheaply split a correlated frame into ``(corr_id, tag+body bytes)``.
+
+    Returns None for anything that is not a well-formed version-2 compact
+    frame — the caller falls back to :func:`decode_tagged`.  The second
+    element is the frame with header and correlation id stripped, which
+    is *identical across frames answering with the same message*: ack
+    drains use it to decode one representative of a burst and reuse the
+    result for every byte-equal sibling.
+    """
+    if (
+        len(data) < 5
+        or data[0] != 0x44  # "D"
+        or data[1] != 0x43  # "C"
+        or data[2] != CORRELATED_VERSION
+    ):
+        return None
+    pos = 4
+    b = data[pos]
+    if b < 0x80:
+        corr_id = b
+        pos += 1
+    else:
+        corr_id = 0
+        shift = 0
+        while True:
+            if pos >= len(data):
+                return None
+            b = data[pos]
+            pos += 1
+            corr_id |= (b & 0x7F) << shift
+            if not b & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                return None
+    return corr_id, data[3:4] + data[pos:]
+
+
 def decode_message(data: bytes | memoryview) -> object:
     """Decode one message, dispatching on the leading frame magic.
+
+    Equivalent to ``decode_tagged(data)[0]`` — the correlation id (if the
+    frame carries one) is dropped.  Kept as the plain entry point for
+    callers that never pipeline (tests, recorded streams, tools).
+    """
+    return decode_tagged(data)[0]
+
+
+def decode_tagged(data: bytes | memoryview) -> tuple[object, int | None]:
+    """Decode one message plus its correlation id, if any.
 
     ``b"DC"`` frames take the compact path; ``b"DM"`` frames are full TLV
     streams (seed peers, memo payloads used as messages in tests).  The
     compact path re-runs each dataclass's own validation, so hostile bytes
     cannot construct a message an honest sender could not have built.
 
+    Returns:
+        ``(message, corr_id)``; *corr_id* is None for version-1 compact
+        frames and for TLV frames (id-less, strict request/reply).
+
     Raises:
-        DecodingError: unknown magic, unknown tag, truncated or trailing
-            bytes, or field values the message type rejects.
+        DecodingError: unknown magic, unknown tag or version, truncated or
+            trailing bytes, or field values the message type rejects.
     """
     view = memoryview(data)
     magic = bytes(view[:2])
     if magic == _tlv.MAGIC:
-        return _tlv.decode(view)
+        return _tlv.decode(view), None
     if magic != COMPACT_MAGIC:
         raise DecodingError(
             f"bad magic {magic!r}: neither a compact nor a TLV frame"
         )
     if len(view) < 4:
         raise DecodingError("truncated compact frame: missing header")
-    if view[2] != COMPACT_VERSION:
-        raise DecodingError(f"unsupported compact version {view[2]}")
+    version = view[2]
+    if version not in (COMPACT_VERSION, CORRELATED_VERSION):
+        raise DecodingError(f"unsupported compact version {version}")
     spec = _SPECS_BY_TAG.get(view[3])
     if spec is None:
         raise DecodingError(f"unknown compact message tag {view[3]:#x}")
@@ -377,13 +541,14 @@ def decode_message(data: bytes | memoryview) -> object:
         # Field readers construct Key/Symbol/FolderName eagerly, so their
         # validation errors must convert here too, not only the final
         # dataclass construction's.
+        corr_id = r.uv() if version == CORRELATED_VERSION else None
         values = [read(r) for read in spec.readers]
         if not r.at_end():
             raise DecodingError(
                 f"{len(view) - r.pos} trailing bytes after compact "
                 f"{spec.cls.__qualname__}"
             )
-        return spec.cls(*values)
+        return spec.cls(*values), corr_id
     except DecodingError:
         raise
     except MemoError as exc:

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 
 from repro.core.keys import FolderName
 from repro.errors import DecodingError, ProtocolError
-from repro.network.codec import decode_message, encode_message, register_compact
+from repro.network.codec import (
+    decode_tagged,
+    encode_message,
+    register_compact,
+    split_correlated,
+)
 from repro.network.connection import Connection
 from repro.transferable.registry import default_registry
 
@@ -41,9 +46,14 @@ __all__ = [
     "StatsRequest",
     "ShutdownRequest",
     "ForwardEnvelope",
+    "BurstEnvelope",
+    "PipelineBatch",
     "Reply",
     "send_message",
     "recv_message",
+    "recv_tagged",
+    "decode_protocol_frame",
+    "iter_batch_frames",
     "GET_MODES",
 ]
 
@@ -247,6 +257,59 @@ class ForwardEnvelope:
 
 
 @dataclass(frozen=True)
+class BurstEnvelope:
+    """A run of pipelined puts forwarded to their owner as one message.
+
+    The strict :class:`ForwardEnvelope` wraps one request and repeats the
+    application, target, and trail strings on every hop — fine for a
+    single forward, pure overhead for a pipelined burst whose envelopes
+    are identical.  A burst envelope carries those fields *once* and the
+    member requests as raw correlated frames, exactly as the client sent
+    them: the forwarding server never re-encodes a put, and the owner's
+    tagged replies (using the client's own correlation ids, which are
+    unique within the burst) can be passed back to the client verbatim.
+
+    Only emitted toward the folder's owning host over a direct link — a
+    relay would serve each member on its own worker and could reorder
+    same-folder puts, so multi-hop forwards stay on the strict path.
+    """
+
+    app: str
+    target_host: str
+    frames: tuple[bytes, ...]
+    trail: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "frames", tuple(self.frames))
+        object.__setattr__(self, "trail", tuple(self.trail))
+        if not self.frames:
+            raise ProtocolError("BurstEnvelope requires at least one frame")
+
+
+@dataclass(frozen=True)
+class PipelineBatch:
+    """Several already-encoded frames travelling as one wire message.
+
+    Pipelined peers coalesce bursts — a client flushing a ``put_many``
+    batch, a server emitting the replies a worker set just completed —
+    into one of these, paying one transport send/receive per *burst*
+    instead of per message.  Each inner element is a complete encoded
+    frame (normally a correlated compact frame); the receiver unpacks and
+    dispatches them in order.  Batches do not nest.
+
+    The container itself is always sent id-less: the correlation ids live
+    on the inner frames.
+    """
+
+    frames: tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "frames", tuple(self.frames))
+        if not self.frames:
+            raise ProtocolError("PipelineBatch requires at least one frame")
+
+
+@dataclass(frozen=True)
 class Reply:
     """Universal response.
 
@@ -282,6 +345,8 @@ _MESSAGE_TYPES = (
     ShutdownRequest,
     ForwardEnvelope,
     Reply,
+    PipelineBatch,
+    BurstEnvelope,
 )
 
 # Registered in the transferable registry too: the TLV fallback framing
@@ -333,6 +398,17 @@ register_compact(
     12,
     (("app", "str"), ("target_host", "str"), ("inner", "bytes"), ("trail", "str_tuple")),
 )
+register_compact(PipelineBatch, 14, (("frames", "bytes_tuple"),))
+register_compact(
+    BurstEnvelope,
+    15,
+    (
+        ("app", "str"),
+        ("target_host", "str"),
+        ("frames", "bytes_tuple"),
+        ("trail", "str_tuple"),
+    ),
+)
 register_compact(
     Reply,
     13,
@@ -347,13 +423,17 @@ register_compact(
 )
 
 
-def send_message(conn: Connection, message: object) -> int:
+def send_message(
+    conn: Connection, message: object, corr_id: int | None = None
+) -> int:
     """Encode and send one protocol message; returns encoded size.
 
     Protocol messages take the compact framing; anything else falls back
     to the self-describing TLV codec (see :mod:`repro.network.codec`).
+    With *corr_id* the frame is emitted in the correlated (version-2)
+    framing, naming the request/reply pair it belongs to.
     """
-    data = encode_message(message)
+    data = encode_message(message, corr_id)
     conn.send(data)
     return len(data)
 
@@ -361,15 +441,67 @@ def send_message(conn: Connection, message: object) -> int:
 def recv_message(conn: Connection, timeout: float | None = None) -> object:
     """Receive and decode one protocol message (compact or TLV framing).
 
+    The strict request/reply entry point: a correlation id, if present,
+    is dropped.  Pipelining peers use :func:`recv_tagged`.
+
     Raises:
         ProtocolError: the bytes decoded to something that is not a
             registered protocol message, or could not be decoded at all.
     """
-    data = conn.recv(timeout)
+    return recv_tagged(conn, timeout)[0]
+
+
+def recv_tagged(
+    conn: Connection, timeout: float | None = None
+) -> tuple[object, int | None]:
+    """Receive one protocol message plus its correlation id (None if id-less).
+
+    Raises:
+        ProtocolError: the bytes decoded to something that is not a
+            registered protocol message, or could not be decoded at all.
+    """
+    return decode_protocol_frame(conn.recv(timeout))
+
+
+def decode_protocol_frame(data: bytes | memoryview) -> tuple[object, int | None]:
+    """Decode one frame into ``(protocol message, correlation id)``.
+
+    The protocol-level validation shared by :func:`recv_tagged` and the
+    receivers that unpack :class:`PipelineBatch` inner frames.
+
+    Raises:
+        ProtocolError: the bytes decoded to something that is not a
+            registered protocol message, or could not be decoded at all.
+    """
     try:
-        msg = decode_message(data)
+        msg, corr_id = decode_tagged(data)
     except DecodingError as exc:
         raise ProtocolError(f"undecodable message frame: {exc}") from exc
     if not isinstance(msg, _MESSAGE_TYPES):
         raise ProtocolError(f"unexpected message type {type(msg).__qualname__}")
-    return msg
+    return msg, corr_id
+
+
+def iter_batch_frames(frames):
+    """Decode a :class:`PipelineBatch`'s frames into ``(message, corr_id)``.
+
+    A reply burst is dominated by byte-identical acknowledgement bodies
+    that differ only in their correlation id, so the body bytes key a
+    decode cache: one representative is decoded per distinct body and the
+    (immutable) message object is reused for every byte-equal sibling.
+
+    Raises:
+        ProtocolError: a frame that is not a registered protocol message.
+    """
+    cache: dict[bytes, object] = {}
+    for raw in frames:
+        split = split_correlated(raw)
+        if split is None:
+            yield decode_protocol_frame(raw)
+            continue
+        corr_id, key = split
+        msg = cache.get(key)
+        if msg is None:
+            msg = decode_protocol_frame(raw)[0]
+            cache[key] = msg
+        yield msg, corr_id

@@ -8,6 +8,7 @@ not one line of server code changes between the two media.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 
@@ -19,7 +20,26 @@ __all__ = ["TCPTransport", "TCPConnection", "TCPListener"]
 
 
 class TCPConnection(Connection):
-    """A framed message channel over one TCP socket."""
+    """A framed message channel over one TCP socket.
+
+    The ``recv`` timeout is a *poll* timeout: it applies only until the
+    first byte of a frame arrives.  Once a frame has started, the read is
+    committed — a server poll loop (e.g. the memo server's 0.5 s shutdown
+    check) timing out mid-frame must not abandon the partial bytes, or
+    the next ``recv`` would start decoding from the middle of the stream
+    and hand the peer garbage.  A started frame is drained with its own
+    budget (:data:`drain_timeout` per chunk); a peer that stalls past it
+    gets the connection *failed*, never desynced.
+    """
+
+    #: Per-chunk budget for finishing a frame whose first byte arrived.
+    drain_timeout = 5.0
+
+    #: Per-chunk budget for a send making progress.  A peer that stops
+    #: reading (full receive buffer) fails the connection after this
+    #: rather than wedging the sending thread — and everything queued on
+    #: the send lock behind it — forever.
+    send_timeout = 30.0
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
@@ -28,41 +48,102 @@ class TCPConnection(Connection):
         self._closed = False
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
+    def _abandon(self) -> None:
+        """Fail the connection from an in-band error path.
+
+        ``shutdown`` rather than ``close``: a pipelined session sends and
+        receives concurrently on this socket, and closing the fd while
+        another thread is mid-``select``/``send`` would let the OS recycle
+        the fd number for a freshly-accepted connection — the stale
+        thread would then write into an unrelated peer's stream.  The fd
+        itself is released by :meth:`close` once the session tears down.
+        """
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def _bounded_sendall(self, data: bytes) -> None:
+        # The socket stays blocking (see recv for why settimeout is
+        # banned); the bound comes from a writability select per chunk.
+        view = memoryview(data)
+        while view:
+            try:
+                _, ready, _ = select.select([], [self._sock], [], self.send_timeout)
+            except (OSError, ValueError) as exc:
+                raise ConnectionClosedError(f"socket send failed: {exc}") from exc
+            if not ready:
+                self._abandon()
+                raise ConnectionClosedError(
+                    "peer stopped reading; send stalled past its budget"
+                )
+            sent = self._sock.send(view)
+            view = view[sent:]
+
     def send(self, payload: bytes) -> None:
         if self._closed:
             raise ConnectionClosedError("send on closed connection")
         try:
             with self._send_lock:
-                write_frame(self._sock.sendall, payload)
+                write_frame(self._bounded_sendall, payload)
         except OSError as exc:
             self._closed = True
             raise ConnectionClosedError(f"socket send failed: {exc}") from exc
-
-    def _recv_exact(self, n: int) -> bytes:
-        chunks = []
-        remaining = n
-        while remaining:
-            try:
-                chunk = self._sock.recv(remaining)
-            except socket.timeout:
-                raise  # handled by recv()
-            except OSError as exc:
-                raise ConnectionClosedError(f"socket recv failed: {exc}") from exc
-            if not chunk:
-                raise ConnectionClosedError("peer closed the connection")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+        except ConnectionClosedError:
+            self._closed = True
+            raise
 
     def recv(self, timeout: float | None = None) -> bytes:
         if self._closed:
             raise ConnectionClosedError("recv on closed connection")
         with self._recv_lock:
-            self._sock.settimeout(timeout)
+            started = False
+
+            def recv_exact(n: int) -> bytes:
+                # Timeouts are implemented with select, never settimeout:
+                # a socket timeout is socket-wide, and a pipelined session
+                # recv-polls on this thread while worker threads send on
+                # the same socket — a reader poll deadline must not be
+                # able to time out (and half-write) a concurrent sendall.
+                nonlocal started
+                chunks = []
+                remaining = n
+                while remaining:
+                    wait = timeout if not started else self.drain_timeout
+                    try:
+                        ready, _, _ = select.select([self._sock], [], [], wait)
+                    except (OSError, ValueError) as exc:
+                        raise ConnectionClosedError(
+                            f"socket recv failed: {exc}"
+                        ) from exc
+                    if not ready:
+                        if not started:
+                            # Clean poll timeout: the stream is untouched.
+                            raise TimeoutError("recv timed out")
+                        # Mid-frame stall past the drain budget: the
+                        # stream position is no longer knowable, so the
+                        # connection must die — failing cleanly beats
+                        # leaving the peer to decode garbage.
+                        self._abandon()
+                        raise ConnectionClosedError(
+                            "peer stalled mid-frame; connection abandoned"
+                        )
+                    try:
+                        chunk = self._sock.recv(remaining)
+                    except OSError as exc:
+                        raise ConnectionClosedError(
+                            f"socket recv failed: {exc}"
+                        ) from exc
+                    if not chunk:
+                        raise ConnectionClosedError("peer closed the connection")
+                    started = True
+                    chunks.append(chunk)
+                    remaining -= len(chunk)
+                return b"".join(chunks)
+
             try:
-                return read_frame(self._recv_exact)
-            except socket.timeout:
-                raise TimeoutError("recv timed out") from None
+                return read_frame(recv_exact)
             except ConnectionClosedError:
                 self._closed = True
                 raise

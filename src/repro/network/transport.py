@@ -142,7 +142,7 @@ class NetworkFabric:
         return listener
 
 
-@dataclass
+@dataclass(slots=True)
 class _Envelope:
     """A message in flight: payload plus its earliest delivery time."""
 

@@ -24,6 +24,7 @@ machinery.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import Callable
 
 from repro.network.connection import Address, Transport
@@ -39,13 +40,25 @@ class FailureDetector:
     configuration on the exact seed code path: nothing is ever suspected
     when no monitor runs).
 
+    Transition hooks: *on_transition* fires whenever a host flips
+    alive <-> dead, with the host name and its new liveness.  Delivery is
+
+    * **outside the detector's lock** — a hook may freely query liveness
+      (``is_alive``) or even call the mutators (``mark_alive`` /
+      ``mark_dead`` / ``record_failure``) without deadlocking;
+    * **serialized and in order** — transitions are queued under the lock
+      and drained by one notifier at a time, so two racing flips can
+      never deliver their notifications inverted, and a hook that causes
+      a further transition sees it delivered after its own, never
+      recursively inside it.
+
+    The memo server's hook invalidates its routing cache; the pipelined
+    request path made that hook reentrant (a cache rebuild can re-query
+    liveness mid-routing), which is why delivery must not hold the lock.
+
     Args:
         threshold: consecutive probe failures before a host is suspected.
-        on_transition: optional callback invoked — outside the detector's
-            lock — whenever a host flips alive <-> dead, with the host name
-            and its new liveness.  The memo server uses it to invalidate
-            its routing cache; the callback must not call back into the
-            detector's mutators.
+        on_transition: optional hook, described above.
     """
 
     def __init__(
@@ -60,10 +73,41 @@ class FailureDetector:
         self._lock = threading.Lock()
         self._failures: dict[str, int] = {}
         self._dead: set[str] = set()
+        #: Transitions awaiting delivery, in flip order (guarded by _lock).
+        self._pending: deque[tuple[str, bool]] = deque()
+        #: True while some thread is delivering (guarded by _lock).
+        self._notifying = False
 
-    def _notify(self, host: str, alive: bool) -> None:
-        if self.on_transition is not None:
-            self.on_transition(host, alive)
+    def _drain_notifications(self) -> None:
+        """Deliver queued transitions, one thread at a time, lock released.
+
+        Whichever thread finds the queue non-idle claims the notifier
+        role and delivers until empty; other threads (including hooks
+        re-entering a mutator) just enqueue and leave — their transition
+        is delivered by the active notifier, after the current one.  A
+        hook that raises does not strand the transitions queued behind
+        it: delivery continues and the first exception re-raises to this
+        notifier's caller once the queue is dry.
+        """
+        first_exc: Exception | None = None
+        while True:
+            with self._lock:
+                if self._notifying or not self._pending:
+                    break
+                self._notifying = True
+                host, alive = self._pending.popleft()
+            try:
+                hook = self.on_transition
+                if hook is not None:
+                    hook(host, alive)
+            except Exception as exc:  # noqa: BLE001 - keep draining
+                if first_exc is None:
+                    first_exc = exc
+            finally:
+                with self._lock:
+                    self._notifying = False
+        if first_exc is not None:
+            raise first_exc
 
     def is_alive(self, host: str) -> bool:
         """Whether *host* is currently believed alive."""
@@ -76,8 +120,10 @@ class FailureDetector:
             self._failures.pop(host, None)
             revived = host in self._dead
             self._dead.discard(host)
+            if revived and self.on_transition is not None:
+                self._pending.append((host, True))
         if revived:
-            self._notify(host, True)
+            self._drain_notifications()
 
     def mark_dead(self, host: str) -> None:
         """Declare *host* dead immediately (hard connection evidence)."""
@@ -85,8 +131,10 @@ class FailureDetector:
             self._failures[host] = self.threshold
             newly = host not in self._dead
             self._dead.add(host)
+            if newly and self.on_transition is not None:
+                self._pending.append((host, False))
         if newly:
-            self._notify(host, False)
+            self._drain_notifications()
 
     def record_failure(self, host: str) -> bool:
         """Account one failed probe; returns True when *host* turns dead."""
@@ -97,8 +145,10 @@ class FailureDetector:
             if count >= self.threshold:
                 newly = host not in self._dead
                 self._dead.add(host)
+                if newly and self.on_transition is not None:
+                    self._pending.append((host, False))
         if newly:
-            self._notify(host, False)
+            self._drain_notifications()
         return newly
 
     def dead_hosts(self) -> tuple[str, ...]:

@@ -1,22 +1,35 @@
 """A process's connection to its local memo server.
 
 Every application process owns one connection to the memo server on its
-host (Figure 1) and issues synchronous request/reply calls over it — except
-``put``/``put_delayed``, whose acknowledgements are *deferred*: the call
-returns as soon as the request bytes are sent ("control is immediately
-returned", section 6.1.2) and the pending acknowledgements are drained
-before the next synchronous call, preserving read-your-writes ordering and
-still surfacing any asynchronous put failure on the very next API call.
+host (Figure 1).  Synchronous calls (``get``, ``register``, …) block for
+their reply; ``put``/``put_delayed`` acknowledgements are *deferred*: the
+call returns as soon as the request bytes are sent ("control is
+immediately returned", section 6.1.2) and the pending acknowledgements are
+drained before the next synchronous call, preserving read-your-writes
+ordering and still surfacing any asynchronous put failure on the very next
+API call.
+
+Pipelining: every request the client sends carries a correlation id
+(version-2 compact frames), so the memo server is free to work many of the
+connection's requests at once and return the replies out of order — the
+client demultiplexes them by id.  ``put_many`` additionally coalesces
+bursts of requests into :class:`~repro.network.protocol.PipelineBatch`
+frames, paying one transport send per burst; the server coalesces reply
+bursts the same way.
 
 Connection hygiene rules:
 
 * a :class:`TimeoutError` inside ``request`` abandons the connection — the
   reply is still in flight, and reusing the socket would hand the *next*
-  request a stale reply (request/reply desync);
+  request a stale reply (correlation ids make that stale reply *ignorable*,
+  but the fresh connection keeps the failure domain clean);
 * a closed connection triggers bounded reconnect-and-resend, which is what
   lets a client ride through its memo server being killed and restarted
   (fail-over gives at-least-once delivery: a resent put may duplicate a
-  memo whose first ack was lost, never lose one).
+  memo whose first ack was lost, never lose one);
+* acknowledgements that die with a connection are *counted*, accumulating
+  accurately across repeated losses, and surface as exactly one
+  :class:`~repro.errors.MemoError` on the next synchronous call.
 """
 
 from __future__ import annotations
@@ -25,15 +38,36 @@ import threading
 import time
 from typing import Iterable
 
-from repro.errors import CommunicationError, ConnectionClosedError, MemoError, ProtocolError
+from repro.errors import (
+    CommunicationError,
+    ConnectionClosedError,
+    MemoError,
+    ProtocolError,
+)
+from repro.network.codec import encode_message
 from repro.network.connection import Address, Transport
-from repro.network.protocol import Reply, recv_message, send_message
+from repro.network.protocol import (
+    PipelineBatch,
+    Reply,
+    iter_batch_frames,
+    recv_tagged,
+    send_message,
+)
 
 __all__ = ["MemoClient"]
 
+#: Requests coalesced per :class:`PipelineBatch` frame in ``put_many``.
+_BATCH_FRAMES = 64
+
+#: Flow-control window: ``put_many`` drains acknowledgements once this
+#: many are outstanding.  Without a window a huge batch never reads its
+#: acks, the receive buffer fills, and the *server's* reply sends stall
+#: until it fails a connection that was ingesting perfectly.
+_MAX_PENDING = 4096
+
 
 class MemoClient:
-    """Request/reply client with deferred-acknowledgement writes.
+    """Pipelined request/reply client with deferred-acknowledgement writes.
 
     Args:
         transport: medium to (re)connect over.
@@ -58,58 +92,146 @@ class MemoClient:
         self._transport = transport
         self._conn = transport.connect(server_address)
         self._lock = threading.Lock()
-        self._pending_acks = 0
+        #: Correlation ids of posted puts whose acks are still in flight.
+        self._pending: set[int] = set()
+        #: Acks that died with a lost connection, accumulated until raised.
+        self._lost_acks = 0
+        self._next_cid = 1
         self._deferred_error: str | None = None
         self._reconnect_attempts = reconnect_attempts
         self._reconnect_delay = reconnect_delay
 
     # -- plumbing -------------------------------------------------------------
 
+    def _new_cid(self) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        return cid
+
+    def _absorb_one_locked(self, reply: object, cid: int | None) -> None:
+        """Account one tagged reply against the pending-ack set.
+
+        Frames that answer nothing we are waiting for — id-less frames, or
+        ids from a previous connection incarnation — are skipped: the ids
+        are what make stale replies harmless.
+        """
+        if cid is None or cid not in self._pending:
+            return
+        self._pending.discard(cid)
+        if isinstance(reply, Reply) and not reply.ok and self._deferred_error is None:
+            self._deferred_error = reply.error
+
+    def _absorb_frame_locked(self, msg: object, cid: int | None) -> None:
+        if isinstance(msg, PipelineBatch):
+            for inner, inner_cid in iter_batch_frames(msg.frames):
+                self._absorb_one_locked(inner, inner_cid)
+        else:
+            self._absorb_one_locked(msg, cid)
+
     def _drain_locked(self) -> None:
-        """Read acknowledgements for all outstanding async requests."""
-        while self._pending_acks:
-            reply = recv_message(self._conn)
-            self._pending_acks -= 1
-            if isinstance(reply, Reply) and not reply.ok and self._deferred_error is None:
-                self._deferred_error = reply.error
+        """Collect acknowledgements for all outstanding async requests.
+
+        A connection that dies mid-drain is discarded with its remaining
+        acks counted as lost; together with any server-reported put
+        failure they raise exactly one :class:`MemoError` here — never
+        silently forgotten, never double-raised.
+        """
+        self._drain_until_locked(0)
+        self._raise_deferred_locked()
+
+    def _drain_until_locked(self, target: int) -> None:
+        """Absorb acknowledgements until at most *target* remain pending.
+
+        A connection that dies mid-drain is discarded with its remaining
+        acks counted lost; the loss surfaces via
+        :meth:`_raise_deferred_locked` on the next synchronous call.
+        """
+        while len(self._pending) > target:
+            try:
+                msg, cid = recv_tagged(self._conn)
+            except (ConnectionClosedError, TimeoutError):
+                self._discard_connection_locked()
+                return
+            self._absorb_frame_locked(msg, cid)
+
+    def _raise_deferred_locked(self) -> None:
+        if self._deferred_error is None and not self._lost_acks:
+            return
+        parts = []
         if self._deferred_error is not None:
-            error, self._deferred_error = self._deferred_error, None
-            raise MemoError(f"asynchronous put failed: {error}")
+            parts.append(self._deferred_error)
+        if self._lost_acks:
+            parts.append(
+                f"connection lost with {self._lost_acks} unacknowledged puts"
+            )
+        self._deferred_error = None
+        self._lost_acks = 0
+        raise MemoError("asynchronous put failed: " + "; ".join(parts))
 
     def _discard_connection_locked(self) -> None:
         """Drop the current connection; its in-flight state is abandoned.
 
-        Un-drained acknowledgements die with the connection; they become a
-        deferred error so the loss still surfaces on the next call.
+        Un-drained acknowledgements die with the connection; they are
+        *added* to the lost-ack count (a second loss before the first was
+        reported keeps both counts) and surface once via
+        :meth:`_raise_deferred_locked` on the next synchronous call.
         """
         self._conn.close()
-        if self._pending_acks and self._deferred_error is None:
-            self._deferred_error = (
-                f"connection lost with {self._pending_acks} unacknowledged puts"
-            )
-        self._pending_acks = 0
+        self._lost_acks += len(self._pending)
+        self._pending.clear()
 
     def _reconnect_locked(self) -> None:
         self._discard_connection_locked()
         time.sleep(self._reconnect_delay)
         self._conn = self._transport.connect(self.server_address)
 
+    def _recv_matching_locked(self, cid: int, timeout: float | None) -> object:
+        """Read frames until the reply tagged *cid* arrives.
+
+        Replies to other outstanding requests (earlier posts whose acks
+        ride the same stream, possibly inside a batch) are absorbed in
+        passing; id-less or foreign frames are skipped.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("request timed out")
+            msg, got = recv_tagged(self._conn, remaining)
+            if isinstance(msg, PipelineBatch):
+                mine: object | None = None
+                for inner, inner_cid in iter_batch_frames(msg.frames):
+                    if inner_cid == cid:
+                        mine = inner
+                    else:
+                        self._absorb_one_locked(inner, inner_cid)
+                if mine is not None:
+                    return mine
+                continue
+            if got == cid:
+                return msg
+            self._absorb_one_locked(msg, got)
+
     def request(self, msg: object, timeout: float | None = None) -> Reply:
         """Send *msg* and wait for its reply (draining async acks first).
 
-        A timeout discards the connection (the reply is still in flight;
-        reusing the socket would desync every later request/reply pair) and
-        reconnects for subsequent calls.  A connection closed under the
-        request — e.g. the server was killed — retries over a fresh
-        connection up to the configured attempt budget.
+        The request is tagged with a fresh correlation id and the reply is
+        matched by id, so replies the server returns out of order (or
+        stale frames) can never be mistaken for it.  A timeout discards
+        the connection and reconnects for subsequent calls.  A connection
+        closed under the request — e.g. the server was killed — retries
+        over a fresh connection up to the configured attempt budget.
         """
         with self._lock:
             attempts = 0
             while True:
                 try:
                     self._drain_locked()
-                    send_message(self._conn, msg)
-                    reply = recv_message(self._conn, timeout)
+                    cid = self._new_cid()
+                    send_message(self._conn, msg, corr_id=cid)
+                    reply = self._recv_matching_locked(cid, timeout)
                     if (
                         isinstance(reply, Reply)
                         and not reply.ok
@@ -147,13 +269,14 @@ class MemoClient:
         return reply
 
     def post(self, msg: object) -> None:
-        """Send *msg* without waiting; its ack is drained later."""
+        """Send *msg* without waiting; its tagged ack is drained later."""
         with self._lock:
             attempts = 0
             while True:
                 try:
-                    send_message(self._conn, msg)
-                    self._pending_acks += 1
+                    cid = self._new_cid()
+                    send_message(self._conn, msg, corr_id=cid)
+                    self._pending.add(cid)
                     return
                 except ConnectionClosedError:
                     attempts += 1
@@ -168,33 +291,64 @@ class MemoClient:
     def put_many(self, msgs: "Iterable[object]") -> None:
         """Pipeline a batch of put requests over the deferred-ack path.
 
-        Equivalent to calling :meth:`post` once per message, but the whole
-        batch rides a single lock acquisition and the acknowledgements are
-        drained later as usual — the wire sees back-to-back request frames
-        with no interleaved waiting.  *msgs* is consumed lazily, so a
-        generator producer overlaps its encoding with the server already
-        working the earlier frames.  On a connection loss mid-batch the
-        current message is resent on the fresh connection (the already-sent
-        prefix becomes a deferred error, exactly as :meth:`post` handles
-        its in-flight acks).
+        Semantically equivalent to calling :meth:`post` once per message,
+        but the whole run rides a single lock acquisition and consecutive
+        requests are coalesced — :data:`_BATCH_FRAMES` tagged frames per
+        :class:`PipelineBatch` wire message — so the transport is paid per
+        burst, not per memo.  *msgs* is consumed lazily, so a generator
+        producer overlaps its encoding with the server already working the
+        earlier bursts.  Once :data:`_MAX_PENDING` acknowledgements are
+        outstanding a window of them is drained before sending more (flow
+        control — unread acks must not back up into the server's sends).
+        On a connection loss the current (unsent) burst is resent on the
+        fresh connection; acknowledgements of bursts already on the dead
+        wire are counted lost and surface as the usual single deferred
+        error.
         """
         with self._lock:
+            frames: list[bytes] = []
+            cids: list[int] = []
+            add_frame, add_cid, encode = frames.append, cids.append, encode_message
+            cid = self._next_cid
             for msg in msgs:
-                attempts = 0
-                while True:
-                    try:
-                        send_message(self._conn, msg)
-                        self._pending_acks += 1
-                        break
-                    except ConnectionClosedError:
-                        attempts += 1
-                        if attempts > self._reconnect_attempts:
-                            raise
-                        try:
-                            self._reconnect_locked()
-                        except CommunicationError:
-                            if attempts >= self._reconnect_attempts:
-                                raise
+                add_frame(encode(msg, cid))
+                add_cid(cid)
+                cid += 1
+                if len(frames) >= _BATCH_FRAMES:
+                    self._next_cid = cid
+                    self._send_burst_locked(frames, cids)
+                    frames, cids = [], []
+                    add_frame, add_cid = frames.append, cids.append
+                    if len(self._pending) >= _MAX_PENDING:
+                        # Flow control: absorb a window of acks before
+                        # pushing more, so replies never back up far
+                        # enough to stall the server's sends.
+                        self._drain_until_locked(_MAX_PENDING // 2)
+            self._next_cid = cid
+            if frames:
+                self._send_burst_locked(frames, cids)
+
+    def _send_burst_locked(self, frames: list[bytes], cids: list[int]) -> None:
+        """Send one coalesced burst; ids join the pending set only after
+        the send succeeds, so a resend never double-counts them."""
+        attempts = 0
+        while True:
+            try:
+                if len(frames) == 1:
+                    self._conn.send(frames[0])
+                else:
+                    send_message(self._conn, PipelineBatch(tuple(frames)))
+                self._pending.update(cids)
+                return
+            except ConnectionClosedError:
+                attempts += 1
+                if attempts > self._reconnect_attempts:
+                    raise
+                try:
+                    self._reconnect_locked()
+                except CommunicationError:
+                    if attempts >= self._reconnect_attempts:
+                        raise
 
     def flush(self) -> None:
         """Wait for all outstanding async acknowledgements."""
@@ -205,7 +359,7 @@ class MemoClient:
     def pending_acks(self) -> int:
         """Outstanding un-drained acknowledgements (diagnostics)."""
         with self._lock:
-            return self._pending_acks
+            return len(self._pending)
 
     def close(self) -> None:
         """Close the connection; outstanding acks are abandoned."""

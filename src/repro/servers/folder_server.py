@@ -99,6 +99,9 @@ class FolderServer:
         self._folders: dict[FolderName, Folder] = {}
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
+        #: Threads currently blocked in a wait_for (any folder); puts only
+        #: pay for a notify when this is non-zero.
+        self._waiting = 0
         self._rng = random.Random(seed)
         self._shutdown = False
 
@@ -152,7 +155,12 @@ class FolderServer:
             if folder.delayed and trigger_release:
                 to_release = folder.delayed
                 folder.delayed = []
-            self._cond.notify_all()
+            if self._waiting:
+                # Skip the (surprisingly costly) notify when nobody can
+                # care — bulk ingest with no blocked getters is the hot
+                # case.  Waiters increment the count under this lock
+                # before waiting, so a sleeper can never be missed.
+                self._cond.notify_all()
         # Release outside the lock: the target may be a local folder (plain
         # recursive put) or remote (emit_put -> memo server routing).
         for rec, target in to_release:
@@ -185,12 +193,16 @@ class FolderServer:
             try:
                 if not folder.memos:
                     self.stats.blocked_waits += 1
-                ok = self._cond.wait_for(
-                    lambda: bool(folder.memos)
-                    or folder.migrated
-                    or self._shutdown,
-                    timeout=timeout,
-                )
+                self._waiting += 1
+                try:
+                    ok = self._cond.wait_for(
+                        lambda: bool(folder.memos)
+                        or folder.migrated
+                        or self._shutdown,
+                        timeout=timeout,
+                    )
+                finally:
+                    self._waiting -= 1
                 self._ensure_up()
                 if folder.migrated and not folder.memos:
                     raise FolderMigratedError(f"folder {name} migrated away")
@@ -212,12 +224,16 @@ class FolderServer:
             try:
                 if not folder.memos:
                     self.stats.blocked_waits += 1
-                ok = self._cond.wait_for(
-                    lambda: bool(folder.memos)
-                    or folder.migrated
-                    or self._shutdown,
-                    timeout=timeout,
-                )
+                self._waiting += 1
+                try:
+                    ok = self._cond.wait_for(
+                        lambda: bool(folder.memos)
+                        or folder.migrated
+                        or self._shutdown,
+                        timeout=timeout,
+                    )
+                finally:
+                    self._waiting -= 1
                 self._ensure_up()
                 if folder.migrated and not folder.memos:
                     raise FolderMigratedError(f"folder {name} migrated away")

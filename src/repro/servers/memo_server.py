@@ -20,9 +20,16 @@ Request life cycle:
    hop relays the reply back.  No broadcasting, ever.
 
 Every request receives exactly one :class:`~repro.network.protocol.Reply`
-on its connection; asynchronous ``put`` is a *client-side* behaviour (the
-client defers reading the acknowledgement), so the server protocol stays
-strictly request/reply.
+on its connection.  *When* it arrives depends on the framing: correlated
+requests (version-2 compact frames) pipeline through a per-connection
+worker set (:class:`_ConnectionSession`) and their tagged replies return
+as the work completes — out of order, coalesced into
+:class:`~repro.network.protocol.PipelineBatch` bursts — while id-less
+requests keep the paper's strict request-by-request service.  Puts ride
+per-folder FIFO lanes, so pipelining never reorders two puts to the same
+folder, and runs of puts owned by a remote host are forwarded as one
+:class:`~repro.network.protocol.BurstEnvelope` instead of one strict
+round trip each.
 
 Replication (``replication_factor > 1``): a folder's placement becomes an
 ordered *replica chain* of distinct hosts.  The router walks the chain,
@@ -39,6 +46,8 @@ collapses to the paper's single-owner behaviour.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.keys import FolderName
@@ -48,6 +57,7 @@ from repro.errors import (
     ConnectionClosedError,
     FolderMigratedError,
     HostDownError,
+    MemoError,
     NotRegisteredError,
     ProtocolError,
     ReplicationError,
@@ -55,14 +65,21 @@ from repro.errors import (
     ServerError,
     ShutdownError,
 )
-from repro.network.codec import decode_message, encode_message
+from repro.network.codec import (
+    decode_message,
+    encode_correlated_burst,
+    encode_message,
+    split_correlated,
+)
 from repro.network.connection import Address, Connection, Transport
 from repro.network.protocol import (
+    BurstEnvelope,
     ForwardEnvelope,
     GetAltSkipRequest,
     GetRequest,
     Heartbeat,
     MigrateRequest,
+    PipelineBatch,
     PutDelayedRequest,
     PutRequest,
     RegisterRequest,
@@ -71,6 +88,7 @@ from repro.network.protocol import (
     ShutdownRequest,
     StatsRequest,
     SyncPull,
+    decode_protocol_frame,
     recv_message,
     send_message,
 )
@@ -78,7 +96,7 @@ from repro.network.routing import RoutingTable
 from repro.replication.failure import FailureDetector, HeartbeatMonitor
 from repro.servers.folder_server import FolderServer
 from repro.servers.hashing import FolderPlacement, HashWeightPolicy, PlacementCache
-from repro.servers.threadcache import ThreadCache
+from repro.servers.threadcache import ThreadCache, scatter_join
 
 __all__ = ["MemoServer", "MemoServerStats", "AppRegistration", "MEMO_PORT"]
 
@@ -97,6 +115,8 @@ class MemoServerStats:
     forwards_in: int = 0
     registrations: int = 0
     errors: int = 0
+    pipelined_requests: int = 0
+    pipelined_batches: int = 0
     replications_out: int = 0
     replications_in: int = 0
     replication_failures: int = 0
@@ -108,6 +128,12 @@ class MemoServerStats:
     def bump(self, name: str, by: int = 1) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + by)
+
+    def bump_pair(self, first: str, second: str) -> None:
+        """Two increments, one lock round — for per-request hot paths."""
+        with self._lock:
+            setattr(self, first, getattr(self, first) + 1)
+            setattr(self, second, getattr(self, second) + 1)
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:
@@ -192,6 +218,443 @@ class _ConnectionPool:
         for bucket in buckets:
             for conn in bucket:
                 conn.close()
+
+
+#: Shared acknowledgement for accepted writes.  Reply is frozen, so one
+#: instance serves every put — and identity-keyed burst encoding turns a
+#: lane's worth of acks into one body encode (see ``_send_replies``).
+_PUT_ACK = Reply(ok=True, found=True)
+
+#: The ack's tag+body bytes (what :func:`split_correlated` exposes): a
+#: burst-forwarded put whose reply matches these bytes can be relayed to
+#: the client verbatim, no decode, no re-encode.
+_PUT_ACK_TAGBODY = encode_message(_PUT_ACK)[3:]
+
+#: Put lanes per pipelined connection.  Same-folder puts always hash to
+#: the same lane — that is the per-folder FIFO guarantee.  One lane is
+#: the throughput sweet spot under the GIL (fewer threads trading the
+#: interpreter); cross-owner latency overlap comes from the lane firing
+#: its burst groups concurrently, not from extra lanes.
+_PUT_LANES = 1
+
+#: Most requests a lane worker drains per round; bounds reply-batch size
+#: (and so peak reply-frame size) under a firehose producer.
+_LANE_BATCH_MAX = 128
+
+#: Deadline for each reply read of a burst-forward.  The strict path can
+#: afford an unbounded reply wait (it wedges one request); a wedged burst
+#: would stall its whole put lane, so a frozen owner must instead fail
+#: the burst and send the unresolved puts down the audited retry path.
+_BURST_REPLY_TIMEOUT = 30.0
+
+
+class _ConnectionSession:
+    """Pipelined service state for one inbound connection.
+
+    The paper's server loop was strictly request/reply per connection:
+    decode, handle, reply, repeat — so a client pipelining requests
+    (deferred acks, ``put_many``) still paid one full server round per
+    request.  A session splits that loop into a *reader* (this thread,
+    from the accept path's :class:`ThreadCache` submit) and a
+    per-connection *worker set*:
+
+    * correlated requests (version-2 frames) are dispatched — puts onto
+      one of :data:`_PUT_LANES` FIFO lanes keyed by folder (two puts to
+      the same folder can never reorder; distinct folders overlap),
+      everything else onto its own worker so a blocking ``get`` never
+      stalls the puts pipelined behind it;
+    * replies are sent as the workers complete — out of order, tagged
+      with the request's correlation id, coalesced into
+      :class:`PipelineBatch` frames when a burst completes together;
+    * id-less requests (seed peers, forwarded envelopes, heartbeats) keep
+      the exact strict request/reply behaviour: the reader waits for the
+      put lanes to drain (so a legacy request observes the pipelined
+      writes that preceded it), handles inline, and replies untagged.
+
+    On shutdown or connection loss the session *drains*: queued-but-
+    unstarted requests are answered with a shutdown error (never silently
+    dropped — an unanswered id would strand the peer's waiter), and
+    in-flight workers get a bounded grace period before the connection
+    closes.
+    """
+
+    __slots__ = (
+        "server",
+        "conn",
+        "_lock",
+        "_idle",
+        "_put_queues",
+        "_lane_running",
+        "_inflight_puts",
+        "_inflight_other",
+    )
+
+    def __init__(self, server: "MemoServer", conn: Connection) -> None:
+        self.server = server
+        self.conn = conn
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._put_queues: list[deque] = [deque() for _ in range(_PUT_LANES)]
+        self._lane_running = [False] * _PUT_LANES
+        self._inflight_puts = 0
+        self._inflight_other = 0
+
+    # -- reader ---------------------------------------------------------------
+
+    def serve(self) -> None:
+        server = self.server
+        conn = self.conn
+        try:
+            while server._running.is_set():
+                try:
+                    raw = conn.recv(timeout=0.5)
+                    msg, cid = decode_protocol_frame(raw)
+                except TimeoutError:
+                    continue
+                except (ConnectionClosedError, ProtocolError):
+                    return
+                if isinstance(msg, PipelineBatch):
+                    server.stats.bump("pipelined_batches")
+                    if not self._dispatch_batch(msg):
+                        return
+                elif isinstance(msg, BurstEnvelope):
+                    server.stats.bump("pipelined_batches")
+                    if not self._dispatch_burst_envelope(msg):
+                        return
+                elif cid is None:
+                    if not self._serve_legacy(msg):
+                        return
+                else:
+                    server.stats.bump("requests")
+                    server.stats.bump("pipelined_requests")
+                    self._dispatch(msg, cid, raw)
+        finally:
+            self._drain_and_close()
+
+    def _serve_legacy(self, msg: object) -> bool:
+        """Strict request/reply for an id-less frame; False closes the session."""
+        self.server.stats.bump("requests")
+        # Pipelined puts already accepted on this connection must land
+        # before a legacy request runs: the legacy peer believes its last
+        # write completed when this one is served.  If the lanes cannot
+        # drain within the bound, serving anyway would silently reorder —
+        # fail the request instead, like any other server-side error.
+        if self._await_put_lanes():
+            reply = self.server._handle(msg)
+        else:
+            self.server.stats.bump("errors")
+            reply = Reply(
+                ok=False,
+                error="ServerError: pipelined puts still in flight; "
+                "refusing to serve a strict request out of order",
+            )
+        try:
+            send_message(self.conn, reply)
+        except (ConnectionClosedError, CommunicationError):
+            return False
+        return True
+
+    def _dispatch_batch(self, batch: PipelineBatch) -> bool:
+        """Unpack one coalesced burst; False (undecodable) closes the session."""
+        server = self.server
+        n = len(batch.frames)
+        server.stats.bump("requests", n)
+        server.stats.bump("pipelined_requests", n)
+        for raw in batch.frames:
+            try:
+                msg, cid = decode_protocol_frame(raw)
+            except ProtocolError:
+                return False
+            if cid is None or isinstance(msg, PipelineBatch):
+                # Inner frames must be correlated and batches do not nest;
+                # a peer that violates either is talking a different
+                # protocol, and the connection cannot be trusted further.
+                return False
+            self._dispatch(msg, cid, raw)
+        return True
+
+    def _dispatch_burst_envelope(self, burst: BurstEnvelope) -> bool:
+        """Unwrap a peer's burst-forwarded puts into the put lanes.
+
+        One :class:`ForwardEnvelope` stand-in is built for the whole burst
+        (the trail/ownership checks in ``_handle_envelope_inner`` read
+        only its header fields), and each member frame keeps the
+        *client's* correlation id — the replies this session emits go
+        back to the forwarding server, which relays them verbatim.
+        False closes the session: a burst not targeted here, or carrying
+        anything but correlated puts, is a protocol violation.
+        """
+        server = self.server
+        if burst.target_host != server.host:
+            return False
+        n = len(burst.frames)
+        server.stats.bump("requests", n)
+        server.stats.bump("pipelined_requests", n)
+        shared = ForwardEnvelope(
+            app=burst.app,
+            target_host=burst.target_host,
+            inner=b"",
+            trail=burst.trail,
+        )
+        for raw in burst.frames:
+            try:
+                inner, cid = decode_protocol_frame(raw)
+            except ProtocolError:
+                return False
+            if cid is None or not isinstance(
+                inner, (PutRequest, PutDelayedRequest)
+            ):
+                return False
+            self._enqueue_put(inner.folder, (shared, cid, inner, None))
+        return True
+
+    def _enqueue_put(self, folder: FolderName, entry: tuple) -> None:
+        """Queue one put on its folder's FIFO lane, spawning the worker
+        if the lane is idle (shared by direct and burst-unwrapped puts)."""
+        lane = hash(folder) % _PUT_LANES if _PUT_LANES > 1 else 0
+        with self._lock:
+            self._put_queues[lane].append(entry)
+            self._inflight_puts += 1
+            spawn = not self._lane_running[lane]
+            if spawn:
+                self._lane_running[lane] = True
+        if spawn:
+            self._spawn(self._run_put_lane, lane)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch(self, msg: object, cid: int, raw: bytes | None = None) -> None:
+        # Puts ride the FIFO lanes; everything else — including any
+        # correlated ForwardEnvelope, which no current peer sends (bursts
+        # arrive as BurstEnvelope, strict forwards id-less) — gets its
+        # own worker so a blocking request stalls nothing behind it.
+        if isinstance(msg, (PutRequest, PutDelayedRequest)):
+            self._enqueue_put(msg.folder, (msg, cid, None, raw))
+        else:
+            with self._lock:
+                self._inflight_other += 1
+            self._spawn(self._run_single, msg, cid)
+
+    def _spawn(self, fn, *args) -> None:
+        try:
+            self.server._cache.submit(fn, *args)
+        except ServerError:
+            # The thread cache shut down under us (server stopping); run
+            # inline so counters settle and queued peers still get replies
+            # (the folder servers are already waking blocked waiters, so
+            # nothing here can block the reader for long).
+            fn(*args)
+
+    # -- workers --------------------------------------------------------------
+
+    def _safe_handle(self, msg: object) -> Reply:
+        try:
+            return self.server._handle(msg)
+        except Exception as exc:  # noqa: BLE001 - a worker must always reply
+            self.server.stats.bump("errors")
+            return Reply(ok=False, error=f"internal error: {type(exc).__name__}: {exc}")
+
+    def _run_put_lane(self, lane: int) -> None:
+        queue = self._put_queues[lane]
+        while True:
+            batch: list = []
+            with self._lock:
+                while queue and len(batch) < _LANE_BATCH_MAX:
+                    batch.append(queue.popleft())
+                if not batch:
+                    self._lane_running[lane] = False
+                    return
+            try:
+                try:
+                    replies = self._process_put_batch(batch)
+                except Exception as exc:  # noqa: BLE001 - a worker must
+                    # always reply AND keep the lane alive: an exception
+                    # escaping here would leave _lane_running stuck True
+                    # (no future round ever spawns) and the peer waiting
+                    # on ids that never resolve.
+                    self.server.stats.bump("errors")
+                    err = Reply(
+                        ok=False,
+                        error=f"internal error: {type(exc).__name__}: {exc}",
+                    )
+                    replies = [(err, cid) for _m, cid, _i, _r in batch]
+                self._send_replies(replies)
+            finally:
+                with self._lock:
+                    self._inflight_puts -= len(batch)
+                    self._idle.notify_all()
+
+    def _process_put_batch(self, batch: list) -> list:
+        """Serve one lane round, burst-forwarding runs of remote puts.
+
+        Local puts (and inbound forwarded puts this host owns) apply
+        directly; puts owned by a single remote host are grouped per
+        ``(app, owner)`` and forwarded as one :class:`BurstEnvelope`
+        instead of one strict request/reply round trip each — the owner's
+        acknowledgement frames come back tagged with the client's own ids
+        and are relayed verbatim.  Entries the burst cannot resolve —
+        connection failures, a peer answering mid-teardown, a folder that
+        migrated underneath the burst — fall back to the full
+        :meth:`MemoServer._route` machinery, which owns retry, suspicion,
+        and fail-over policy.  Batch order is preserved per folder: a
+        folder's puts either all apply here or all belong to the same
+        burst group, in index order.
+        """
+        server = self.server
+        replies: list = [None] * len(batch)
+        groups: dict = {}
+        # Phase 1: decide each folder's route ONCE for the whole round.
+        # A re-registration or liveness flip landing mid-scan could make
+        # _forward_target answer differently for two puts to the same
+        # folder; since grouped entries execute after inline ones, a
+        # split decision would reorder them.  A folder whose decision
+        # flips mid-scan is demoted to the inline path for the entire
+        # round — the audited _route serves any placement correctly, and
+        # inline entries run in batch order.
+        decisions: dict = {}
+        for msg, _cid, inner, _raw in batch:
+            if inner is not None:
+                continue
+            folder = msg.folder
+            target = server._forward_target(msg)
+            if folder not in decisions:
+                decisions[folder] = target
+            elif decisions[folder] != target:
+                decisions[folder] = None
+        # Phase 2: execute — inline in batch order, bursts collected.
+        for i, (msg, cid, inner, _raw) in enumerate(batch):
+            if inner is not None:
+                replies[i] = (
+                    server._guarded(server._handle_envelope_inner, msg, inner),
+                    cid,
+                )
+                continue
+            target = decisions[msg.folder]
+            if target is None:
+                replies[i] = (self._safe_handle(msg), cid)
+            else:
+                groups.setdefault((msg.folder.app, target), []).append(i)
+        bursts = self._run_burst_groups(server, batch, groups)
+        for (app, owner), idxs in groups.items():
+            for i, result in zip(idxs, bursts[(app, owner)]):
+                if isinstance(result, bytes):
+                    # The owner's ack frame, already tagged with the
+                    # client's correlation id: relay it untouched.
+                    replies[i] = result
+                    continue
+                if isinstance(result, Reply) and not result.ok and (
+                    result.error.startswith("shutdown:")
+                    or "FolderMigratedError" in result.error
+                ):
+                    # The owner was dying or the folder moved mid-burst;
+                    # the slow path knows how to chase both.
+                    result = None
+                if result is None:
+                    result = self._safe_handle(batch[i][0])
+                replies[i] = (result, batch[i][1])
+        return replies
+
+    def _run_burst_groups(self, server: "MemoServer", batch: list, groups: dict) -> dict:
+        """Fire one burst per owner; independent owners' bursts overlap.
+
+        Each group's round trip is pure waiting from this thread's point
+        of view, so the groups scatter across thread-cache workers — a
+        round touching K owners costs ~the slowest owner's round trip,
+        not the sum.
+        """
+        bursts: dict = {}
+
+        def one_group(key: tuple) -> None:
+            app, owner = key
+            entries = [(batch[i][0], batch[i][1], batch[i][3]) for i in groups[key]]
+            try:
+                bursts[key] = server._forward_put_burst(app, owner, entries)
+            except Exception:  # noqa: BLE001 - burst is an optimistic path
+                bursts[key] = [None] * len(entries)
+
+        scatter_join(
+            server._cache, [lambda key=key: one_group(key) for key in groups]
+        )
+        return bursts
+
+    def _run_single(self, msg: object, cid: int) -> None:
+        try:
+            self._send_replies([(self._safe_handle(msg), cid)])
+        finally:
+            with self._lock:
+                self._inflight_other -= 1
+                self._idle.notify_all()
+
+    def _send_replies(self, replies: list) -> None:
+        """Emit completed replies, coalescing a burst into one batch frame.
+
+        Each entry is either a ``(reply, corr_id)`` pair to encode, or a
+        ready-made frame (``bytes``) relayed from a burst-forward's owner
+        — already tagged with the right id, sent verbatim.
+
+        Send failures are swallowed: the peer is gone and the replies are
+        moot — the counters in the callers' ``finally`` blocks still
+        settle, which is what the drain logic relies on.
+        """
+        try:
+            if len(replies) == 1:
+                entry = replies[0]
+                if isinstance(entry, bytes):
+                    self.conn.send(entry)
+                else:
+                    send_message(self.conn, entry[0], corr_id=entry[1])
+                return
+            pairs = [e for e in replies if not isinstance(e, bytes)]
+            encoded = iter(encode_correlated_burst(pairs))
+            frames = tuple(
+                e if isinstance(e, bytes) else next(encoded) for e in replies
+            )
+            send_message(self.conn, PipelineBatch(frames))
+        except (ConnectionClosedError, CommunicationError):
+            pass
+
+    # -- draining -------------------------------------------------------------
+
+    def _await_put_lanes(self, timeout: float = 30.0) -> bool:
+        """Wait (bounded) until every accepted put has been applied."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._inflight_puts:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def _drain_and_close(self, grace: float = 2.0) -> None:
+        """Orderly session teardown: answer queued work, wait for in-flight.
+
+        Requests decoded but not yet started are answered with a shutdown
+        error so the peer can fail them promptly instead of waiting on ids
+        that would never resolve; workers already running get *grace*
+        seconds to finish (their replies still go out if the connection
+        lives), then the connection closes either way.
+        """
+        stranded: list = []
+        with self._lock:
+            for queue in self._put_queues:
+                while queue:
+                    stranded.append(queue.popleft())
+            self._inflight_puts -= len(stranded)
+        if stranded and not self.conn.closed:
+            shut = Reply(
+                ok=False,
+                error="shutdown: server stopped before the request was served",
+            )
+            self._send_replies([(shut, cid) for _msg, cid, _inner, _raw in stranded])
+        deadline = time.monotonic() + grace
+        with self._lock:
+            while self._inflight_puts or self._inflight_other:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+        self.conn.close()
 
 
 class MemoServer:
@@ -325,51 +788,26 @@ class MemoServer:
     # -- connection service -----------------------------------------------------
 
     def _serve_connection(self, conn: Connection) -> None:
-        """Handle requests on one connection sequentially until it closes."""
-        try:
-            while self._running.is_set():
-                try:
-                    msg = recv_message(conn, timeout=0.5)
-                except TimeoutError:
-                    continue
-                except (ConnectionClosedError, ProtocolError):
-                    break
-                self.stats.bump("requests")
-                reply = self._handle(msg)
-                try:
-                    send_message(conn, reply)
-                except ConnectionClosedError:
-                    break
-        finally:
-            conn.close()
+        """Serve one connection until it closes (see :class:`_ConnectionSession`).
+
+        Correlated requests pipeline across a per-connection worker set
+        with out-of-order tagged replies; id-less requests keep the
+        paper's strict request/reply loop byte-for-byte.
+        """
+        _ConnectionSession(self, conn).serve()
 
     def _handle(self, msg: object) -> Reply:
+        return self._guarded(self._handle_inner, msg)
+
+    def _guarded(self, fn, *args) -> Reply:
+        """Run a handler, mapping the protocol's failure modes to replies.
+
+        Shared by the strict path (:meth:`_handle`) and the pipelined
+        session's workers, so a request fails with the same error text
+        whichever path served it.
+        """
         try:
-            if isinstance(msg, RegisterRequest):
-                return self._handle_register(msg)
-            if isinstance(msg, ForwardEnvelope):
-                return self._handle_envelope(msg)
-            if isinstance(msg, (PutRequest, PutDelayedRequest, GetRequest)):
-                return self._route_with_retry(msg.folder, msg)
-            if isinstance(msg, GetAltSkipRequest):
-                return self._handle_get_alt(msg)
-            if isinstance(msg, MigrateRequest):
-                return self._handle_migrate(msg)
-            if isinstance(msg, ReplicatePut):
-                return self._handle_replicate(msg)
-            if isinstance(msg, Heartbeat):
-                # Hearing from a host is itself proof of life.
-                if msg.host:
-                    self.failure.mark_alive(msg.host)
-                return Reply(ok=True)
-            if isinstance(msg, SyncPull):
-                return self._handle_sync_pull(msg)
-            if isinstance(msg, StatsRequest):
-                return Reply(ok=True, stats=self._collect_stats())
-            if isinstance(msg, ShutdownRequest):
-                threading.Thread(target=self.stop, daemon=True).start()
-                return Reply(ok=True)
-            raise ProtocolError(f"unhandled message {type(msg).__qualname__}")
+            return fn(*args)
         except ShutdownError as exc:
             return Reply(ok=False, error=f"shutdown: {exc}")
         except HostDownError as exc:
@@ -381,6 +819,33 @@ class MemoServer:
         except CommunicationError as exc:
             self.stats.bump("errors")
             return Reply(ok=False, error=f"communication failure: {exc}")
+
+    def _handle_inner(self, msg: object) -> Reply:
+        if isinstance(msg, RegisterRequest):
+            return self._handle_register(msg)
+        if isinstance(msg, ForwardEnvelope):
+            return self._handle_envelope(msg)
+        if isinstance(msg, (PutRequest, PutDelayedRequest, GetRequest)):
+            return self._route_with_retry(msg.folder, msg)
+        if isinstance(msg, GetAltSkipRequest):
+            return self._handle_get_alt(msg)
+        if isinstance(msg, MigrateRequest):
+            return self._handle_migrate(msg)
+        if isinstance(msg, ReplicatePut):
+            return self._handle_replicate(msg)
+        if isinstance(msg, Heartbeat):
+            # Hearing from a host is itself proof of life.
+            if msg.host:
+                self.failure.mark_alive(msg.host)
+            return Reply(ok=True)
+        if isinstance(msg, SyncPull):
+            return self._handle_sync_pull(msg)
+        if isinstance(msg, StatsRequest):
+            return Reply(ok=True, stats=self._collect_stats())
+        if isinstance(msg, ShutdownRequest):
+            threading.Thread(target=self.stop, daemon=True).start()
+            return Reply(ok=True)
+        raise ProtocolError(f"unhandled message {type(msg).__qualname__}")
 
     # -- registration (section 4.4) ------------------------------------------------
 
@@ -546,6 +1011,30 @@ class MemoServer:
             ok=False, error=f"folder {folder} kept migrating; giving up"
         )
 
+    def _candidates(
+        self, folder: FolderName
+    ) -> tuple[AppRegistration, tuple, list]:
+        """The registration, replica chain, and live candidates for *folder*.
+
+        Epoch is read BEFORE any routing input (registration, liveness):
+        the stamp must predate everything the computation reads, so a
+        re-registration or liveness flip landing mid-computation bumps
+        past the stamp and the stale publish is rejected.
+        """
+        epoch = self.placement_cache.epoch
+        reg = self.registration(folder.app)
+        cache_key = (folder.app, folder.canonical())
+        cached = self.placement_cache.get(cache_key)
+        if cached is None:
+            chain = reg.placement.replica_chain(folder)
+            candidates = [c for c in chain if self.failure.is_alive(c[1])]
+            if not candidates:
+                candidates = list(chain)
+            self.placement_cache.put(cache_key, epoch, (chain, candidates))
+        else:
+            chain, candidates = cached
+        return reg, chain, candidates
+
     def _route(self, folder: FolderName, msg: object) -> Reply:
         """Serve *msg* at the first reachable member of *folder*'s chain.
 
@@ -562,22 +1051,7 @@ class MemoServer:
         :class:`~repro.servers.hashing.PlacementCache` — steady-state
         routing is one dict hit instead of K salted hashes per request.
         """
-        # Epoch BEFORE any routing input (registration, liveness): the
-        # stamp must predate everything the computation reads, so a
-        # re-registration or liveness flip landing mid-computation bumps
-        # past the stamp and the stale publish is rejected.
-        epoch = self.placement_cache.epoch
-        reg = self.registration(folder.app)
-        cache_key = (folder.app, folder.canonical())
-        cached = self.placement_cache.get(cache_key)
-        if cached is None:
-            chain = reg.placement.replica_chain(folder)
-            candidates = [c for c in chain if self.failure.is_alive(c[1])]
-            if not candidates:
-                candidates = list(chain)
-            self.placement_cache.put(cache_key, epoch, (chain, candidates))
-        else:
-            chain, candidates = cached
+        reg, chain, candidates = self._candidates(folder)
         failures: list[str] = []
         for index, (sid, host) in enumerate(candidates):
             last = index == len(candidates) - 1
@@ -666,17 +1140,139 @@ class MemoServer:
             )
         return reply
 
+    def _forward_target(self, msg: PutRequest | PutDelayedRequest) -> str | None:
+        """The single remote owner a pipelined put can burst-forward to.
+
+        None means the put must take the full :meth:`_route` path: local
+        ownership, a replica chain (fan-out and chain walking belong to
+        the audited route), a multi-hop topology (a relay serves each
+        envelope on its own worker, which would reorder same-folder
+        puts), or a missing registration/address (let the slow path
+        produce its usual error).
+        """
+        try:
+            reg, chain, candidates = self._candidates(msg.folder)
+            if len(chain) != 1:
+                return None
+            host = candidates[0][1]
+            if host == self.host:
+                return None
+            if reg.routing.next_hop(self.host, host) != host:
+                return None
+        except MemoError:
+            # Unknown app, unroutable host, bad topology... — whatever it
+            # is, the audited slow path knows how to turn it into the
+            # right error reply; the fast path only answers "yes, one
+            # healthy remote owner, directly linked".
+            return None
+        if self.address_book.get(host) is None:
+            return None
+        return host
+
+    def _forward_put_burst(
+        self, app: str, owner_host: str, entries: list
+    ) -> list:
+        """Forward a run of puts to *owner_host* as one :class:`BurstEnvelope`.
+
+        *entries* are ``(message, corr_id, raw_frame_or_None)`` triples;
+        the client's raw correlated frames travel verbatim (a forwarded
+        put is never re-encoded — the ids are unique within the burst
+        because they came from one client connection), and the owner's
+        replies come back tagged with those same ids.
+
+        Returns one result per entry:
+
+        * ``bytes`` — the owner's acknowledgement frame, byte-identical
+          to what the client expects; the caller relays it untouched;
+        * :class:`Reply` — a decoded non-ack reply (error, found-flag);
+        * ``None`` — unresolved (connection failure, pool shutdown); the
+          caller re-routes through the full :meth:`_route` machinery.
+
+        A stale pooled connection is retried once on a provably fresh
+        one, mirroring :meth:`_send_envelope`; resends keep at-least-once
+        semantics (duplicates possible, never losses).
+        """
+        address = self.address_book.get(owner_host)
+        if address is None:
+            return [None] * len(entries)
+        frames = {}
+        index_of = {}
+        for i, (msg, cid, raw) in enumerate(entries):
+            if raw is None:
+                raw = encode_message(msg, corr_id=cid)
+            frames[cid] = raw
+            index_of[cid] = i
+        self.stats.bump("forwards_out", len(entries))
+        results: list = [None] * len(entries)
+        unresolved = set(index_of)
+
+        def absorb(raw_reply: bytes) -> None:
+            split = split_correlated(raw_reply)
+            if split is None:
+                return  # id-less frame: not a burst reply, skip
+            cid, tagbody = split
+            if cid not in unresolved:
+                return
+            if tagbody == _PUT_ACK_TAGBODY:
+                results[index_of[cid]] = raw_reply
+            else:
+                reply, _ = decode_protocol_frame(raw_reply)
+                if not isinstance(reply, Reply):
+                    return
+                results[index_of[cid]] = reply
+            unresolved.discard(cid)
+
+        retried = False
+        while unresolved:
+            try:
+                conn, reused = self._pool.acquire(address)
+            except ShutdownError:
+                break
+            try:
+                pending = [frames[cid] for cid in sorted(unresolved)]
+                send_message(
+                    conn,
+                    BurstEnvelope(
+                        app=app,
+                        target_host=owner_host,
+                        frames=tuple(pending),
+                        trail=(self.host,),
+                    ),
+                )
+                while unresolved:
+                    data = conn.recv(timeout=_BURST_REPLY_TIMEOUT)
+                    msg_, _cid = decode_protocol_frame(data)
+                    if isinstance(msg_, PipelineBatch):
+                        for raw_reply in msg_.frames:
+                            absorb(raw_reply)
+                    else:
+                        absorb(data)
+            except (ConnectionClosedError, TimeoutError, ProtocolError):
+                self._pool.discard(conn)
+                if reused and not retried:
+                    self._pool.drop(address)
+                    retried = True
+                    continue
+                break
+            self._pool.release(address, conn)
+            break
+        return results
+
     def _handle_envelope(self, envelope: ForwardEnvelope) -> Reply:
-        self.stats.bump("forwards_in")
+        return self._handle_envelope_inner(envelope, decode_message(envelope.inner))
+
+    def _handle_envelope_inner(
+        self, envelope: ForwardEnvelope, inner: object
+    ) -> Reply:
         if self.host in envelope.trail:
+            self.stats.bump("forwards_in")
             raise RoutingError(
                 f"routing loop: {self.host} already in trail {envelope.trail}"
             )
-        inner = decode_message(envelope.inner)
         if envelope.target_host == self.host:
             if isinstance(inner, (PutRequest, PutDelayedRequest, GetRequest)):
-                reg = self.registration(envelope.app)
-                chain = reg.placement.replica_chain(inner.folder)
+                self.stats.bump_pair("forwards_in", "local_dispatches")
+                reg, chain, _candidates = self._candidates(inner.folder)
                 entry = self._chain_entry(chain, self.host)
                 if entry is None:
                     raise RoutingError(
@@ -684,8 +1280,8 @@ class MemoServer:
                         f"(chain {[h for _s, h in chain]}), but the envelope "
                         f"targeted it — inconsistent ADFs?"
                     )
-                self.stats.bump("local_dispatches")
                 return self._dispatch_chain(reg, chain, entry[0], inner)
+            self.stats.bump("forwards_in")
             if isinstance(inner, GetAltSkipRequest):
                 return self._get_alt_local(inner)
             if isinstance(inner, ReplicatePut):
@@ -694,7 +1290,7 @@ class MemoServer:
                 f"envelope carried unexpected {type(inner).__qualname__}"
             )
         # Relay toward the target along the application's topology.
-        self.stats.bump("forwards_relayed")
+        self.stats.bump_pair("forwards_in", "forwards_relayed")
         reg = self.registration(envelope.app)
         relayed = ForwardEnvelope(
             app=envelope.app,
@@ -707,8 +1303,10 @@ class MemoServer:
     # -- local dispatch -------------------------------------------------------------
 
     def _folder_server(self, sid: str) -> FolderServer:
-        with self._reg_lock:
-            fs = self._folder_servers.get(sid)
+        # Lock-free read, same justification as :meth:`registration`: dict
+        # lookups are atomic under the GIL, folder servers are only ever
+        # added, and this sits on every local dispatch.
+        fs = self._folder_servers.get(sid)
         if fs is None:
             raise ServerError(f"host {self.host} has no folder server {sid!r}")
         return fs
@@ -767,14 +1365,14 @@ class MemoServer:
     def _apply_store(self, fs: FolderServer, msg: object) -> Reply:
         if isinstance(msg, PutRequest):
             fs.put(msg.folder, MemoRecord(payload=msg.payload, origin=msg.origin))
-            return Reply(ok=True, found=True)
+            return _PUT_ACK
         if isinstance(msg, PutDelayedRequest):
             fs.put_delayed(
                 msg.folder,
                 msg.release_to,
                 MemoRecord(payload=msg.payload, origin=msg.origin),
             )
-            return Reply(ok=True, found=True)
+            return _PUT_ACK
         if isinstance(msg, GetRequest):
             if msg.mode == "get":
                 record = fs.get(msg.folder)
@@ -835,40 +1433,14 @@ class MemoServer:
         if not targets:
             return
         inner = encode_message(rep)
-        if len(targets) == 1:
-            self._replicate_to(reg, targets[0], inner)
-            return
-        done = threading.Event()
-        remaining = [len(targets)]
-        count_lock = threading.Lock()
-        errors: list[Exception] = []
-
-        def one_leg(member: str) -> None:
-            try:
-                self._replicate_to(reg, member, inner)
-            except Exception as exc:  # noqa: BLE001 - surfaced after the join
-                # _replicate_to absorbs communication failures itself; what
-                # reaches here (e.g. ShutdownError mid-teardown) must not
-                # vanish in a worker thread nor let the inline leg skip the
-                # join below — it is re-raised once every leg has landed,
-                # matching the sequential loop's error surface.
-                with count_lock:
-                    errors.append(exc)
-            finally:
-                with count_lock:
-                    remaining[0] -= 1
-                    if remaining[0] == 0:
-                        done.set()
-
-        for member in targets[:-1]:
-            try:
-                self._cache.submit(one_leg, member)
-            except ServerError:
-                # The thread cache shut down under us (server stopping);
-                # degrade to the sequential path for this leg.
-                one_leg(member)
-        one_leg(targets[-1])
-        done.wait()
+        # _replicate_to absorbs communication failures itself; what the
+        # join collects (e.g. ShutdownError mid-teardown) must not vanish
+        # in a worker thread — it is re-raised once every leg has landed,
+        # matching the sequential loop's error surface.
+        errors = scatter_join(
+            self._cache,
+            [lambda m=member: self._replicate_to(reg, m, inner) for member in targets],
+        )
         if errors:
             raise errors[0]
 

@@ -22,7 +22,52 @@ from typing import Callable
 
 from repro.errors import ServerError
 
-__all__ = ["ThreadCache", "ThreadCacheStats"]
+__all__ = ["ThreadCache", "ThreadCacheStats", "scatter_join"]
+
+
+def scatter_join(cache: "ThreadCache", thunks: list) -> list[Exception]:
+    """Run *thunks* concurrently on *cache* workers; wait for all of them.
+
+    The last thunk runs on the calling thread (it would otherwise just
+    block waiting), extras go to cache workers, and a cache that has shut
+    down degrades each leg to inline execution.  Exceptions never escape
+    a worker thread: they are collected and returned, in completion
+    order, for the caller to surface — the shared scatter/join shape of
+    the replication fan-out and the burst-forward groups.
+    """
+    if not thunks:
+        return []
+    errors: list[Exception] = []
+    if len(thunks) == 1:
+        try:
+            thunks[0]()
+        except Exception as exc:  # noqa: BLE001 - returned, not raised
+            errors.append(exc)
+        return errors
+    done = threading.Event()
+    lock = threading.Lock()
+    remaining = [len(thunks)]
+
+    def run_one(fn) -> None:
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - returned, not raised
+            with lock:
+                errors.append(exc)
+        finally:
+            with lock:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.set()
+
+    for fn in thunks[:-1]:
+        try:
+            cache.submit(run_one, fn)
+        except ServerError:
+            run_one(fn)
+    run_one(thunks[-1])
+    done.wait()
+    return errors
 
 
 @dataclass

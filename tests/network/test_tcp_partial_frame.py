@@ -1,0 +1,107 @@
+"""TCP framing under poll timeouts: a started frame is never abandoned.
+
+The memo server's connection loop polls ``recv`` with a short timeout so
+it can notice shutdown.  Before the fix, a timeout that fired after part
+of a frame had been read threw the partial bytes away; the next ``recv``
+then decoded from the middle of the stream — garbage for the peer.  Now
+the poll timeout applies only until a frame's first byte: a started frame
+is drained to completion, and a peer that stalls mid-frame gets the
+connection failed (closed), never desynced.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConnectionClosedError
+from repro.network.connection import Address
+from repro.network.frames import encode_frames
+from repro.network.tcp import TCPTransport
+
+
+@pytest.fixture
+def pair():
+    transport = TCPTransport()
+    listener = transport.listen(Address("loop", 0))
+    result = {}
+
+    def accept():
+        result["server"] = listener.accept(timeout=5.0)
+
+    thread = threading.Thread(target=accept)
+    thread.start()
+    raw = socket.create_connection(("127.0.0.1", listener.address.port), 5.0)
+    thread.join()
+    yield raw, result["server"]
+    raw.close()
+    result["server"].close()
+    listener.close()
+
+
+class TestPartialFrames:
+    def test_slow_frame_survives_short_poll_timeouts(self, pair):
+        raw, server = pair
+        payload = b"hello-world" * 10
+        [frame] = encode_frames(payload)
+        half = len(frame) // 2
+
+        def trickle():
+            raw.sendall(frame[:half])
+            time.sleep(0.6)  # well past the 0.2 s poll timeout below
+            raw.sendall(frame[half:])
+
+        thread = threading.Thread(target=trickle)
+        thread.start()
+        # Poll loop shape: short timeouts until a frame begins.  The frame
+        # starts mid-poll and stalls past the timeout — the read must
+        # commit and return the whole payload, not abandon the half.
+        deadline = time.monotonic() + 5.0
+        got = None
+        while got is None and time.monotonic() < deadline:
+            try:
+                got = server.recv(timeout=0.2)
+            except TimeoutError:
+                continue
+        thread.join()
+        assert got == payload
+
+    def test_two_frames_with_midframe_pause_stay_in_sync(self, pair):
+        raw, server = pair
+        [one] = encode_frames(b"first")
+        [two] = encode_frames(b"second")
+
+        def send():
+            raw.sendall(one[:5])
+            time.sleep(0.4)
+            raw.sendall(one[5:] + two)
+
+        thread = threading.Thread(target=send)
+        thread.start()
+        frames = []
+        deadline = time.monotonic() + 5.0
+        while len(frames) < 2 and time.monotonic() < deadline:
+            try:
+                frames.append(server.recv(timeout=0.1))
+            except TimeoutError:
+                continue
+        thread.join()
+        assert frames == [b"first", b"second"]
+
+    def test_midframe_stall_fails_the_connection_cleanly(self, pair):
+        raw, server = pair
+        [frame] = encode_frames(b"never-finished")
+        raw.sendall(frame[: len(frame) // 2])  # ... and nothing more
+        server.drain_timeout = 0.3
+        deadline = time.monotonic() + 5.0
+        with pytest.raises(ConnectionClosedError):
+            while time.monotonic() < deadline:
+                server.recv(timeout=0.2)
+        assert server.closed
+
+    def test_timeout_before_any_byte_stays_a_clean_timeout(self, pair):
+        _raw, server = pair
+        with pytest.raises(TimeoutError):
+            server.recv(timeout=0.1)
+        assert not server.closed

@@ -1,0 +1,118 @@
+"""FailureDetector transition hooks: reentrancy and delivery order.
+
+Hooks fire outside the detector's lock, serialized, in flip order — so a
+hook that re-queries liveness (the placement-cache rebuild does exactly
+that mid-routing) or even mutates the detector cannot deadlock, and two
+racing flips can never deliver their notifications inverted.
+"""
+
+import threading
+
+from repro.replication.failure import FailureDetector
+
+
+class TestHookReentrancy:
+    def test_hook_may_query_liveness(self):
+        seen = []
+        detector = FailureDetector(
+            threshold=1,
+            on_transition=lambda host, alive: seen.append(
+                (host, alive, detector.is_alive(host))
+            ),
+        )
+        detector.mark_dead("h1")
+        detector.mark_alive("h1")
+        # No deadlock, and the hook observed the post-flip state.
+        assert seen == [("h1", False, False), ("h1", True, True)]
+
+    def test_hook_may_call_mutators_without_deadlock_or_recursion(self):
+        """A hook-caused flip is delivered after the current one, not inside."""
+        events = []
+        depth = {"now": 0, "max": 0}
+
+        def hook(host, alive):
+            depth["now"] += 1
+            depth["max"] = max(depth["max"], depth["now"])
+            events.append((host, alive))
+            if host == "h1" and not alive:
+                detector.mark_dead("h2")  # reentrant mutation
+            depth["now"] -= 1
+
+        detector = FailureDetector(threshold=1, on_transition=hook)
+        detector.mark_dead("h1")
+        assert events == [("h1", False), ("h2", False)]
+        assert depth["max"] == 1, "hook delivery recursed into itself"
+        assert not detector.is_alive("h2")
+
+    def test_record_failure_threshold_fires_hook_once(self):
+        events = []
+        detector = FailureDetector(
+            threshold=3, on_transition=lambda h, a: events.append((h, a))
+        )
+        assert not detector.record_failure("h")
+        assert not detector.record_failure("h")
+        assert detector.record_failure("h")
+        assert not detector.record_failure("h")  # already dead: no re-fire
+        assert events == [("h", False)]
+
+
+class TestDeliveryOrder:
+    def test_concurrent_flips_deliver_in_flip_order(self):
+        """The queue preserves the order the flips were decided in.
+
+        Without the queue, a thread could compute its transition, lose
+        the CPU before notifying, and deliver *after* a later flip — the
+        hook would then end on a stale notion of liveness.
+        """
+        events = []
+        gate = threading.Event()
+
+        def hook(host, alive):
+            gate.wait(1.0)  # widen the race window inside delivery
+            events.append((host, alive))
+
+        detector = FailureDetector(threshold=1, on_transition=hook)
+
+        def flip():
+            detector.mark_dead("x")
+            detector.mark_alive("x")
+
+        threads = [threading.Thread(target=flip) for _ in range(4)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join(5.0)
+        # However the four threads interleaved, delivery must alternate
+        # dead/alive exactly as the flips were decided under the lock.
+        assert events, "hooks never fired"
+        for i, (host, alive) in enumerate(events):
+            assert host == "x"
+            assert alive == (i % 2 == 1), f"inverted delivery at {i}: {events}"
+
+    def test_hooks_run_outside_the_lock(self):
+        """is_alive from another thread must not block during delivery."""
+        in_hook = threading.Event()
+        release = threading.Event()
+
+        def hook(host, alive):
+            in_hook.set()
+            release.wait(2.0)
+
+        detector = FailureDetector(threshold=1, on_transition=hook)
+        t = threading.Thread(target=detector.mark_dead, args=("h",))
+        t.start()
+        assert in_hook.wait(2.0)
+        # Delivery is in progress; the detector itself must stay usable.
+        probe_done = threading.Event()
+        result = {}
+
+        def probe():
+            result["alive"] = detector.is_alive("h")
+            probe_done.set()
+
+        threading.Thread(target=probe).start()
+        assert probe_done.wait(1.0), "is_alive blocked while a hook ran"
+        assert result["alive"] is False
+        release.set()
+        t.join(2.0)
