@@ -1,0 +1,229 @@
+"""HOT3 — waiter-table fan-in: parked futures vs thread-per-wait gets.
+
+PR 4 left the last thread-shaped ceiling in the hot path: every blocked
+``get`` pinned a per-connection worker on the server (and a stalled
+``request()`` client-side), so fan-in concurrency was bounded by thread
+count, not by table space.  The futures redesign parks blocked
+``get_async`` waits in the session waiter table and completes them
+directly off the put path with push frames.
+
+Legs:
+
+* **thread-per-wait (baseline)** — N clients, each with a thread blocked
+  in a strict ``GetRequest``: the pre-redesign shape, still served
+  byte-identically, re-measured live for a same-noise baseline.  Its
+  server-side cost is O(N) threads.
+* **parked futures** — N ``get_async`` futures on ONE client/connection:
+  O(1) threads on both ends, completions pushed as the feeder's puts
+  land.
+
+Acceptance: 1000 parked waiters are held with O(1) additional server
+threads, completion latency at 64 waiters is no worse than the
+thread-per-wait baseline, and the demonstrated fan-in is ≥ 10x what the
+thread-per-wait server shape sustains per 64 threads.  Results append to
+``BENCH_HOTPATH.json``; ``DMEMO_BENCH_SMOKE=1`` (CI) runs a quick
+bitrot check with no regression gating.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Cluster, as_completed, system_default_adf
+from repro.core.keys import FolderName, Key, Symbol
+from repro.network.protocol import GetRequest
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="hot3-fanin")
+
+SMOKE = os.environ.get("DMEMO_BENCH_SMOKE") == "1"
+
+#: The latency-comparison point (both legs run it).
+COMPARE_WAITERS = 32 if SMOKE else 64
+#: The scale point (futures leg only — the baseline would need this many
+#: OS threads, which is exactly the ceiling being removed).  Kept at
+#: ≥ 10x the comparison point in both modes: the ratio is structural.
+FANIN_WAITERS = 320 if SMOKE else 1000
+#: Server-side thread allowance for a parked fan-in of any size.
+THREAD_SLACK = 8
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_HOTPATH.json"
+
+
+def _record(key: str, value: object) -> None:
+    if SMOKE:
+        return
+    results: dict = {}
+    if _RESULTS_PATH.exists():
+        try:
+            results = json.loads(_RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results[key] = value
+    _RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _keys(n: int) -> list[Key]:
+    return [Key(Symbol("fan"), (i,)) for i in range(n)]
+
+
+def _wait_until(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _blocked_wait_count(server) -> int:
+    return sum(
+        fs.stats.snapshot()["blocked_waits"]
+        for fs in server.local_folder_servers().values()
+    )
+
+
+def _thread_per_wait_fanin(n: int) -> tuple[float, int]:
+    """Baseline: n clients, each with one thread in a blocking GetRequest.
+
+    Returns (completion latency seconds, thread growth while blocked).
+    """
+    adf = system_default_adf(["solo"], app="bench")
+    with Cluster(adf, idle_timeout=5.0) as cluster:
+        cluster.register()
+        server = cluster.servers["solo"]
+        keys = _keys(n)
+        baseline_threads = threading.active_count()
+        results: list = []
+
+        def one_wait(key: Key) -> None:
+            client = cluster.client_for("solo", origin="blk")
+            reply = client.request(
+                GetRequest(FolderName("bench", key), mode="get"), timeout=60
+            )
+            results.append(reply.found)
+            client.close()
+
+        threads = [
+            threading.Thread(target=one_wait, args=(k,), daemon=True)
+            for k in keys
+        ]
+        for t in threads:
+            t.start()
+        _wait_until(
+            lambda: _blocked_wait_count(server) >= n, 30, "baseline gets blocked"
+        )
+        thread_growth = threading.active_count() - baseline_threads
+
+        feeder = cluster.memo_api("solo", "bench", "feeder")
+        gc.collect()
+        start = time.perf_counter()
+        feeder.put_many((k, 1) for k in keys)
+        feeder.flush()
+        for t in threads:
+            t.join(timeout=60)
+        elapsed = time.perf_counter() - start
+        assert all(results) and len(results) == n
+    return elapsed, thread_growth
+
+
+def _parked_future_fanin(n: int) -> tuple[float, int]:
+    """Futures leg: n get_async waits parked over ONE connection.
+
+    Returns (completion latency seconds, server+client thread growth
+    while parked).
+    """
+    adf = system_default_adf(["solo"], app="bench")
+    with Cluster(adf, idle_timeout=5.0) as cluster:
+        cluster.register()
+        server = cluster.servers["solo"]
+        keys = _keys(n)
+        baseline_threads = threading.active_count()
+
+        memo = cluster.memo_api("solo", "bench", "fanin")
+        futures = [memo.get_async(k) for k in keys]
+        _wait_until(
+            lambda: server.stats.snapshot()["waiters_active"] == n,
+            30,
+            "waiters parked",
+        )
+        thread_growth = threading.active_count() - baseline_threads
+
+        feeder = cluster.memo_api("solo", "bench", "feeder")
+        gc.collect()
+        start = time.perf_counter()
+        feeder.put_many((k, 1) for k in keys)
+        feeder.flush()
+        for f in as_completed(futures, timeout=60):
+            assert f.exception() is None
+        elapsed = time.perf_counter() - start
+    return elapsed, thread_growth
+
+
+def test_fanin_latency_and_thread_scaling():
+    """HOT3: parked fan-in — O(1) threads, latency no worse than threads."""
+    blk_latency, blk_threads = _thread_per_wait_fanin(COMPARE_WAITERS)
+    fut_latency, fut_threads = _parked_future_fanin(COMPARE_WAITERS)
+    big_latency, big_threads = _parked_future_fanin(FANIN_WAITERS)
+
+    report(
+        "HOT3: blocked-get fan-in, waiter table vs thread-per-wait",
+        [
+            ("leg", "waiters", "complete-all", "thread growth"),
+            (
+                "thread-per-wait (pre-redesign shape)",
+                COMPARE_WAITERS,
+                f"{blk_latency * 1e3:.1f} ms",
+                blk_threads,
+            ),
+            (
+                "parked futures, one connection",
+                COMPARE_WAITERS,
+                f"{fut_latency * 1e3:.1f} ms",
+                fut_threads,
+            ),
+            (
+                "parked futures, one connection",
+                FANIN_WAITERS,
+                f"{big_latency * 1e3:.1f} ms",
+                big_threads,
+            ),
+        ],
+    )
+    _record(
+        "hot3_fanin",
+        {
+            "compare_waiters": COMPARE_WAITERS,
+            "thread_per_wait_ms": round(blk_latency * 1e3, 1),
+            "thread_per_wait_thread_growth": blk_threads,
+            "parked_ms": round(fut_latency * 1e3, 1),
+            "parked_thread_growth": fut_threads,
+            "fanin_waiters": FANIN_WAITERS,
+            "fanin_ms": round(big_latency * 1e3, 1),
+            "fanin_thread_growth": big_threads,
+        },
+    )
+
+    # O(1) threads at every scale — this holds in smoke mode too: it is
+    # the redesign's structural claim, not a performance number.
+    assert fut_threads <= THREAD_SLACK, fut_threads
+    assert big_threads <= THREAD_SLACK, big_threads
+    # The baseline really is thread-per-wait (client + server side), so
+    # the demonstrated fan-in ratio is honest: the old shape would need
+    # ~FANIN_WAITERS threads where the table needs none.
+    assert blk_threads >= COMPARE_WAITERS, blk_threads
+    assert FANIN_WAITERS >= 10 * COMPARE_WAITERS
+
+    if not SMOKE:
+        # Completion latency: pushes must not be slower than waking
+        # blocked threads (1.5x margin rides out scheduler noise; the
+        # typical result is well under 1x).
+        assert fut_latency <= 1.5 * blk_latency, (fut_latency, blk_latency)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Futures-first Memo API: non-blocking waits, combinators, fan-in.
+
+A coordinator keeps many memo waits in flight from ONE thread over ONE
+connection: each blocked wait is parked in the server's waiter table
+(no thread pinned anywhere) and resolves through a push frame the moment
+a deposit lands.  The classic blocking API still works — ``get(k)`` is
+literally ``get_async(k).wait()`` — but composition happens on futures:
+``wait_any`` selects, ``as_completed`` streams, ``cancel`` withdraws a
+wait without ever losing a memo.
+
+Run:  python examples/async_futures.py
+"""
+
+import threading
+import time
+
+from repro import Cluster, as_completed, system_default_adf, wait_any
+
+
+def main() -> None:
+    adf = system_default_adf(["alpha", "beta"], app="futures")
+    with Cluster(adf) as cluster:
+        cluster.register()
+
+        coordinator = cluster.memo_api("alpha", "futures", "coordinator")
+        worker = cluster.memo_api("beta", "futures", "worker")
+
+        results = coordinator.create_symbol("results")
+        control = coordinator.create_symbol("control")
+
+        # --- one future: non-blocking is the primitive -------------------
+        future = coordinator.get_async(results(0))
+        print(f"registered wait; done yet? {future.done()}")
+        worker.put(results(0), {"task": 0, "value": 42})
+        print(f"future.wait() -> {future.wait(timeout=5)}")
+
+        # --- put_async: individually addressable acknowledgements --------
+        acks = [worker.put_async(results(i), i * i) for i in range(1, 4)]
+        for ack in as_completed(acks, timeout=5):
+            assert ack.exception() is None
+        print("3 puts acknowledged (no flush barrier needed)")
+
+        # --- fan-in: 100 waits, one thread, one connection ---------------
+        futures = [coordinator.get_async(results(100 + i)) for i in range(100)]
+        gauges = cluster.waiter_gauges()
+
+        def feeder() -> None:
+            worker.put_many((results(100 + i), i) for i in range(100))
+
+        threading.Thread(target=feeder).start()
+        start = time.perf_counter()
+        total = sum(f.result() for f in as_completed(futures, timeout=30))
+        elapsed = (time.perf_counter() - start) * 1e3
+        print(f"100-way fan-in summed to {total} in {elapsed:.1f} ms")
+        print(f"waiter gauges at park time: {gauges}")
+
+        # --- wait_any: select over heterogeneous waits -------------------
+        data = coordinator.get_async(results(999))
+        stop = coordinator.get_async(control(0))
+        worker.put(control(0), "shutdown")
+        winner = wait_any([data, stop], timeout=5)
+        print(f"wait_any -> {'stop signal' if winner is stop else 'data'}: "
+              f"{winner.result()!r}")
+
+        # --- cancel: withdrawing a wait never eats a memo ----------------
+        assert data.cancel()
+        worker.put(results(999), "survives the cancelled waiter", wait=True)
+        print(f"after cancel  -> {coordinator.get_skip(results(999))!r}")
+
+        print("\nper-host debug report:")
+        print(cluster.debug_report())
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

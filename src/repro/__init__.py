@@ -23,6 +23,7 @@ paper-versus-measured record.
 """
 
 from repro.core.api import Memo, NIL
+from repro.core.futures import MemoFuture, WaitCancelledError, as_completed, wait_any
 from repro.core.keys import FolderName, Key, Symbol
 from repro.core.datastructures import (
     Future,
@@ -61,6 +62,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Memo",
     "NIL",
+    "MemoFuture",
+    "WaitCancelledError",
+    "wait_any",
+    "as_completed",
     "Symbol",
     "Key",
     "FolderName",

@@ -5,6 +5,7 @@ and the shared data structures / synchronization mechanisms built on them
 from repro.core.keys import FolderName, Key, Symbol, SymbolFactory
 from repro.core.memo import MemoRecord
 from repro.core.api import Memo, NIL
+from repro.core.futures import MemoFuture, WaitCancelledError, as_completed, wait_any
 
 __all__ = [
     "Symbol",
@@ -14,4 +15,8 @@ __all__ = [
     "MemoRecord",
     "Memo",
     "NIL",
+    "MemoFuture",
+    "WaitCancelledError",
+    "wait_any",
+    "as_completed",
 ]

@@ -17,18 +17,28 @@ containers, registered structs, even self-referential graphs — "any data
 structure can be entered and extracted intact from the memo space with no
 programming effort" (section 6.1.1).
 
-Blocking ``get_alt`` is implemented as client-driven polling rounds with
-exponential backoff (each round is one ``get_alt_skip`` request that the
-memo server fans out across owning hosts).  Single-folder ``get`` blocks
-*inside* the owning folder server — no polling.
+Futures-first: the primitives above are thin blocking wrappers over the
+asynchronous core.  ``get_async``/``get_copy_async`` register a
+*server-parked* wait (one waiter-table entry, no thread pinned on either
+end) and return a :class:`~repro.core.futures.MemoFuture`; ``put_async``
+returns a future for the acknowledgement; ``get_alt_async`` returns a
+future driven by client-side polling rounds with exponential backoff
+(each round one ``get_alt_skip`` the memo server fans out across owning
+hosts — consume-one-of-N across hosts has no server-side registration
+yet).  ``Memo.get(k)`` is literally ``get_async(k).wait()``, so existing
+callers see byte-identical behaviour while fan-in code composes futures
+with :func:`~repro.core.futures.wait_any` /
+:func:`~repro.core.futures.as_completed`.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.core.futures import MemoFuture
 from repro.core.keys import FolderName, Key, Symbol, SymbolFactory
 from repro.errors import MemoError
 from repro.network.protocol import (
@@ -75,6 +85,23 @@ NIL = Nil()
 #: get_alt polling backoff parameters (seconds).
 _ALT_BACKOFF_START = 0.0005
 _ALT_BACKOFF_MAX = 0.02
+
+#: Consecutive transient failures (dying host, in-progress fail-over,
+#: mid-migration folder) a get_alt poll rides through before giving up —
+#: generously above the failure detector's flip time at the default
+#: probe settings, so a kill mid-wait completes from a surviving replica
+#: instead of surfacing the victim's last gasp.
+_ALT_TRANSIENT_MAX = 200
+
+#: Error-text markers of conditions that heal by themselves (fail-over,
+#: restart, migration) — the protocol's error strings are the contract.
+_ALT_TRANSIENT_MARKERS = (
+    "communication failure",
+    "host down",
+    "shutdown:",
+    "FolderMigratedError",
+    "connection",
+)
 
 
 class Memo:
@@ -134,17 +161,42 @@ class Memo:
         """Put *value* in the folder labeled *key*; returns immediately.
 
         With ``wait=True`` the call blocks until the deposit is
-        acknowledged by the owning folder server (useful in tests).
+        acknowledged by the owning folder server (useful in tests) — a
+        delegating wrapper over :meth:`put_async`.
         """
-        msg = PutRequest(
-            folder=self._folder(key),
-            payload=self._encode(value),
-            origin=self.process_name,
-        )
         if wait:
-            self._check(self.client.request(msg))
+            self._put_future(key, value, drain=True).wait()
         else:
-            self.client.post(msg)
+            self.client.post(
+                PutRequest(
+                    folder=self._folder(key),
+                    payload=self._encode(value),
+                    origin=self.process_name,
+                )
+            )
+
+    def put_async(self, key: Key | Symbol, value: object) -> MemoFuture:
+        """Deposit *value* and return a future for the acknowledgement.
+
+        The future resolves to None once the owning folder server (and,
+        under replication, every live backup) accepted the deposit, and
+        fails with :class:`MemoError` carrying the server's error text
+        otherwise.  Unlike the fire-and-forget :meth:`put`, the ack is
+        individually addressable — compose many with
+        :func:`~repro.core.futures.as_completed` instead of a final
+        :meth:`flush`.
+        """
+        return self._put_future(key, value, drain=False)
+
+    def _put_future(self, key: Key | Symbol, value: object, drain: bool) -> MemoFuture:
+        return self.client.put_future(
+            PutRequest(
+                folder=self._folder(key),
+                payload=self._encode(value),
+                origin=self.process_name,
+            ),
+            drain=drain,
+        )
 
     def put_many(
         self, items: Iterable[tuple[Key | Symbol, object]]
@@ -182,23 +234,51 @@ class Memo:
             origin=self.process_name,
         )
         if wait:
-            self._check(self.client.request(msg))
+            self.client.put_future(msg, drain=True).wait()
         else:
             self.client.post(msg)
 
     def get(self, key: Key | Symbol) -> object:
-        """Consume a memo from *key*'s folder; blocks while empty."""
-        reply = self._check(
-            self.client.request(GetRequest(self._folder(key), mode="get"))
-        )
-        return self._decode(reply.payload)
+        """Consume a memo from *key*'s folder; blocks while empty.
+
+        A delegating wrapper: ``get_async(key).wait()``.
+        """
+        return self.get_async(key).wait()
 
     def get_copy(self, key: Key | Symbol) -> object:
-        """Return a copy of a memo without consuming it; blocks while empty."""
-        reply = self._check(
-            self.client.request(GetRequest(self._folder(key), mode="copy"))
-        )
-        return self._decode(reply.payload)
+        """Return a copy of a memo without consuming it; blocks while empty.
+
+        A delegating wrapper: ``get_copy_async(key).wait()``.
+        """
+        return self.get_copy_async(key).wait()
+
+    def get_async(self, key: Key | Symbol) -> MemoFuture:
+        """Register a consume-wait on *key*; returns its future.
+
+        Non-blocking is the primitive: when the folder already holds a
+        memo the future resolves on the request's own round trip, and
+        when it is empty the wait *parks* server-side — one waiter-table
+        entry, no thread held anywhere — resolving through a push frame
+        the moment a deposit lands.  The future survives folder
+        migration, server restarts, and fail-over by transparent
+        re-subscription; :meth:`~repro.core.futures.MemoFuture.cancel`
+        withdraws it without risking the memo.
+        """
+        return self._get_future(key, "get", self._decode)
+
+    def get_copy_async(self, key: Key | Symbol) -> MemoFuture:
+        """Like :meth:`get_async` but examining: the memo is not consumed."""
+        return self._get_future(key, "copy", self._decode)
+
+    def _get_future(self, key: Key | Symbol, mode: str, transform) -> MemoFuture:
+        """A wait future with a caller-supplied result transform.
+
+        For layers (e.g. the sync mechanisms) whose futures resolve to
+        something other than the decoded memo.  The transform must be
+        installed at creation — a pump on another thread may complete
+        the future the instant the request is on the wire.
+        """
+        return self.client.get_wait(self._folder(key), mode=mode, transform=transform)
 
     def get_skip(self, key: Key | Symbol) -> object:
         """Consume a memo when available; :data:`NIL` immediately otherwise."""
@@ -218,18 +298,78 @@ class Memo:
 
         Returns ``(key, value)`` identifying which folder was chosen.  When
         several folders hold memos the choice is nondeterministic (the poll
-        order is randomized each round).
+        order is randomized each round).  A delegating wrapper:
+        ``get_alt_async(keys).wait(timeout)``.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        backoff = _ALT_BACKOFF_START
-        while True:
-            hit = self.get_alt_skip(array_of_keys)
-            if hit is not NIL:
-                return hit  # type: ignore[return-value]
-            if deadline is not None and time.monotonic() >= deadline:
-                raise TimeoutError("get_alt timed out")
-            time.sleep(backoff)
-            backoff = min(backoff * 2, _ALT_BACKOFF_MAX)
+        return self.get_alt_async(array_of_keys).wait(timeout)  # type: ignore[return-value]
+
+    def get_alt_async(
+        self, array_of_keys: Sequence[Key | Symbol]
+    ) -> MemoFuture:
+        """A future for consuming from any one of several folders.
+
+        Resolves to ``(key, value)``.  Unlike single-folder waits this is
+        *client-driven*: each drive round runs one ``get_alt_skip`` poll
+        (randomized order, exponential backoff between rounds), because a
+        consume-one-of-N across hosts cannot be parked on any single
+        folder server without inventing cross-host claim coordination.
+        One probe round runs inline here, so a future over non-empty
+        folders is typically already resolved when it returns.
+        Cancellation is purely local; a poll that wins a memo against a
+        concurrent cancel re-deposits it, never drops it.
+        """
+        folders = [self._folder(k) for k in array_of_keys]
+        if not folders:
+            raise MemoError("get_alt requires at least one key")
+        state = {"backoff": _ALT_BACKOFF_START, "transients": 0}
+        poll_gate = threading.Lock()
+
+        def poll(slice_s: float) -> None:
+            # One round per driving thread at a time: two concurrent
+            # polls for the same future could each consume a memo, and
+            # only one result slot exists.
+            if future.done():
+                return
+            with poll_gate:
+                if future.done():
+                    return
+                try:
+                    hit = self.get_alt_skip(array_of_keys)
+                except MemoError as exc:
+                    # A poll round that lands mid-fail-over (the victim's
+                    # dying reply, a folder mid-migration) is a transient
+                    # miss, not a verdict: the next rounds route to a
+                    # surviving replica once the detector flips.  Only a
+                    # sustained failure — or a non-transient error like a
+                    # missing registration — fails the future.
+                    text = str(exc)
+                    if not any(m in text for m in _ALT_TRANSIENT_MARKERS):
+                        raise
+                    state["transients"] += 1
+                    if state["transients"] > _ALT_TRANSIENT_MAX:
+                        raise
+                    hit = NIL
+                else:
+                    state["transients"] = 0
+                if hit is not NIL:
+                    if not future._complete(hit):
+                        # A cancel won while this round was in flight;
+                        # the extracted memo goes back.
+                        k, v = hit  # type: ignore[misc]
+                        self.put(k, v)
+                    return
+            time.sleep(min(state["backoff"], max(slice_s, _ALT_BACKOFF_START)))
+            state["backoff"] = min(state["backoff"] * 2, _ALT_BACKOFF_MAX)
+
+        future = MemoFuture(step=poll, cancel_impl=lambda: True)
+        try:
+            poll(0.0)
+        except MemoError as exc:
+            # The async contract is uniform: errors travel through the
+            # future whichever round they strike, the inline first round
+            # included (the blocking wrapper re-raises them from wait()).
+            future._fail(exc)
+        return future
 
     def get_alt_skip(
         self, array_of_keys: Sequence[Key | Symbol]
@@ -254,6 +394,26 @@ class Memo:
     def flush(self) -> None:
         """Block until every asynchronous put has been acknowledged."""
         self.client.flush()
+
+    def close(self) -> None:
+        """Flush pending acknowledgements, then close the client.
+
+        The flush-first ordering is the contract: deferred ``put``/
+        ``put_many`` acknowledgements are collected (and any failure
+        raised) before the connection drops, so a context-manager exit
+        can never silently abandon an asynchronous put.  The client is
+        closed even when the flush raises.
+        """
+        try:
+            self.flush()
+        finally:
+            self.client.close()
+
+    def __enter__(self) -> "Memo":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @staticmethod
     def _check(reply) -> "Reply":  # type: ignore[name-defined]

@@ -10,6 +10,14 @@
 * :class:`MemoBarrier` — an n-party barrier built from two folders
   (arrival tokens + a generation-stamped release future), one of the
   "barriers" the API section lists among supported mechanisms.
+
+All of them are expressed over the futures-first API: the blocking entry
+points (``acquire``, ``down``, ``wait``) delegate to ``*_async`` variants
+returning :class:`~repro.core.futures.MemoFuture`, so a coordinator can
+hold N lock/semaphore acquisitions in flight from one thread
+(:func:`~repro.core.futures.wait_any` over the futures) instead of
+parking a thread per acquisition — the same O(threads) → O(table entries)
+conversion the server's waiter table provides underneath.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import contextlib
 from typing import Iterator
 
 from repro.core.api import Memo
+from repro.core.futures import MemoFuture
 from repro.core.keys import Key, Symbol
 from repro.errors import MemoError
 
@@ -53,7 +62,11 @@ class SharedRecord:
 
     def read(self) -> object:
         """Consistent snapshot without updating."""
-        return self.memo.get_copy(self.key)
+        return self.read_async().wait()
+
+    def read_async(self) -> MemoFuture:
+        """A future for a consistent snapshot (non-consuming wait)."""
+        return self.memo.get_copy_async(self.key)
 
 
 class MemoLock:
@@ -70,7 +83,18 @@ class MemoLock:
 
     def acquire(self) -> None:
         """Take the token; blocks while another process holds it."""
-        self.memo.get(self.key)
+        self.acquire_async().wait()
+
+    def acquire_async(self) -> MemoFuture:
+        """A future that resolves once the token has been taken.
+
+        The wait parks in the owning server's waiter table — no thread
+        is pinned while contended, so one coordinator can keep many lock
+        acquisitions in flight and select over them with
+        :func:`~repro.core.futures.wait_any`.  Cancelling the future
+        (e.g. on timeout) withdraws the claim without eating the token.
+        """
+        return self.memo.get_async(self.key)
 
     def release(self) -> None:
         """Return the token."""
@@ -104,7 +128,15 @@ class MemoSemaphore:
 
     def down(self) -> None:
         """P: consume a token, blocking while none are available."""
-        self.memo.get(self.key)
+        self.down_async().wait()
+
+    def down_async(self) -> MemoFuture:
+        """P as a future: resolves when a token has been consumed.
+
+        Parked-waiter FIFO applies, so N futures over an exhausted
+        semaphore drain in registration order as tokens return.
+        """
+        return self.memo.get_async(self.key)
 
     def up(self) -> None:
         """V: add a token."""
@@ -156,6 +188,19 @@ class MemoBarrier:
 
         Returns the barrier generation (0 for the first round).
         """
+        return self.arrive_async().wait()
+
+    def arrive_async(self) -> MemoFuture:
+        """Arrive now; returns a future for the release.
+
+        The arrival bookkeeping (counter record update) happens
+        synchronously — it is a short critical section no party may hold
+        across an indefinite wait — but the *release* wait is a parked
+        future, so a process can arrive at several barriers (or overlap a
+        barrier with other pending futures) from one thread.  The future
+        resolves to the barrier generation.  The last arriver's future is
+        already resolved when this returns.
+        """
         state = self.memo.get(self._counter)
         assert isinstance(state, dict)
         generation = state["generation"]
@@ -170,7 +215,14 @@ class MemoBarrier:
             for _ in range(self.parties - 1):
                 self.memo.put(self._release_key(generation), True)
             self.memo.flush()
-        else:
-            self.memo.put(self._counter, state, wait=True)
-            self.memo.get(self._release_key(generation))
-        return generation
+            done = MemoFuture()
+            done._complete(generation)
+            return done
+        self.memo.put(self._counter, state, wait=True)
+        # The transform (release token -> generation) is installed at
+        # creation: a pump on another thread may complete the future the
+        # moment the wait is registered, and a post-hoc swap would lose
+        # the race.
+        return self.memo._get_future(
+            self._release_key(generation), "get", lambda _token: generation
+        )

@@ -4,7 +4,7 @@ The transferable TLV format (:mod:`repro.transferable.wire`) is fully
 self-describing: every message carries its struct name, every field its
 field name, and the object graph is linearized node by node.  That is the
 right trade for *user data* — arbitrary, possibly self-referential
-structures crossing heterogeneous machines — but pure overhead for the 14
+structures crossing heterogeneous machines — but pure overhead for the ~20
 fixed control messages of the server protocol, which dominate the wire.
 Section 5 of the paper reasons about performance in messages and bytes per
 link; this module is where the control plane wins those bytes back.
@@ -23,7 +23,12 @@ and the body.  The id names the request a reply answers, which is what
 lets a connection carry many requests at once and return their replies
 out of order (per-connection pipelining).  Version-1 frames and TLV
 frames carry no id — old peers and recorded seed streams keep decoding,
-and a receiver treats them as strict request/reply traffic.
+and a receiver treats them as strict request/reply traffic.  Unsolicited
+*push* frames (``MemoReady``/``WaitCancelled``, the parked-waiter
+completions) are deliberately version-1: they answer no request, so they
+carry no correlation id — their routing key (the waiter token) lives in
+the message body, and they are only ever sent to peers that registered a
+wait over a correlated session.
 
 Body primitives::
 

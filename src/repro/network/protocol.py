@@ -38,6 +38,8 @@ __all__ = [
     "MigrateRequest",
     "PutDelayedRequest",
     "GetRequest",
+    "GetWaitRequest",
+    "CancelWaitRequest",
     "GetAltSkipRequest",
     "RegisterRequest",
     "ReplicatePut",
@@ -48,6 +50,8 @@ __all__ = [
     "ForwardEnvelope",
     "BurstEnvelope",
     "PipelineBatch",
+    "MemoReady",
+    "WaitCancelled",
     "Reply",
     "send_message",
     "recv_message",
@@ -55,10 +59,15 @@ __all__ = [
     "decode_protocol_frame",
     "iter_batch_frames",
     "GET_MODES",
+    "GET_WAIT_MODES",
 ]
 
 #: Valid modes for :class:`GetRequest`.
 GET_MODES = ("get", "copy", "skip")
+
+#: Valid modes for :class:`GetWaitRequest` (the blocking modes only — a
+#: non-blocking ``skip`` never parks, so it stays on :class:`GetRequest`).
+GET_WAIT_MODES = ("get", "copy")
 
 
 @dataclass(frozen=True)
@@ -103,6 +112,85 @@ class GetRequest:
     def __post_init__(self) -> None:
         if self.mode not in GET_MODES:
             raise ProtocolError(f"invalid get mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class GetWaitRequest:
+    """Register interest in a memo without holding a server thread.
+
+    The futures-first counterpart of a blocking :class:`GetRequest`: the
+    server answers *immediately* on the request's correlation id — with
+    the memo when the folder is non-empty, or with a "parked"
+    acknowledgement (``ok=True, found=False``) after recording the wait
+    in the session's waiter table.  A parked wait resolves later through
+    an unsolicited :class:`MemoReady` push (or :class:`WaitCancelled` on
+    migration, shutdown, or cancellation) carrying *waiter*, the
+    client-chosen token.  The token — not the correlation id — names the
+    wait, so the client can index its future before the request is even
+    sent and a push can never race the parked acknowledgement.
+
+    Only meaningful on a pipelined (correlated) session: an id-less peer
+    has no demultiplexer to route a push frame to, so strict sessions
+    reject it and never receive pushes.
+    """
+
+    folder: FolderName
+    mode: str = "get"
+    waiter: int = 0
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in GET_WAIT_MODES:
+            raise ProtocolError(f"invalid get-wait mode {self.mode!r}")
+        if self.waiter < 0:
+            raise ProtocolError(f"waiter token must be >= 0, got {self.waiter}")
+
+
+@dataclass(frozen=True)
+class CancelWaitRequest:
+    """Withdraw a parked :class:`GetWaitRequest` by its waiter token.
+
+    The reply's ``found`` flag reports the race outcome: ``False`` means
+    the wait was removed before completing (no push will ever arrive for
+    the token); ``True`` means completion won — the :class:`MemoReady`
+    is already on the wire and the caller should keep its result.
+    """
+
+    waiter: int
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.waiter < 0:
+            raise ProtocolError(f"waiter token must be >= 0, got {self.waiter}")
+
+
+@dataclass(frozen=True)
+class MemoReady:
+    """Unsolicited push: a parked wait completed with a memo.
+
+    Sent server → client outside any request/reply pair (a plain
+    version-1 compact frame — pushes carry no correlation id; the
+    *waiter* token is the routing key).
+    """
+
+    waiter: int
+    folder: FolderName
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class WaitCancelled:
+    """Unsolicited push: a parked wait ended without a memo.
+
+    *reason* uses the protocol's error-text conventions: a reason
+    containing ``FolderMigratedError`` or starting with ``shutdown:``
+    invites the client to re-subscribe (the folder moved or the server
+    is restarting — the wait is still satisfiable elsewhere); anything
+    else is terminal.
+    """
+
+    waiter: int
+    reason: str = ""
 
 
 @dataclass(frozen=True)
@@ -347,6 +435,10 @@ _MESSAGE_TYPES = (
     Reply,
     PipelineBatch,
     BurstEnvelope,
+    GetWaitRequest,
+    MemoReady,
+    WaitCancelled,
+    CancelWaitRequest,
 )
 
 # Registered in the transferable registry too: the TLV fallback framing
@@ -409,6 +501,18 @@ register_compact(
         ("trail", "str_tuple"),
     ),
 )
+register_compact(
+    GetWaitRequest,
+    16,
+    (("folder", "folder"), ("mode", "str"), ("waiter", "uint"), ("origin", "str")),
+)
+register_compact(
+    MemoReady,
+    17,
+    (("waiter", "uint"), ("folder", "folder"), ("payload", "bytes")),
+)
+register_compact(WaitCancelled, 18, (("waiter", "uint"), ("reason", "str")))
+register_compact(CancelWaitRequest, 19, (("waiter", "uint"), ("origin", "str")))
 register_compact(
     Reply,
     13,

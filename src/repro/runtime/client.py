@@ -17,6 +17,21 @@ bursts of requests into :class:`~repro.network.protocol.PipelineBatch`
 frames, paying one transport send per burst; the server coalesces reply
 bursts the same way.
 
+Futures: ``get_wait`` registers a server-parked wait (one waiter-table
+entry server-side, zero blocked threads on either end) and returns a
+:class:`~repro.core.futures.MemoFuture`; ``put_future`` returns a future
+for a put's acknowledgement.  The demultiplexer routes three kinds of
+frame: correlated replies matched to a waiting ``request``/ack future,
+unsolicited :class:`~repro.network.protocol.MemoReady` /
+:class:`~repro.network.protocol.WaitCancelled` pushes matched to wait
+futures by waiter token, and deferred-put acknowledgements absorbed into
+the pending set.  Any thread that reads frames — a synchronous
+``request``, an explicit ``pump``, a future being waited on — advances
+every outstanding future in passing.  Parked waits survive reconnects:
+the client re-subscribes them (same token, fresh correlation id) on every
+fresh connection, and re-subscribes through migration and server
+restarts when a ``WaitCancelled`` names a retryable reason.
+
 Connection hygiene rules:
 
 * a :class:`TimeoutError` inside ``request`` abandons the connection — the
@@ -36,8 +51,10 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable
+from typing import Callable, Iterable
 
+from repro.core.futures import MemoFuture
+from repro.core.keys import FolderName
 from repro.errors import (
     CommunicationError,
     ConnectionClosedError,
@@ -47,8 +64,12 @@ from repro.errors import (
 from repro.network.codec import encode_message
 from repro.network.connection import Address, Transport
 from repro.network.protocol import (
+    CancelWaitRequest,
+    GetWaitRequest,
+    MemoReady,
     PipelineBatch,
     Reply,
+    WaitCancelled,
     iter_batch_frames,
     recv_tagged,
     send_message,
@@ -64,6 +85,41 @@ _BATCH_FRAMES = 64
 #: acks, the receive buffer fills, and the *server's* reply sends stall
 #: until it fails a connection that was ingesting perfectly.
 _MAX_PENDING = 4096
+
+#: How many times one parked wait may be re-subscribed after retryable
+#: cancellations (migration chases, server restarts) before it fails —
+#: mirrors the server's own ``_route_with_retry`` bound on a folder that
+#: keeps moving.
+_RESUBSCRIBE_MAX = 8
+
+#: Round-trip budget for a CancelWait request: cancellation usually runs
+#: under a caller's own deadline and must stay bounded even against a
+#: wedged server (a timed-out cancel simply reports "not cancelled").
+_CANCEL_TIMEOUT = 5.0
+
+
+class _WaitState:
+    """Client-side record of one server-parked wait."""
+
+    __slots__ = ("request", "future", "attempts")
+
+    def __init__(self, request: GetWaitRequest, future: MemoFuture) -> None:
+        self.request = request
+        self.future = future
+        #: Consecutive retryable re-subscriptions without reaching parked.
+        self.attempts = 0
+
+
+class _AckState:
+    """Client-side record of one acknowledgement future (``put_future``)."""
+
+    __slots__ = ("msg", "future", "attempts")
+
+    def __init__(self, msg: object, future: MemoFuture) -> None:
+        self.msg = msg
+        self.future = future
+        #: Shutdown-reply retries, bounded like ``request``'s own.
+        self.attempts = 0
 
 
 class MemoClient:
@@ -100,6 +156,15 @@ class MemoClient:
         self._deferred_error: str | None = None
         self._reconnect_attempts = reconnect_attempts
         self._reconnect_delay = reconnect_delay
+        #: Server-parked waits: waiter token -> state (push routing key).
+        self._wait_by_token: dict[int, _WaitState] = {}
+        #: In-flight GetWait sends: correlation id -> state (reply routing).
+        self._wait_by_cid: dict[int, _WaitState] = {}
+        #: Acknowledgement futures: correlation id -> state.
+        self._ack_by_cid: dict[int, _AckState] = {}
+        #: Ack futures knocked off a dead connection, awaiting resend.
+        self._ack_resend: list[_AckState] = []
+        self._next_token = 1
 
     # -- plumbing -------------------------------------------------------------
 
@@ -121,12 +186,154 @@ class MemoClient:
         if isinstance(reply, Reply) and not reply.ok and self._deferred_error is None:
             self._deferred_error = reply.error
 
-    def _absorb_frame_locked(self, msg: object, cid: int | None) -> None:
+    def _route_frame_locked(self, msg: object, cid: int | None) -> None:
+        """Demultiplex one wire frame (unpacking reply batches)."""
         if isinstance(msg, PipelineBatch):
             for inner, inner_cid in iter_batch_frames(msg.frames):
-                self._absorb_one_locked(inner, inner_cid)
+                self._route_one_locked(inner, inner_cid)
         else:
-            self._absorb_one_locked(msg, cid)
+            self._route_one_locked(msg, cid)
+
+    def _route_one_locked(self, msg: object, cid: int | None) -> None:
+        """Route one frame: pushes to wait futures, correlated replies to
+        whichever future/pending-set entry owns the id, rest skipped."""
+        if isinstance(msg, MemoReady):
+            state = self._wait_by_token.pop(msg.waiter, None)
+            if state is not None:
+                state.future._complete(msg.payload)
+            return
+        if isinstance(msg, WaitCancelled):
+            self._on_wait_cancelled_locked(msg)
+            return
+        if cid is None:
+            return
+        wait = self._wait_by_cid.pop(cid, None)
+        if wait is not None:
+            self._on_wait_reply_locked(wait, msg)
+            return
+        ack = self._ack_by_cid.pop(cid, None)
+        if ack is not None:
+            self._on_ack_reply_locked(ack, msg)
+            return
+        self._absorb_one_locked(msg, cid)
+
+    # -- wait futures (server-parked GetWait) ----------------------------------
+
+    @staticmethod
+    def _retryable(reason: str) -> bool:
+        """Reasons that invite a re-subscription rather than a failure."""
+        return "FolderMigratedError" in reason or reason.startswith("shutdown:")
+
+    def _on_wait_reply_locked(self, state: _WaitState, msg: object) -> None:
+        """The immediate (correlated) answer to one GetWait send."""
+        token = state.request.waiter
+        if not isinstance(msg, Reply):
+            self._wait_by_token.pop(token, None)
+            state.future._fail(
+                ProtocolError(f"expected Reply, got {type(msg).__qualname__}")
+            )
+            return
+        if msg.ok and msg.found:
+            self._wait_by_token.pop(token, None)
+            state.future._complete(msg.payload)
+            return
+        if msg.ok:
+            # Parked: the wait is now a server-side table entry; its
+            # resolution arrives as a push.  A clean park resets the
+            # re-subscription budget — the wait provably reached a home.
+            state.attempts = 0
+            return
+        if self._retryable(msg.error):
+            self._resubscribe_locked(state, msg.error)
+            return
+        self._wait_by_token.pop(token, None)
+        state.future._fail(MemoError(msg.error))
+
+    def _on_wait_cancelled_locked(self, push: WaitCancelled) -> None:
+        state = self._wait_by_token.get(push.waiter)
+        if state is None or state.future.done():
+            return
+        if self._retryable(push.reason):
+            self._resubscribe_locked(state, push.reason)
+            return
+        self._wait_by_token.pop(push.waiter, None)
+        state.future._fail(MemoError(push.reason))
+
+    def _resubscribe_locked(self, state: _WaitState, reason: str) -> None:
+        """Chase a wait whose folder moved or whose server is restarting.
+
+        Migration keeps the connection: the wait simply re-enters routing
+        at the server (which now knows the folder's new home).  A
+        ``shutdown:`` reason means this server instance is dying — the
+        connection is replaced first (mirroring ``request``'s
+        kill/restart fail-over), and :meth:`_reconnect_locked` re-sends
+        every parked wait on the fresh connection, this one included.
+        """
+        state.attempts += 1
+        if state.attempts > _RESUBSCRIBE_MAX:
+            self._wait_by_token.pop(state.request.waiter, None)
+            state.future._fail(
+                MemoError(f"wait kept being cancelled ({reason}); giving up")
+            )
+            return
+        if reason.startswith("shutdown:"):
+            try:
+                self._reconnect_locked()
+            except CommunicationError:
+                # Connection already discarded; the pump path owns the
+                # remaining reconnect budget and will fail the future if
+                # the server never comes back.
+                pass
+            return
+        try:
+            self._send_wait_locked(state)
+        except ConnectionClosedError:
+            self._discard_connection_locked()
+
+    def _send_wait_locked(self, state: _WaitState) -> None:
+        """(Re-)send one GetWait on the current connection."""
+        cid = self._new_cid()
+        send_message(self._conn, state.request, corr_id=cid)
+        self._wait_by_cid[cid] = state
+
+    # -- ack futures (put_future) ----------------------------------------------
+
+    def _on_ack_reply_locked(self, state: _AckState, msg: object) -> None:
+        if not isinstance(msg, Reply):
+            state.future._fail(
+                ProtocolError(f"expected Reply, got {type(msg).__qualname__}")
+            )
+            return
+        if msg.ok:
+            state.future._complete(None)
+            return
+        if (
+            msg.error.startswith("shutdown:")
+            and state.attempts < self._reconnect_attempts
+        ):
+            # The server answered mid-teardown; retry over a fresh
+            # connection (kill/restart fail-over), like ``request`` does.
+            state.attempts += 1
+            self._ack_resend.append(state)
+            try:
+                self._reconnect_locked()
+            except CommunicationError:
+                pass  # stays queued; the next successful reconnect resends
+            return
+        state.future._fail(MemoError(msg.error))
+
+    def _fail_outstanding_locked(self, exc: BaseException) -> None:
+        """Fail every outstanding future — the connection is gone for good."""
+        waits = list(self._wait_by_token.values())
+        self._wait_by_token.clear()
+        self._wait_by_cid.clear()
+        acks = list(self._ack_by_cid.values()) + self._ack_resend
+        self._ack_by_cid.clear()
+        self._ack_resend = []
+        for state in waits:
+            state.future._fail(exc)
+        for ack in acks:
+            ack.future._fail(exc)
 
     def _drain_locked(self) -> None:
         """Collect acknowledgements for all outstanding async requests.
@@ -152,21 +359,27 @@ class MemoClient:
             except (ConnectionClosedError, TimeoutError):
                 self._discard_connection_locked()
                 return
-            self._absorb_frame_locked(msg, cid)
+            self._route_frame_locked(msg, cid)
+
+    @staticmethod
+    def _ack_failure_message(error: str | None, lost: int) -> str | None:
+        """The single wording of the deferred-put failure report."""
+        if error is None and not lost:
+            return None
+        parts = []
+        if error is not None:
+            parts.append(error)
+        if lost:
+            parts.append(f"connection lost with {lost} unacknowledged puts")
+        return "asynchronous put failed: " + "; ".join(parts)
 
     def _raise_deferred_locked(self) -> None:
-        if self._deferred_error is None and not self._lost_acks:
+        message = self._ack_failure_message(self._deferred_error, self._lost_acks)
+        if message is None:
             return
-        parts = []
-        if self._deferred_error is not None:
-            parts.append(self._deferred_error)
-        if self._lost_acks:
-            parts.append(
-                f"connection lost with {self._lost_acks} unacknowledged puts"
-            )
         self._deferred_error = None
         self._lost_acks = 0
-        raise MemoError("asynchronous put failed: " + "; ".join(parts))
+        raise MemoError(message)
 
     def _discard_connection_locked(self) -> None:
         """Drop the current connection; its in-flight state is abandoned.
@@ -175,25 +388,91 @@ class MemoClient:
         *added* to the lost-ack count (a second loss before the first was
         reported keeps both counts) and surface once via
         :meth:`_raise_deferred_locked` on the next synchronous call.
+        Futures are *not* failed here: parked waits keep their tokens for
+        re-subscription and ack futures queue for resend — both belong to
+        the operation, not the connection, and ride to the next one.
         """
+        self._salvage_pushes_locked()
         self._conn.close()
         self._lost_acks += len(self._pending)
         self._pending.clear()
+        self._wait_by_cid.clear()
+        if self._ack_by_cid:
+            self._ack_resend.extend(
+                st for st in self._ack_by_cid.values() if not st.future.done()
+            )
+            self._ack_by_cid.clear()
+
+    def _salvage_pushes_locked(self) -> None:
+        """Drain already-delivered push frames off a dying connection.
+
+        A MemoReady queued behind the frame that doomed the connection
+        names a memo the server has *already consumed* — abandoning it
+        unread would lose that memo (the re-subscribed wait parks on a
+        now-empty folder).  Only pushes are handled: anything that could
+        re-enter connection management (ack retries, re-subscriptions)
+        is skipped, since the connection is going away regardless.  Best
+        effort by design — a push still in flight server-side shares the
+        fate of any reply lost with a connection (at-least-once, same as
+        acked puts).
+        """
+        if self._conn.closed:
+            return
+        for _ in range(10_000):
+            try:
+                msg, _cid = recv_tagged(self._conn, 0.005)
+            except (TimeoutError, MemoError):
+                return
+            if isinstance(msg, MemoReady):
+                state = self._wait_by_token.pop(msg.waiter, None)
+                if state is not None:
+                    state.future._complete(msg.payload)
 
     def _reconnect_locked(self) -> None:
         self._discard_connection_locked()
         time.sleep(self._reconnect_delay)
         self._conn = self._transport.connect(self.server_address)
+        self._resubscribe_all_locked()
+
+    def _resubscribe_all_locked(self) -> None:
+        """Re-send every parked wait and queued ack on a fresh connection.
+
+        A send failure aborts quietly: the connection died again, and the
+        next reconnect (driven by whichever call observes the loss)
+        retries the remainder — nothing is dropped, nothing double-sent.
+        """
+        try:
+            for state in list(self._wait_by_token.values()):
+                if not state.future.done():
+                    self._send_wait_locked(state)
+            while self._ack_resend:
+                ack = self._ack_resend[0]
+                if not ack.future.done():
+                    cid = self._new_cid()
+                    send_message(self._conn, ack.msg, corr_id=cid)
+                    self._ack_by_cid[cid] = ack
+                self._ack_resend.pop(0)
+        except (ConnectionClosedError, CommunicationError):
+            pass
 
     def _recv_matching_locked(self, cid: int, timeout: float | None) -> object:
         """Read frames until the reply tagged *cid* arrives.
 
         Replies to other outstanding requests (earlier posts whose acks
         ride the same stream, possibly inside a batch) are absorbed in
-        passing; id-less or foreign frames are skipped.
+        passing; id-less or foreign frames are skipped.  Routing a frame
+        can *replace* the connection (an ack's shutdown-retry, a wait's
+        fail-over re-subscription reconnect under us); the awaited reply
+        died with the old connection, so that surfaces as a connection
+        loss for the caller's retry loop rather than a silent hang.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        conn = self._conn
         while True:
+            if self._conn is not conn:
+                raise ConnectionClosedError(
+                    "connection replaced while awaiting the reply"
+                )
             remaining = None
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -206,15 +485,17 @@ class MemoClient:
                     if inner_cid == cid:
                         mine = inner
                     else:
-                        self._absorb_one_locked(inner, inner_cid)
+                        self._route_one_locked(inner, inner_cid)
                 if mine is not None:
                     return mine
                 continue
             if got == cid:
                 return msg
-            self._absorb_one_locked(msg, got)
+            self._route_one_locked(msg, got)
 
-    def request(self, msg: object, timeout: float | None = None) -> Reply:
+    def request(
+        self, msg: object, timeout: float | None = None, drain: bool = True
+    ) -> Reply:
         """Send *msg* and wait for its reply (draining async acks first).
 
         The request is tagged with a fresh correlation id and the reply is
@@ -223,12 +504,18 @@ class MemoClient:
         the connection and reconnects for subsequent calls.  A connection
         closed under the request — e.g. the server was killed — retries
         over a fresh connection up to the configured attempt budget.
+
+        ``drain=False`` skips the deferred-acknowledgement drain (and its
+        raise): housekeeping requests like a wait cancellation must not
+        *consume* a pending put failure that belongs to the next real
+        synchronous call.
         """
         with self._lock:
             attempts = 0
             while True:
                 try:
-                    self._drain_locked()
+                    if drain:
+                        self._drain_locked()
                     cid = self._new_cid()
                     send_message(self._conn, msg, corr_id=cid)
                     reply = self._recv_matching_locked(cid, timeout)
@@ -259,6 +546,13 @@ class MemoClient:
                     attempts += 1
                     if attempts > self._reconnect_attempts:
                         raise
+                    if not self._conn.closed:
+                        # The connection was *replaced* under this request
+                        # (frame routing ran an ack-retry or wait
+                        # re-subscription reconnect) — it is healthy and
+                        # already carries the re-subscribed waits, so just
+                        # resend on it instead of tearing it down again.
+                        continue
                     try:
                         self._reconnect_locked()
                     except CommunicationError:
@@ -350,6 +644,166 @@ class MemoClient:
                     if attempts >= self._reconnect_attempts:
                         raise
 
+    # -- futures ---------------------------------------------------------------
+
+    def get_wait(
+        self,
+        folder: FolderName,
+        mode: str = "get",
+        transform: Callable[[object], object] | None = None,
+    ) -> MemoFuture:
+        """Register a server-parked wait on *folder*; returns its future.
+
+        The future resolves with the memo's payload bytes (run through
+        *transform* when given) — immediately when the folder already
+        held a memo, later via a :class:`MemoReady` push when the wait
+        parked.  No thread blocks anywhere while the wait is parked: the
+        server holds one waiter-table entry, the client one dict entry.
+
+        Pending deferred acknowledgements are drained first (the same
+        read-your-writes point every synchronous call honours), so a
+        previously-failed asynchronous put still surfaces here exactly
+        once.
+        """
+        with self._lock:
+            self._drain_locked()
+            token = self._next_token
+            self._next_token += 1
+            request = GetWaitRequest(
+                folder=folder, mode=mode, waiter=token, origin=self.origin
+            )
+            future = MemoFuture(
+                step=self.pump,
+                cancel_impl=lambda: self.cancel_wait(token),
+                transform=transform,
+            )
+            state = _WaitState(request, future)
+            self._wait_by_token[token] = state
+            attempts = 0
+            while True:
+                try:
+                    self._send_wait_locked(state)
+                    break
+                except ConnectionClosedError:
+                    attempts += 1
+                    if attempts > self._reconnect_attempts:
+                        self._wait_by_token.pop(token, None)
+                        raise
+                    try:
+                        self._reconnect_locked()
+                        # Reconnect re-subscribed every parked wait on the
+                        # fresh connection — this one included.
+                        break
+                    except CommunicationError:
+                        if attempts >= self._reconnect_attempts:
+                            self._wait_by_token.pop(token, None)
+                            raise
+        return future
+
+    def put_future(self, msg: object, drain: bool = False) -> MemoFuture:
+        """Send *msg* and return a future for its acknowledgement.
+
+        The future resolves to None on success and fails with
+        :class:`MemoError` carrying the server's error text otherwise —
+        the exact contract of ``request`` + ``_check``, deferred.  With
+        *drain* the pending fire-and-forget acknowledgements are
+        collected first (blocking-wrapper parity: ``put(wait=True)``
+        historically drained before sending).
+        """
+        with self._lock:
+            if drain:
+                self._drain_locked()
+            future = MemoFuture(step=self.pump)
+            state = _AckState(msg, future)
+            attempts = 0
+            while True:
+                try:
+                    cid = self._new_cid()
+                    send_message(self._conn, msg, corr_id=cid)
+                    self._ack_by_cid[cid] = state
+                    break
+                except ConnectionClosedError:
+                    attempts += 1
+                    if attempts > self._reconnect_attempts:
+                        raise
+                    try:
+                        self._reconnect_locked()
+                    except CommunicationError:
+                        if attempts >= self._reconnect_attempts:
+                            raise
+        return future
+
+    def cancel_wait(self, token: int) -> bool:
+        """Withdraw a parked wait; True if cancelled before completion.
+
+        Runs the cancellation race on the server: a ``found=True`` reply
+        means the memo (or cancellation push) was already on its way —
+        the caller keeps the result.  Network failures report False too:
+        claiming a successful cancel while the server may still complete
+        the wait would risk dropping a consumed memo.  Sent with
+        ``drain=False`` so a deferred put failure is neither swallowed
+        here nor allowed to block the cancellation — it still surfaces,
+        once, on the next ordinary synchronous call.
+        """
+        with self._lock:
+            state = self._wait_by_token.get(token)
+            if state is None or state.future.done():
+                return False
+        try:
+            # Bounded: a stalled server must not turn a *cancellation*
+            # (typically running under a caller's timeout) into a hang.
+            reply = self.request(
+                CancelWaitRequest(waiter=token, origin=self.origin),
+                timeout=_CANCEL_TIMEOUT,
+                drain=False,
+            )
+        except (MemoError, TimeoutError):
+            return False
+        if not reply.ok or reply.found:
+            return False
+        with self._lock:
+            return self._wait_by_token.pop(token, None) is state
+
+    def pump(self, timeout: float | None = None) -> bool:
+        """Receive and route one frame; False on a quiet timeout.
+
+        The driving primitive behind ``MemoFuture.wait``: every frame —
+        a push completing some parked wait, an ack for a deferred put, a
+        stray reply — is routed to its owner, so pumping for *one*
+        future advances *all* of them.  A lost connection triggers the
+        bounded reconnect-and-resubscribe dance; if the server never
+        comes back every outstanding future is failed (never stranded).
+        """
+        with self._lock:
+            try:
+                msg, cid = recv_tagged(self._conn, timeout)
+            except TimeoutError:
+                return False
+            except (ConnectionClosedError, ProtocolError):
+                self._pump_conn_loss_locked()
+                return True
+            self._route_frame_locked(msg, cid)
+            return True
+
+    def _pump_conn_loss_locked(self) -> None:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                self._reconnect_locked()
+                return
+            except CommunicationError as exc:
+                if attempts >= self._reconnect_attempts:
+                    self._fail_outstanding_locked(
+                        ConnectionClosedError(
+                            f"connection to {self.server_address} lost and "
+                            f"not recovered: {exc}"
+                        )
+                    )
+                    return
+
+    # -- housekeeping ----------------------------------------------------------
+
     def flush(self) -> None:
         """Wait for all outstanding async acknowledgements."""
         with self._lock:
@@ -362,8 +816,33 @@ class MemoClient:
             return len(self._pending)
 
     def close(self) -> None:
-        """Close the connection; outstanding acks are abandoned."""
-        self._conn.close()
+        """Close the connection, collecting outstanding acknowledgements first.
+
+        Deferred ``put``/``put_many`` acknowledgements still in flight are
+        drained before the connection drops, and a server-reported put
+        failure surfaces here as :class:`MemoError` — previously a
+        context-manager exit silently abandoned them, so a failed
+        asynchronous put could vanish without a trace.  Losses caused by
+        the connection dying *during* this final drain stay silent (the
+        connection is going away regardless); outstanding futures are
+        failed so no waiter stays parked against a closed client.
+        """
+        with self._lock:
+            # Losses *already recorded* before close must surface; losses
+            # incurred by the connection dying during this final drain
+            # stay silent (deliberately — see the docstring).
+            lost_before = self._lost_acks
+            if self._pending and not self._conn.closed:
+                self._drain_until_locked(0)
+            message = self._ack_failure_message(self._deferred_error, lost_before)
+            self._deferred_error = None
+            self._lost_acks = 0
+            self._fail_outstanding_locked(
+                ConnectionClosedError("memo client closed")
+            )
+            self._conn.close()
+        if message is not None:
+            raise MemoError(message)
 
     def __enter__(self) -> "MemoClient":
         return self

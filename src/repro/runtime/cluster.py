@@ -300,3 +300,43 @@ class Cluster:
         for stats in self.stats().values():
             metrics.add_server_stats(stats)
         return metrics
+
+    def waiter_gauges(self) -> dict[str, dict[str, int]]:
+        """Per-host waiter-table gauges (direct reads, no wire round).
+
+        ``active`` is the live table population; the rest are cumulative.
+        Reads the in-process server objects so it works even on a host
+        whose listener is wedged — this is a debugging aid.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for host, server in self.servers.items():
+            snap = server.stats.snapshot()
+            out[host] = {
+                "active": snap["waiters_active"],
+                "parked": snap["waiters_parked"],
+                "completed": snap["waiters_completed"],
+                "cancelled": snap["waiters_cancelled"],
+                "push_frames": snap["push_frames"],
+            }
+        return out
+
+    def debug_report(self) -> str:
+        """A human-readable per-host summary for interactive debugging.
+
+        One line per host: request volume, routing split, and the
+        waiter-table gauges (parked waits are otherwise invisible — no
+        thread shows up anywhere while a wait is parked).
+        """
+        lines = []
+        for host, server in sorted(self.servers.items()):
+            s = server.stats.snapshot()
+            lines.append(
+                f"{host}: requests={s['requests']} "
+                f"local={s['local_dispatches']} fwd_out={s['forwards_out']} "
+                f"errors={s['errors']} | waiters active={s['waiters_active']} "
+                f"parked={s['waiters_parked']} "
+                f"completed={s['waiters_completed']} "
+                f"cancelled={s['waiters_cancelled']} "
+                f"pushes={s['push_frames']}"
+            )
+        return "\n".join(lines)

@@ -15,6 +15,18 @@ Semantics implemented here, straight from section 6:
 * A folder "vanishes" when it holds no memos, no delayed memos, and no
   blocked waiters (the future-folder lifecycle of section 6.2.5).
 
+Waiting comes in two forms.  The classic form blocks the calling thread
+on the server's condition variable (``get``/``get_copy``) — one thread
+pinned per wait.  The *register-waiter* form (:meth:`FolderServer.get_async`)
+parks a callback instead: when the folder is empty the wait costs one
+table entry, and the put path completes parked waiters directly — copies
+first (non-consuming, all of them), then consumers while memos remain,
+in registration order.  Parked waiters are first-class folder state: they
+keep the folder alive, are interrupted by migration and shutdown exactly
+like blocked threads, and can be withdrawn with
+:meth:`FolderServer.cancel_waiter`.  Callbacks always run *outside* the
+server lock (they typically push a frame down a connection).
+
 *Unordered* queue: extraction order is deliberately not FIFO — a seeded RNG
 picks a victim index, so applications cannot accidentally depend on an
 ordering the paper does not promise.  The RNG is owned by the server and
@@ -32,7 +44,7 @@ from repro.core.keys import FolderName
 from repro.core.memo import MemoRecord
 from repro.errors import FolderMigratedError, FolderServerError, ShutdownError
 
-__all__ = ["Folder", "FolderServer", "FolderServerStats"]
+__all__ = ["AsyncWaiter", "Folder", "FolderServer", "FolderServerStats"]
 
 
 @dataclass
@@ -45,6 +57,8 @@ class FolderServerStats:
     skips: int = 0
     skip_misses: int = 0
     blocked_waits: int = 0
+    async_parked: int = 0
+    async_cancelled: int = 0
     delayed_parked: int = 0
     delayed_released: int = 0
     folders_created: int = 0
@@ -52,6 +66,25 @@ class FolderServerStats:
 
     def snapshot(self) -> dict[str, int]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+class AsyncWaiter:
+    """One parked register-waiter wait: a mode plus its completion callback.
+
+    The callback signature is ``callback(record, error)``: exactly one of
+    the two is non-None.  ``record`` delivers the memo (a copy for mode
+    ``"copy"``, the consumed record for mode ``"get"``); ``error`` is a
+    protocol-convention reason string (``FolderMigratedError: ...`` /
+    ``shutdown: ...``) when the wait ends without a memo.  Callbacks are
+    invoked outside the folder-server lock, exactly once — a waiter that
+    was :meth:`FolderServer.cancel_waiter`-ed is never called at all.
+    """
+
+    __slots__ = ("mode", "callback")
+
+    def __init__(self, mode: str, callback: Callable[[MemoRecord | None, str | None], None]) -> None:
+        self.mode = mode
+        self.callback = callback
 
 
 @dataclass
@@ -63,13 +96,20 @@ class Folder:
     #: Parked ``put_delayed`` memos: (record, release-to folder).
     delayed: list[tuple[MemoRecord, FolderName]] = field(default_factory=list)
     waiters: int = 0
+    #: Parked register-waiter waits, in registration order.
+    async_waiters: list[AsyncWaiter] = field(default_factory=list)
     #: Set when the folder is extracted for migration; blocked waiters wake
     #: with :class:`FolderMigratedError` and re-route.
     migrated: bool = False
 
     def is_vanished(self) -> bool:
         """True when nothing keeps this folder alive."""
-        return not self.memos and not self.delayed and self.waiters == 0
+        return (
+            not self.memos
+            and not self.delayed
+            and self.waiters == 0
+            and not self.async_waiters
+        )
 
 
 class FolderServer:
@@ -147,6 +187,7 @@ class FolderServer:
         each delayed memo once per replica.
         """
         to_release: list[tuple[MemoRecord, FolderName]] = []
+        completions: list[tuple[AsyncWaiter, MemoRecord]] = []
         with self._cond:
             self._ensure_up()
             folder = self._folder(name)
@@ -155,6 +196,9 @@ class FolderServer:
             if folder.delayed and trigger_release:
                 to_release = folder.delayed
                 folder.delayed = []
+            if folder.async_waiters:
+                completions = self._claim_async_locked(folder)
+                self._maybe_vanish(folder)
             if self._waiting:
                 # Skip the (surprisingly costly) notify when nobody can
                 # care — bulk ingest with no blocked getters is the hot
@@ -167,6 +211,39 @@ class FolderServer:
             with self._lock:
                 self.stats.delayed_released += 1
             self._release(target, rec)
+        # Complete parked waiters outside the lock too: each callback
+        # typically pushes a frame down a connection.
+        for waiter, rec in completions:
+            waiter.callback(rec, None)
+
+    def _claim_async_locked(
+        self, folder: Folder
+    ) -> list[tuple[AsyncWaiter, MemoRecord]]:
+        """Match the folder's memos against its parked waiters (FIFO).
+
+        Copy waiters never consume, so any arrival completes all of them;
+        get waiters consume one memo each while memos remain.  A get
+        waiter that exhausts the folder leaves later waiters parked.
+        """
+        done: list[tuple[AsyncWaiter, MemoRecord]] = []
+        keep: list[AsyncWaiter] = []
+        # Copies first, regardless of registration interleaving: they are
+        # non-consuming, so one arrival satisfies every parked examiner —
+        # a stream of consumers can never starve a get_copy waiter.
+        for waiter in folder.async_waiters:
+            if waiter.mode == "copy":
+                self.stats.copies += 1
+                done.append((waiter, self._peek(folder)))
+        for waiter in folder.async_waiters:
+            if waiter.mode == "copy":
+                continue
+            if folder.memos:
+                self.stats.gets += 1
+                done.append((waiter, self._pick(folder)))
+            else:
+                keep.append(waiter)
+        folder.async_waiters = keep
+        return done
 
     def _release(self, target: FolderName, record: MemoRecord) -> None:
         if self.emit_put is not None:
@@ -246,6 +323,65 @@ class FolderServer:
                 folder.waiters -= 1
                 self._maybe_vanish(folder)
 
+    def get_async(
+        self,
+        name: FolderName,
+        mode: str,
+        callback: Callable[[MemoRecord | None, str | None], None],
+    ) -> tuple[MemoRecord | None, AsyncWaiter | None]:
+        """Consume/copy immediately, or park *callback* — never blocks.
+
+        Returns exactly one of ``(record, None)`` — the folder had a memo
+        and the wait completed inline (the callback will never fire) — or
+        ``(None, waiter)`` — the wait is parked; the put path (or
+        migration/shutdown) will run the callback later, unless the
+        returned handle is withdrawn first with :meth:`cancel_waiter`.
+
+        This is the O(table-entry) waiting primitive behind the wire
+        protocol's ``GetWaitRequest``: a thousand parked waits cost a
+        thousand list entries, not a thousand blocked threads.
+        """
+        if mode not in ("get", "copy"):
+            raise FolderServerError(f"invalid async get mode {mode!r}")
+        with self._cond:
+            self._ensure_up()
+            folder = self._folder(name)
+            if folder.memos:
+                if mode == "copy":
+                    self.stats.copies += 1
+                    record = self._peek(folder)
+                else:
+                    self.stats.gets += 1
+                    record = self._pick(folder)
+                self._maybe_vanish(folder)
+                return record, None
+            self.stats.blocked_waits += 1
+            self.stats.async_parked += 1
+            waiter = AsyncWaiter(mode, callback)
+            folder.async_waiters.append(waiter)
+            return None, waiter
+
+    def cancel_waiter(self, name: FolderName, waiter: AsyncWaiter) -> bool:
+        """Withdraw a parked waiter; True if removed before it completed.
+
+        False means the waiter already left the table — completed by a
+        put, or interrupted by migration/shutdown — and its callback has
+        run (or is about to).  Deliberately callable on a shut-down
+        server: session teardown races ``shutdown()`` and must not trip
+        over the liveness check while detaching its waiters.
+        """
+        with self._cond:
+            folder = self._folders.get(name)
+            if folder is None:
+                return False
+            try:
+                folder.async_waiters.remove(waiter)
+            except ValueError:
+                return False
+            self.stats.async_cancelled += 1
+            self._maybe_vanish(folder)
+            return True
+
     def get_skip(self, name: FolderName) -> MemoRecord | None:
         """Consume a memo when available; None immediately otherwise."""
         with self._cond:
@@ -297,9 +433,13 @@ class FolderServer:
         than skipped: new puts route to the folder's new owner, so a waiter
         left pinned to this condition variable would strand forever; the
         memo server catches the interrupt and re-blocks the get at the new
-        home.
+        home.  Parked async waiters are interrupted the same way — their
+        callbacks fire with a ``FolderMigratedError`` reason (outside the
+        lock) and the owning session pushes a ``WaitCancelled`` so the
+        client re-subscribes at the folder's new home.
         """
         moved = []
+        interrupted: list[tuple[AsyncWaiter, FolderName]] = []
         with self._cond:
             self._ensure_up()
             for name in list(self._folders):
@@ -309,6 +449,11 @@ class FolderServer:
                 del self._folders[name]
                 self.stats.folders_vanished += 1
                 memos, delayed = folder.memos, folder.delayed
+                if folder.async_waiters:
+                    interrupted.extend(
+                        (w, name) for w in folder.async_waiters
+                    )
+                    folder.async_waiters = []
                 if folder.waiters:
                     # Detach the contents before flagging, so a woken
                     # waiter cannot consume a memo migration is moving.
@@ -316,6 +461,8 @@ class FolderServer:
                     folder.migrated = True
                 moved.append((name, memos, delayed))
             self._cond.notify_all()
+        for waiter, name in interrupted:
+            waiter.callback(None, f"FolderMigratedError: folder {name} migrated away")
         return moved
 
     def snapshot_folders(
@@ -361,10 +508,24 @@ class FolderServer:
             raise ShutdownError(f"folder server {self.server_id} is shut down")
 
     def shutdown(self) -> None:
-        """Wake every blocked getter with :class:`ShutdownError`."""
+        """Wake every blocked getter with :class:`ShutdownError`.
+
+        Parked async waiters get the same treatment in callback form: a
+        ``shutdown:`` reason, delivered outside the lock, which the
+        owning session forwards as a ``WaitCancelled`` push — the client
+        treats it as an invitation to re-subscribe after fail-over.
+        """
+        cancelled: list[AsyncWaiter] = []
         with self._cond:
             self._shutdown = True
+            for folder in self._folders.values():
+                if folder.async_waiters:
+                    cancelled.extend(folder.async_waiters)
+                    folder.async_waiters = []
             self._cond.notify_all()
+        reason = f"shutdown: folder server {self.server_id} is shut down"
+        for waiter in cancelled:
+            waiter.callback(None, reason)
 
     def __repr__(self) -> str:
         return (

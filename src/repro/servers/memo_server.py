@@ -25,7 +25,14 @@ requests (version-2 compact frames) pipeline through a per-connection
 worker set (:class:`_ConnectionSession`) and their tagged replies return
 as the work completes — out of order, coalesced into
 :class:`~repro.network.protocol.PipelineBatch` bursts — while id-less
-requests keep the paper's strict request-by-request service.  Puts ride
+requests keep the paper's strict request-by-request service.  Blocked
+waiting is event-driven: a :class:`~repro.network.protocol.GetWaitRequest`
+on an empty folder parks in the session's *waiter table* (one dict entry,
+no thread) and resolves later through an unsolicited
+:class:`~repro.network.protocol.MemoReady` /
+:class:`~repro.network.protocol.WaitCancelled` push completed directly
+off the put path — a million parked waiters cost a table, not a thread
+pool.  Strict sessions never receive pushes.  Puts ride
 per-folder FIFO lanes, so pipelining never reorders two puts to the same
 folder, and runs of puts owned by a remote host are forwarded as one
 :class:`~repro.network.protocol.BurstEnvelope` instead of one strict
@@ -74,10 +81,13 @@ from repro.network.codec import (
 from repro.network.connection import Address, Connection, Transport
 from repro.network.protocol import (
     BurstEnvelope,
+    CancelWaitRequest,
     ForwardEnvelope,
     GetAltSkipRequest,
     GetRequest,
+    GetWaitRequest,
     Heartbeat,
+    MemoReady,
     MigrateRequest,
     PipelineBatch,
     PutDelayedRequest,
@@ -88,6 +98,7 @@ from repro.network.protocol import (
     ShutdownRequest,
     StatsRequest,
     SyncPull,
+    WaitCancelled,
     decode_protocol_frame,
     recv_message,
     send_message,
@@ -123,6 +134,14 @@ class MemoServerStats:
     failover_dispatches: int = 0
     resync_returned: int = 0
     resync_reseeded: int = 0
+    #: Waiter-table gauges: parked is cumulative, active is the current
+    #: table population across all sessions (incremented on park,
+    #: decremented on completion/cancellation).
+    waiters_parked: int = 0
+    waiters_active: int = 0
+    waiters_completed: int = 0
+    waiters_cancelled: int = 0
+    push_frames: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def bump(self, name: str, by: int = 1) -> None:
@@ -230,6 +249,33 @@ _PUT_ACK = Reply(ok=True, found=True)
 #: the client verbatim, no decode, no re-encode.
 _PUT_ACK_TAGBODY = encode_message(_PUT_ACK)[3:]
 
+#: Shared "your wait is parked" acknowledgement for GetWait requests
+#: whose folder was empty: ok, nothing found *yet* — the resolution
+#: arrives later as a MemoReady/WaitCancelled push.
+_PARKED_ACK = Reply(ok=True, found=False)
+
+
+class _ParkedWaiter:
+    """One waiter-table entry: a parked GetWait and how to resolve it.
+
+    Local folders park as a :class:`~repro.servers.folder_server.AsyncWaiter`
+    registration (``fs``/``handle`` set, no thread anywhere); folders
+    served remotely fall back to one chaser worker blocking through the
+    audited routing path (``fs``/``handle`` None) — the waiter table's
+    O(1)-thread guarantee is per *owning* server, which is where fan-in
+    concentrates.
+    """
+
+    __slots__ = ("token", "folder", "mode", "origin", "fs", "handle")
+
+    def __init__(self, token: int, folder: FolderName, mode: str, origin: str) -> None:
+        self.token = token
+        self.folder = folder
+        self.mode = mode
+        self.origin = origin
+        self.fs = None
+        self.handle = None
+
 #: Put lanes per pipelined connection.  Same-folder puts always hash to
 #: the same lane — that is the per-folder FIFO guarantee.  One lane is
 #: the throughput sweet spot under the GIL (fewer threads trading the
@@ -287,6 +333,7 @@ class _ConnectionSession:
         "_lane_running",
         "_inflight_puts",
         "_inflight_other",
+        "_waiters",
     )
 
     def __init__(self, server: "MemoServer", conn: Connection) -> None:
@@ -298,6 +345,8 @@ class _ConnectionSession:
         self._lane_running = [False] * _PUT_LANES
         self._inflight_puts = 0
         self._inflight_other = 0
+        #: The waiter table: parked GetWaits keyed by client-chosen token.
+        self._waiters: dict[int, _ParkedWaiter] = {}
 
     # -- reader ---------------------------------------------------------------
 
@@ -424,12 +473,19 @@ class _ConnectionSession:
     # -- dispatch -------------------------------------------------------------
 
     def _dispatch(self, msg: object, cid: int, raw: bytes | None = None) -> None:
-        # Puts ride the FIFO lanes; everything else — including any
-        # correlated ForwardEnvelope, which no current peer sends (bursts
-        # arrive as BurstEnvelope, strict forwards id-less) — gets its
-        # own worker so a blocking request stalls nothing behind it.
+        # Puts ride the FIFO lanes; GetWait/CancelWait are non-blocking by
+        # construction and served inline on the reader (that inlining IS
+        # the waiter table's O(1)-thread property); everything else —
+        # including any correlated ForwardEnvelope, which no current peer
+        # sends (bursts arrive as BurstEnvelope, strict forwards id-less)
+        # — gets its own worker so a blocking request stalls nothing
+        # behind it.
         if isinstance(msg, (PutRequest, PutDelayedRequest)):
             self._enqueue_put(msg.folder, (msg, cid, None, raw))
+        elif isinstance(msg, GetWaitRequest):
+            self._handle_get_wait(msg, cid)
+        elif isinstance(msg, CancelWaitRequest):
+            self._handle_cancel_wait(msg, cid)
         else:
             with self._lock:
                 self._inflight_other += 1
@@ -585,6 +641,191 @@ class _ConnectionSession:
                 self._inflight_other -= 1
                 self._idle.notify_all()
 
+    # -- waiter table (parked GetWait service) ---------------------------------
+
+    def _handle_get_wait(self, msg: GetWaitRequest, cid: int) -> None:
+        """Serve one GetWait inline on the reader — never blocks.
+
+        The immediate correlated reply is a hit (folder had a memo), a
+        parked acknowledgement (wait recorded in the table), or an error
+        mapped exactly like any other handler's.  A parked wait holds no
+        thread: its resolution is event-driven off the put path.
+        """
+        reply = self.server._guarded(self._get_wait_inner, msg)
+        self._send_replies([(reply, cid)])
+
+    def _get_wait_inner(self, msg: GetWaitRequest) -> Reply:
+        server = self.server
+        token = msg.waiter
+        with self._lock:
+            if token in self._waiters:
+                raise ProtocolError(
+                    f"waiter token {token} is already parked on this session"
+                )
+        entry = _ParkedWaiter(token, msg.folder, msg.mode, msg.origin)
+        _reg, chain, candidates = server._candidates(msg.folder)
+        sid, host = candidates[0]
+        if host != server.host:
+            # Folder served elsewhere: park, then chase it through the
+            # audited routing path (retry, suspicion, fail-over) on one
+            # worker.  This is the thread-per-wait fallback — the O(1)
+            # guarantee belongs to the *owning* server, where fan-in
+            # concentrates; ROADMAP notes cross-host push relays as the
+            # next step.
+            with self._lock:
+                self._waiters[token] = entry
+                self._inflight_other += 1
+            server.stats.bump_pair("waiters_parked", "waiters_active")
+            try:
+                # Not _spawn: its run-inline fallback would park the
+                # session READER inside a blocking remote get, wedging
+                # every frame behind it.  With the cache gone (server
+                # stopping) the wait is resolved as a shutdown push and
+                # the client chases it through its reconnect path.
+                server._cache.submit(self._chase_remote_wait, entry)
+            except ServerError:
+                with self._lock:
+                    self._inflight_other -= 1
+                    self._idle.notify_all()
+                self._complete_waiter(
+                    entry, None, "shutdown: server stopping; wait not chased"
+                )
+            return _PARKED_ACK
+        if chain[0][1] == server.host:
+            fs = server._folder_server(chain[0][0])
+        else:
+            # Dead primary: serve the wait out of this host's replica
+            # store, exactly as _dispatch_chain fails reads over.
+            server.stats.bump("failover_dispatches")
+            fs = server._replica_server(sid)
+        entry.fs = fs
+        # Table entry goes in BEFORE registering with the folder server:
+        # the completion callback may fire from a concurrent put the
+        # instant the waiter parks, and must find its entry.  (The push
+        # may then legally overtake the parked ack on the wire — the
+        # client routes by token, not arrival order.)
+        with self._lock:
+            self._waiters[token] = entry
+        try:
+            record, handle = fs.get_async(
+                msg.folder,
+                msg.mode,
+                lambda rec, err, entry=entry: self._complete_waiter(entry, rec, err),
+            )
+        except BaseException:
+            with self._lock:
+                self._waiters.pop(token, None)
+            raise
+        if handle is None:
+            with self._lock:
+                self._waiters.pop(token, None)
+            server.stats.bump("local_dispatches")
+            return Reply(
+                ok=True, found=True, payload=record.payload, folder=msg.folder
+            )
+        entry.handle = handle
+        server.stats.bump_pair("waiters_parked", "waiters_active")
+        return _PARKED_ACK
+
+    def _chase_remote_wait(self, entry: _ParkedWaiter) -> None:
+        """Resolve a remote-folder wait by blocking through ``_route``."""
+        try:
+            reply = self.server._handle(
+                GetRequest(folder=entry.folder, mode=entry.mode, origin=entry.origin)
+            )
+            if reply.ok and reply.found:
+                record = MemoRecord(payload=reply.payload, origin=entry.origin)
+                self._complete_waiter(entry, record, None)
+            elif reply.ok:
+                self._complete_waiter(
+                    entry, None, "ServerError: blocking get returned no memo"
+                )
+            else:
+                self._complete_waiter(entry, None, reply.error)
+        finally:
+            with self._lock:
+                self._inflight_other -= 1
+                self._idle.notify_all()
+
+    def _complete_waiter(
+        self, entry: _ParkedWaiter, record: MemoRecord | None, error: str | None
+    ) -> None:
+        """Resolve one table entry into a push frame (from any thread).
+
+        Runs on whatever thread completed the wait — a put lane here, a
+        peer session's worker, the migration path, a chaser.  Exactly one
+        resolution wins the table entry; a completion that finds its
+        entry gone lost a cancellation/teardown race, and a consumed memo
+        is then re-deposited so the race never loses data.
+        """
+        server = self.server
+        with self._lock:
+            live = self._waiters.get(entry.token) is entry
+            if live:
+                del self._waiters[entry.token]
+        if not live:
+            if record is not None and entry.mode == "get":
+                self._requeue_record(entry, record)
+            return
+        server.stats.bump("waiters_active", -1)
+        if error is None:
+            server.stats.bump_pair("waiters_completed", "push_frames")
+            push: object = MemoReady(
+                waiter=entry.token, folder=entry.folder, payload=record.payload
+            )
+        else:
+            server.stats.bump_pair("waiters_cancelled", "push_frames")
+            push = WaitCancelled(waiter=entry.token, reason=error)
+        try:
+            send_message(self.conn, push)
+        except (ConnectionClosedError, CommunicationError):
+            # The peer is gone; its session will tear down.  A consumed
+            # memo must not die with the push — put it back.
+            if record is not None and entry.mode == "get":
+                self._requeue_record(entry, record)
+
+    def _requeue_record(self, entry: _ParkedWaiter, record: MemoRecord) -> None:
+        """Re-deposit a memo a dead/cancelled waiter consumed (no losses)."""
+        try:
+            reply = self.server._route_with_retry(
+                entry.folder,
+                PutRequest(
+                    folder=entry.folder,
+                    payload=record.payload,
+                    origin=record.origin,
+                ),
+            )
+            if not reply.ok:
+                self.server.stats.bump("errors")
+        except MemoError:
+            self.server.stats.bump("errors")
+
+    def _handle_cancel_wait(self, msg: CancelWaitRequest, cid: int) -> None:
+        """Withdraw a parked wait; inline on the reader, non-blocking.
+
+        ``found=False``: cancelled — the token's push will never come
+        (a completion that raced us re-deposits its memo).  ``found=True``:
+        too late — the wait already resolved and its push is on the wire.
+        """
+        with self._lock:
+            entry = self._waiters.pop(msg.waiter, None)
+        if entry is None:
+            self._send_replies([(Reply(ok=True, found=True), cid)])
+            return
+        self.server.stats.bump("waiters_active", -1)
+        self.server.stats.bump("waiters_cancelled")
+        if entry.fs is not None and entry.handle is not None:
+            # Best-effort detach from the folder server; a completion
+            # already in flight finds the table entry gone and requeues.
+            entry.fs.cancel_waiter(entry.folder, entry.handle)
+        # A remote entry's chaser worker is NOT interruptible: it stays
+        # blocked at the owner until a memo arrives (which it requeues on
+        # finding its entry gone) or the owner goes away — the same
+        # thread cost a strict blocking get abandoned by its client
+        # always had.  The cross-fabric waiter relay on the ROADMAP is
+        # what retires it.
+        self._send_replies([(Reply(ok=True, found=False), cid)])
+
     def _send_replies(self, replies: list) -> None:
         """Emit completed replies, coalescing a burst into one batch frame.
 
@@ -641,6 +882,18 @@ class _ConnectionSession:
                 while queue:
                     stranded.append(queue.popleft())
             self._inflight_puts -= len(stranded)
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+        # Detach parked waits: no pushes (the peer is gone), but local
+        # registrations must leave their folder servers or the folders
+        # would stay pinned alive by dead waiters forever.  A completion
+        # racing this teardown finds its table entry gone and requeues
+        # any consumed memo; remote chasers resolve the same way.
+        for entry in waiters:
+            self.server.stats.bump("waiters_active", -1)
+            self.server.stats.bump("waiters_cancelled")
+            if entry.fs is not None and entry.handle is not None:
+                entry.fs.cancel_waiter(entry.folder, entry.handle)
         if stranded and not self.conn.closed:
             shut = Reply(
                 ok=False,
@@ -821,6 +1074,14 @@ class MemoServer:
             return Reply(ok=False, error=f"communication failure: {exc}")
 
     def _handle_inner(self, msg: object) -> Reply:
+        if isinstance(msg, (GetWaitRequest, CancelWaitRequest)):
+            # Reached only off a strict (id-less) frame: a peer with no
+            # demultiplexer could never route the push frames a parked
+            # wait resolves through — legacy sessions stay push-free.
+            raise ProtocolError(
+                f"{type(msg).__qualname__} requires a correlated "
+                f"(pipelined) session; strict peers must use GetRequest"
+            )
         if isinstance(msg, RegisterRequest):
             return self._handle_register(msg)
         if isinstance(msg, ForwardEnvelope):

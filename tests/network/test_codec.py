@@ -11,10 +11,13 @@ from repro.network.codec import (
 )
 from repro.network.connection import Address
 from repro.network.protocol import (
+    CancelWaitRequest,
     ForwardEnvelope,
     GetAltSkipRequest,
     GetRequest,
+    GetWaitRequest,
     Heartbeat,
+    MemoReady,
     MigrateRequest,
     PutDelayedRequest,
     PutRequest,
@@ -24,6 +27,7 @@ from repro.network.protocol import (
     ShutdownRequest,
     StatsRequest,
     SyncPull,
+    WaitCancelled,
     recv_message,
     send_message,
 )
@@ -36,8 +40,13 @@ def folder(name="f", app="app", index=(1, 2)):
     return FolderName(app, Key(Symbol(name), index))
 
 
-# One representative instance per protocol message type — all 13.
+# One representative instance per compact protocol message type
+# (BurstEnvelope/PipelineBatch are covered by the correlation tests).
 ALL_MESSAGES = [
+    GetWaitRequest(folder(), mode="copy", waiter=77, origin="p"),
+    CancelWaitRequest(waiter=77, origin="p"),
+    MemoReady(waiter=77, folder=folder(), payload=b"pp"),
+    WaitCancelled(waiter=77, reason="shutdown: gone"),
     PutRequest(folder(), b"payload", "proc1"),
     PutDelayedRequest(folder("a"), folder("b"), b"x", "p"),
     GetRequest(folder(), mode="copy", origin="p"),

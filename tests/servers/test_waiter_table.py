@@ -1,0 +1,295 @@
+"""The session waiter table: O(1)-thread parking, cancellation, fail-over.
+
+The acceptance bar for the futures redesign: a large fan-in of blocked
+``get_async`` waiters is held as table entries, not threads — killing the
+pre-redesign ceiling where every blocked get pinned a per-connection
+worker (ROADMAP: "an event-driven waiter table would decouple waiting
+from threads").
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import Cluster, as_completed, system_default_adf
+from repro.core.keys import FolderName, Key, Symbol
+from repro.network.protocol import (
+    GetWaitRequest,
+    MemoReady,
+    Reply,
+    recv_tagged,
+    send_message,
+)
+
+FANIN = 1000
+
+#: Server-side thread allowance for the whole fan-in: the puts that
+#: complete the waiters ride a handful of lane/cache workers, and the
+#: heartbeat/accept machinery wobbles by a couple — nothing may scale
+#: with the number of parked waiters.
+THREAD_SLACK = 8
+
+
+def key(i=0):
+    return Key(Symbol("wt"), (i,))
+
+
+def wait_until(predicate, timeout=5.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestThousandWaiterFanIn:
+    def test_parked_waiters_hold_no_threads(self, one_host_cluster):
+        """1000 blocked get_asyncs on one server: O(1) additional threads."""
+        memo = one_host_cluster.memo_api("solo", "test", "fanin")
+        baseline = threading.active_count()
+
+        futures = [memo.get_async(key(i)) for i in range(FANIN)]
+        # Registration is pipelined: the server's reader is still draining
+        # GetWait frames when get_async returns, so poll the gauge up.
+        server = one_host_cluster.servers["solo"]
+        wait_until(
+            lambda: server.stats.snapshot()["waiters_active"] == FANIN,
+            timeout=15,
+            message="all waiters parked",
+        )
+        parked = threading.active_count()
+        assert parked - baseline <= THREAD_SLACK, (
+            f"{FANIN} parked waiters grew the thread count by "
+            f"{parked - baseline} (baseline {baseline})"
+        )
+        assert server.stats.snapshot()["waiters_parked"] == FANIN
+
+        feeder = one_host_cluster.memo_api("solo", "test", "feeder")
+        feeder.put_many((key(i), i) for i in range(FANIN))
+        feeder.flush()
+
+        got = sorted(f.result() for f in as_completed(futures, timeout=30))
+        assert got == list(range(FANIN))
+        stats = one_host_cluster.servers["solo"].stats.snapshot()
+        assert stats["waiters_active"] == 0
+        assert stats["waiters_completed"] == FANIN
+        assert stats["push_frames"] >= FANIN
+        # And the completion burst still did not scale threads.
+        assert threading.active_count() - baseline <= THREAD_SLACK
+
+    def test_gauges_surface_in_cluster_debugging(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "test", "g")
+        f = memo.get_async(key(5000))
+        wait_until(
+            lambda: one_host_cluster.waiter_gauges()["solo"]["active"] == 1,
+            message="waiter parked",
+        )
+        gauges = one_host_cluster.waiter_gauges()["solo"]
+        assert gauges["active"] == 1 and gauges["parked"] == 1
+        report = one_host_cluster.debug_report()
+        assert "waiters active=1" in report
+        f.cancel()
+        assert one_host_cluster.waiter_gauges()["solo"]["cancelled"] == 1
+
+
+class TestCancellationPaths:
+    def test_client_disconnect_cancels_parked_waiters(self, one_host_cluster):
+        server = one_host_cluster.servers["solo"]
+        memo = one_host_cluster.memo_api("solo", "test", "dc")
+        for i in range(10):
+            memo.get_async(key(100 + i))
+        wait_until(
+            lambda: server.stats.snapshot()["waiters_active"] == 10,
+            message="waiters parked",
+        )
+        memo.client._conn.close()  # simulate the process dying
+        wait_until(
+            lambda: server.stats.snapshot()["waiters_active"] == 0,
+            message="disconnect cancellation",
+        )
+        assert server.stats.snapshot()["waiters_cancelled"] == 10
+        # The waited-on folders vanished with their waiters: nothing leaks.
+        live = sum(
+            fs.folder_count() for fs in server.local_folder_servers().values()
+        )
+        assert live == 0
+
+    def test_cancelled_waiter_never_eats_a_memo(self, one_host_cluster):
+        memo = one_host_cluster.memo_api("solo", "test", "c")
+        f = memo.get_async(key(200))
+        assert f.cancel()
+        feeder = one_host_cluster.memo_api("solo", "test", "cf")
+        feeder.put(key(200), "intact", wait=True)
+        assert memo.get_skip(key(200)) == "intact"
+
+
+class TestWireLevel:
+    def _connect(self, cluster):
+        server = cluster.servers["solo"]
+        return cluster._transports["solo"].connect(server.address)
+
+    def test_duplicate_waiter_token_rejected(self, one_host_cluster):
+        conn = self._connect(one_host_cluster)
+        try:
+            folder = FolderName("test", key(300))
+            send_message(
+                conn, GetWaitRequest(folder=folder, waiter=7), corr_id=1
+            )
+            msg, cid = recv_tagged(conn, 5.0)
+            assert cid == 1 and isinstance(msg, Reply)
+            assert msg.ok and not msg.found  # parked
+            send_message(
+                conn, GetWaitRequest(folder=folder, waiter=7), corr_id=2
+            )
+            msg, cid = recv_tagged(conn, 5.0)
+            assert cid == 2 and not msg.ok and "already parked" in msg.error
+        finally:
+            conn.close()
+
+    def test_idless_get_wait_rejected_no_push_to_legacy_peers(
+        self, one_host_cluster
+    ):
+        """Strict (seed-era) sessions must never grow a waiter table."""
+        conn = self._connect(one_host_cluster)
+        try:
+            folder = FolderName("test", key(301))
+            send_message(conn, GetWaitRequest(folder=folder, waiter=9))
+            msg, cid = recv_tagged(conn, 5.0)
+            assert cid is None and not msg.ok
+            assert "correlated" in msg.error
+            stats = one_host_cluster.servers["solo"].stats.snapshot()
+            assert stats["waiters_parked"] == 0
+        finally:
+            conn.close()
+
+    def test_push_frame_is_idless_and_token_routed(self, one_host_cluster):
+        conn = self._connect(one_host_cluster)
+        try:
+            folder = FolderName("test", key(302))
+            send_message(
+                conn, GetWaitRequest(folder=folder, waiter=42), corr_id=1
+            )
+            msg, _cid = recv_tagged(conn, 5.0)
+            assert msg.ok and not msg.found
+            feeder = one_host_cluster.memo_api("solo", "test", "pf")
+            feeder.put(key(302), "pushed", wait=True)
+            msg, cid = recv_tagged(conn, 5.0)
+            assert cid is None  # unsolicited: no correlation id
+            assert isinstance(msg, MemoReady)
+            assert msg.waiter == 42
+        finally:
+            conn.close()
+
+
+class TestAsyncWaiterSemantics:
+    def test_copy_waiters_never_starved_by_consumers(self):
+        """Copies complete first on any arrival, regardless of parking order."""
+        from repro.core.memo import MemoRecord
+        from repro.servers.folder_server import FolderServer
+
+        fs = FolderServer("0")
+        name = FolderName("t", key(600))
+        got = []
+        fs.get_async(name, "get", lambda r, e: got.append(("get", r and r.payload, e)))
+        fs.get_async(name, "copy", lambda r, e: got.append(("copy", r and r.payload, e)))
+        fs.put(name, MemoRecord(payload=b"v", origin=""))
+        assert ("copy", b"v", None) in got
+        assert ("get", b"v", None) in got
+        assert fs.get_skip(name) is None  # the get waiter consumed it
+
+    def test_delivered_push_is_salvaged_off_a_discarded_connection(
+        self, one_host_cluster
+    ):
+        """A MemoReady already sitting in the receive queue completes its
+        future even when the connection is torn down unread — the server
+        consumed that memo, so dropping the frame would lose it."""
+        server = one_host_cluster.servers["solo"]
+        memo = one_host_cluster.memo_api("solo", "test", "s")
+        future = memo.get_async(key(601))
+        wait_until(
+            lambda: server.stats.snapshot()["waiters_active"] == 1,
+            message="wait parked",
+        )
+        feeder = one_host_cluster.memo_api("solo", "test", "sf")
+        feeder.put(key(601), "salvaged", wait=True)
+        wait_until(
+            lambda: server.stats.snapshot()["waiters_completed"] == 1,
+            message="push sent",
+        )
+        # Nobody pumped: the push is queued client-side.  Discard the
+        # connection as a timeout would.
+        client = memo.client
+        with client._lock:
+            client._discard_connection_locked()
+        assert future.done() and future.result() == "salvaged"
+
+
+class TestMigrationAndFailover:
+    def test_parked_wait_resubscribes_through_rebalance(self):
+        """Migration cancels the parked wait; the client transparently
+        re-subscribes at the folder's new home and still completes."""
+        adf = system_default_adf(["alpha", "beta"], app="mig")
+        with Cluster(adf, idle_timeout=0.5) as cluster:
+            cluster.register()
+            reg = cluster.servers["alpha"].registration("mig")
+            # A key owned by alpha under the current placement.
+            i = 0
+            while True:
+                k = Key(Symbol("mk"), (i,))
+                if reg.placement.place_host(FolderName("mig", k))[1] == "alpha":
+                    break
+                i += 1
+            memo = cluster.memo_api("alpha", "mig", "w")
+            future = memo.get_async(k)
+            time.sleep(0.1)
+            assert not future.done()
+
+            # Rebalance so alpha owns nothing: the folder (with its
+            # parked waiter) moves to beta.
+            from repro.adf.model import HostDecl
+
+            lopsided = system_default_adf(["alpha", "beta"], app="mig")
+            lopsided.hosts = [
+                HostDecl(h.name, h.num_procs, h.arch, 10_000.0 if h.name == "alpha" else h.cost)
+                for h in lopsided.hosts
+            ]
+            cluster.rebalance(lopsided)
+            feeder = cluster.memo_api("beta", "mig", "f")
+            feeder.put(k, "after-move", wait=True)
+            assert future.wait(timeout=10) == "after-move"
+
+    def test_parked_wait_survives_kill_and_restart(self):
+        adf = system_default_adf(["solo"], app="kr")
+        with Cluster(adf, idle_timeout=0.5) as cluster:
+            cluster.register()
+            memo = cluster.memo_api("solo", "kr", "w")
+            future = memo.get_async(key(400))
+            time.sleep(0.05)
+
+            cluster.kill_host("solo")
+            cluster.restart_host("solo")
+
+            feeder = cluster.memo_api("solo", "kr", "f")
+            feeder.put(key(400), "rescued", wait=True)
+            assert future.wait(timeout=10) == "rescued"
+
+    def test_remote_folder_wait_completes(self, two_host_cluster):
+        """A wait on a remotely-owned folder still resolves as a push."""
+        reg = two_host_cluster.servers["alpha"].registration("test")
+        i = 0
+        while True:
+            k = Key(Symbol("rk"), (i,))
+            if reg.placement.place_host(FolderName("test", k))[1] == "beta":
+                break
+            i += 1
+        memo = two_host_cluster.memo_api("alpha", "test", "w")
+        future = memo.get_async(k)
+        time.sleep(0.05)
+        assert not future.done()
+        stats = two_host_cluster.servers["alpha"].stats.snapshot()
+        assert stats["waiters_active"] == 1  # parked on alpha, chased to beta
+        feeder = two_host_cluster.memo_api("beta", "test", "f")
+        feeder.put(k, "remote", wait=True)
+        assert future.wait(timeout=10) == "remote"
