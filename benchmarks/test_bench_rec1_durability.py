@@ -1,0 +1,148 @@
+"""REC1 — durability tax and recovery speed.
+
+The durable folder stores journal every accepted write before the ack
+(WAL append + fsync policy) and recover by replaying snapshot + log tail.
+This bench quantifies both sides:
+
+* **acked puts/sec** — serial ``put(wait=True)`` against one host, three
+  ways: pure in-memory (the seed's store), ``fsync=batch`` (the default
+  durable mode: buffered appends, fsync every 64 records / 50 ms), and
+  ``fsync=always`` (one fsync per ack, the paranoid bound);
+* **replay records/sec** — cold-start recovery of the journal the batch
+  run just wrote, straight through :class:`DurableStore`.
+
+Acceptance: ``fsync=batch`` acked ingest within 2x of in-memory (i.e.
+>= 0.5x its throughput).  ``fsync=always`` is reported, not gated — it
+buys per-record durability with a real fsync in the ack path and is
+expected to be much slower on spinning metal.  Results land in
+``BENCH_HOTPATH.json``.  Set ``DMEMO_BENCH_SMOKE=1`` (CI) for a quick
+bitrot check with no regression gating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Cluster, system_default_adf
+from repro.core.keys import Key, Symbol
+from repro.durability.config import DurabilityConfig
+from repro.durability.manager import DurabilityManager
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="rec1-durability")
+
+SMOKE = os.environ.get("DMEMO_BENCH_SMOKE") == "1"
+PUTS = 300 if SMOKE else 2000
+TRIALS = 1 if SMOKE else 3
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_HOTPATH.json"
+
+
+def _record(key: str, value: object) -> None:
+    if SMOKE:
+        return
+    results: dict = {}
+    if _RESULTS_PATH.exists():
+        try:
+            results = json.loads(_RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results[key] = value
+    _RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _acked_puts_per_sec(durability: DurabilityConfig | None) -> float:
+    """Best-of-trials serial acked-put throughput on a one-host cluster."""
+    best = 0.0
+    key = Key(Symbol("rec1"))
+    for _ in range(TRIALS):
+        adf = system_default_adf(["solo"], app="rec1")
+        with Cluster(adf, durability=durability, idle_timeout=5.0) as cluster:
+            cluster.register()
+            with cluster.memo_api("solo", "rec1") as memo:
+                for i in range(50):  # warm the path
+                    memo.put(key, i, wait=True)
+                start = time.perf_counter()
+                for i in range(PUTS):
+                    memo.put(key, i, wait=True)
+                elapsed = time.perf_counter() - start
+        best = max(best, PUTS / elapsed)
+    return best
+
+
+class _ReplaySink:
+    """Receives recovered state; the bench only needs the record count."""
+
+    def load_recovered(self, folders, lsn):
+        self.folders = folders
+        self.lsn = lsn
+
+    def snapshot_state(self):
+        return 0, []
+
+
+def _replay_records_per_sec(data_dir: str) -> tuple[float, int]:
+    """Recover every store under *data_dir* once; (records/sec, records)."""
+    cfg = DurabilityConfig(data_dir=data_dir, fsync="none", snapshot_every=0)
+    manager = DurabilityManager("solo", cfg)
+    total = 0
+    start = time.perf_counter()
+    for store_id in manager.on_disk_store_ids():
+        store = manager.store_for(store_id)
+        total += store.recover_into(_ReplaySink()).replayed
+    elapsed = time.perf_counter() - start
+    manager.close()
+    return (total / elapsed if elapsed > 0 else 0.0), total
+
+
+def test_rec1_durability_tax_and_replay():
+    tmp = tempfile.mkdtemp(prefix="dmemo-rec1-")
+    try:
+        inmem = _acked_puts_per_sec(None)
+        batch_cfg = DurabilityConfig(
+            data_dir=tmp, fsync="batch", snapshot_every=0
+        )
+        batch = _acked_puts_per_sec(batch_cfg)
+        always = _acked_puts_per_sec(
+            DurabilityConfig(
+                data_dir=os.path.join(tmp, "always"),
+                fsync="always",
+                snapshot_every=0,
+            )
+        )
+        replay_rate, replayed = _replay_records_per_sec(tmp)
+
+        rows = [
+            ("in-memory", f"{inmem:.0f} acked puts/s"),
+            ("fsync=batch", f"{batch:.0f} acked puts/s", f"{batch / inmem:.2f}x"),
+            ("fsync=always", f"{always:.0f} acked puts/s", f"{always / inmem:.2f}x"),
+            ("replay", f"{replay_rate:.0f} records/s", f"{replayed} records"),
+        ]
+        report("REC1: durability tax (1 host, serial acked puts)", rows)
+
+        _record(
+            "rec1_durability",
+            {
+                "inmem_acked_puts_per_sec": round(inmem, 1),
+                "batch_acked_puts_per_sec": round(batch, 1),
+                "always_acked_puts_per_sec": round(always, 1),
+                "replay_records_per_sec": round(replay_rate, 1),
+                "puts": PUTS,
+            },
+        )
+        if not SMOKE:
+            assert batch >= 0.5 * inmem, (
+                f"fsync=batch acked ingest {batch:.0f}/s fell below half of "
+                f"in-memory {inmem:.0f}/s"
+            )
+        assert replayed >= PUTS  # the journal really was replayed
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

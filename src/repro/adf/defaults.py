@@ -65,4 +65,5 @@ def merge_with_default(partial: ADF, default: ADF) -> ADF:
         if partial.replication_factor != 1
         else default.replication_factor
     )
+    merged.durability = partial.durability or default.durability
     return merged

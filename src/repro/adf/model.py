@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.durability.config import DurabilityConfig
 from repro.errors import ADFError, TopologyError
 from repro.network.routing import RoutingTable
 
@@ -83,6 +84,10 @@ class ADF:
     *distinct hosts* that hold each folder; 1 — the default — is the
     paper's single-owner placement, and higher values enable the replica
     chain / fail-over machinery.
+
+    ``durability`` (the DURABILITY section) turns on per-host write-ahead
+    logging + snapshots under ``data_dir``; ``None`` — the default — is
+    the paper's purely in-memory store.
     """
 
     app: str
@@ -91,6 +96,7 @@ class ADF:
     processes: list[ProcessDecl] = field(default_factory=list)
     links: list[LinkDecl] = field(default_factory=list)
     replication_factor: int = 1
+    durability: DurabilityConfig | None = None
 
     # -- derived views ---------------------------------------------------------
 
@@ -141,6 +147,13 @@ class ADF:
             raise ADFError(
                 f"replication factor must be an integer >= 1, "
                 f"got {self.replication_factor!r}"
+            )
+        if self.durability is not None and not isinstance(
+            self.durability, DurabilityConfig
+        ):
+            raise ADFError(
+                f"durability must be a DurabilityConfig or None, "
+                f"got {type(self.durability).__qualname__}"
             )
         if not self.hosts:
             raise ADFError("ADF declares no hosts")

@@ -34,7 +34,11 @@ Details implemented:
   optional trailing cost (default 1);
 * a ``REPLICATION`` section (an extension beyond the paper) holding a
   single ``factor N`` line sets the folder replica-chain length; omitted
-  or ``factor 1`` is the paper's single-owner placement.
+  or ``factor 1`` is the paper's single-owner placement;
+* a ``DURABILITY`` section (another extension) of ``key value`` lines
+  turns on write-ahead logging + snapshots: ``data_dir`` (required;
+  whitespace-free path), and optional ``fsync`` (always/batch/none),
+  ``snapshot_every``, ``batch_records``, ``batch_seconds``.
 """
 
 from __future__ import annotations
@@ -42,11 +46,19 @@ from __future__ import annotations
 import re
 
 from repro.adf.model import ADF, FolderDecl, HostDecl, LinkDecl, ProcessDecl
-from repro.errors import ADFSyntaxError
+from repro.durability.config import DurabilityConfig
+from repro.errors import ADFSyntaxError, MemoError
 
 __all__ = ["parse_adf", "parse_adf_file", "evaluate_cost_expression"]
 
-_SECTIONS = ("APP", "HOSTS", "FOLDERS", "PROCESSES", "PPC", "REPLICATION")
+_SECTIONS = ("APP", "HOSTS", "FOLDERS", "PROCESSES", "PPC", "REPLICATION", "DURABILITY")
+_DURABILITY_KEYS = {
+    "data_dir": str,
+    "fsync": str,
+    "snapshot_every": int,
+    "batch_records": int,
+    "batch_seconds": float,
+}
 _RANGE_RE = re.compile(r"^(\d+)-(\d+)$")
 
 # -- cost expression evaluation ------------------------------------------------
@@ -185,6 +197,8 @@ def parse_adf(text: str) -> ADF:
     adf = ADF(app="")
     arch_env: dict[str, float] = {}
     section: str | None = None
+    durability_kv: dict[str, object] = {}
+    durability_line = 0
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = _strip_comment(raw).strip()
@@ -266,6 +280,35 @@ def parse_adf(text: str) -> ADF:
             adf.replication_factor = factor
             continue
 
+        if section == "DURABILITY":
+            if len(fields) != 2:
+                raise ADFSyntaxError("DURABILITY line needs: key value", line_no)
+            key, value = fields
+            caster = _DURABILITY_KEYS.get(key)
+            if caster is None:
+                raise ADFSyntaxError(
+                    f"unknown DURABILITY key {key!r} "
+                    f"(one of {sorted(_DURABILITY_KEYS)})",
+                    line_no,
+                )
+            try:
+                durability_kv[key] = caster(value)
+            except ValueError:
+                raise ADFSyntaxError(
+                    f"bad DURABILITY value {value!r} for {key}", line_no
+                ) from None
+            durability_line = line_no
+            continue
+
+    if durability_kv:
+        if "data_dir" not in durability_kv:
+            raise ADFSyntaxError(
+                "DURABILITY section is missing data_dir", durability_line
+            )
+        try:
+            adf.durability = DurabilityConfig(**durability_kv)  # type: ignore[arg-type]
+        except MemoError as exc:
+            raise ADFSyntaxError(str(exc), durability_line) from None
     return adf
 
 

@@ -59,6 +59,17 @@ def write_adf(adf: ADF) -> str:
         lines.append(f"factor {adf.replication_factor}")
         lines.append("")
 
+    if adf.durability is not None:
+        d = adf.durability
+        lines.append("DURABILITY")
+        lines.append("# Write-ahead log + snapshot persistence")
+        lines.append(f"data_dir {d.data_dir}")
+        lines.append(f"fsync {d.fsync}")
+        lines.append(f"snapshot_every {d.snapshot_every}")
+        lines.append(f"batch_records {d.batch_records}")
+        lines.append(f"batch_seconds {d.batch_seconds!r}")
+        lines.append("")
+
     if adf.links:
         lines.append("PPC")
         lines.append("# Point-to-Point Connection with cost")

@@ -36,11 +36,22 @@ class MemoRecord:
         payload: transferable wire bytes of the value.
         origin: name of the process that deposited the memo (diagnostics).
         memo_id: unique id used by the delayed-release bookkeeping.
+            Process-local — NOT stable across restarts; durable identity
+            uses ``(src_sid, src_lsn)`` / the payload digest instead.
+        src_sid: folder-server id of the store that first accepted the
+            memo (stamped in :meth:`FolderServer.put`).
+        src_lsn: that store's log sequence number for the accepting
+            write.  ``(src_sid, src_lsn)`` names the origin write
+            uniquely cluster-wide; replicas carry it unchanged, which is
+            what lets anti-entropy ship only the delta past a recovered
+            LSN and deduplicate re-seeds.
     """
 
     payload: bytes
     origin: str = ""
     memo_id: int = field(default_factory=_next_memo_id)
+    src_sid: str = ""
+    src_lsn: int = 0
 
     @classmethod
     def from_value(

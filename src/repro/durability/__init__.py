@@ -1,0 +1,32 @@
+"""Durable folder stores: write-ahead log + snapshot recovery.
+
+The paper's folder servers are the system of record for every memo a
+program acks, yet they live entirely in memory.  This package adds the
+persistence layer underneath them:
+
+- :mod:`repro.durability.records` — the WAL record vocabulary (puts,
+  consume tombstones, delayed deposits, clears, folder drops), framed
+  with the same compact ``DC`` codec the wire protocol uses.
+- :mod:`repro.durability.store` — :class:`DurableStore`, one per folder
+  server: an append-only segmented log with CRC-guarded LEB128 frames,
+  periodic compacted snapshots written with atomic rename, and recovery
+  that replays ``snapshot + WAL tail`` with torn-tail truncation.
+- :mod:`repro.durability.manager` — :class:`DurabilityManager`, one per
+  memo server: owns the host's data directory and hands out stores.
+- :mod:`repro.durability.config` — :class:`DurabilityConfig`, the knobs
+  (data dir, fsync mode, snapshot cadence) that also ride in the ADF
+  ``DURABILITY`` section.
+"""
+
+from repro.durability.config import DurabilityConfig
+from repro.durability.manager import DurabilityManager
+from repro.durability.records import payload_digest
+from repro.durability.store import DurableStore, RecoveredState
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityManager",
+    "DurableStore",
+    "RecoveredState",
+    "payload_digest",
+]

@@ -1,0 +1,49 @@
+"""Durability knobs, shared between the ADF ``DURABILITY`` section and code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoError
+
+__all__ = ["DurabilityConfig", "FSYNC_MODES"]
+
+FSYNC_MODES = ("always", "batch", "none")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How a memo server persists its folder stores.
+
+    Args:
+        data_dir: root directory for the cluster's durable state; each
+            host gets a subdirectory, each folder store a directory of
+            WAL segments and snapshots under that.
+        fsync: when the log reaches the platter.  ``always`` fsyncs on
+            every commit (survives power loss), ``batch`` flushes every
+            commit and fsyncs every ``batch_records``/``batch_seconds``
+            (survives process crash; bounded power-loss window), ``none``
+            fsyncs only at snapshots and orderly shutdown.
+        snapshot_every: WAL records between automatic compacted
+            snapshots; ``0`` disables automatic snapshots.
+        batch_records: group-fsync threshold for ``fsync=batch``.
+        batch_seconds: maximum age of unsynced records for ``fsync=batch``.
+    """
+
+    data_dir: str
+    fsync: str = "batch"
+    snapshot_every: int = 1024
+    batch_records: int = 64
+    batch_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.data_dir:
+            raise MemoError("durability requires a non-empty data_dir")
+        if self.fsync not in FSYNC_MODES:
+            raise MemoError(
+                f"unknown fsync mode {self.fsync!r}; expected one of {FSYNC_MODES}"
+            )
+        if self.snapshot_every < 0:
+            raise MemoError("snapshot_every must be >= 0")
+        if self.batch_records < 1:
+            raise MemoError("batch_records must be >= 1")

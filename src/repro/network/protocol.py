@@ -45,6 +45,7 @@ __all__ = [
     "ReplicatePut",
     "Heartbeat",
     "SyncPull",
+    "DeltaSyncPull",
     "StatsRequest",
     "ShutdownRequest",
     "ForwardEnvelope",
@@ -267,6 +268,11 @@ class ReplicatePut:
         origin: depositing process (diagnostics).
         delayed: True for a parked ``put_delayed`` memo.
         release_to: the delayed memo's release target (when *delayed*).
+        src_sid: folder-server id that first accepted the write.
+        src_lsn: that store's LSN for the write.  Together these are the
+            write's cluster-wide origin coordinates; backups store them
+            unchanged, so delta anti-entropy can name precisely which
+            writes a recovered store already holds.
     """
 
     app: str
@@ -275,6 +281,8 @@ class ReplicatePut:
     origin: str = ""
     delayed: bool = False
     release_to: FolderName | None = None
+    src_sid: str = ""
+    src_lsn: int = 0
 
     def __post_init__(self) -> None:
         if self.delayed and self.release_to is None:
@@ -307,6 +315,37 @@ class SyncPull:
 
     app: str
     requester: str
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class DeltaSyncPull:
+    """Anti-entropy pull that ships only the delta past recovered state.
+
+    A durably-restarted host already replayed its local WAL, so the
+    full :class:`SyncPull` round would re-deposit (and thus duplicate)
+    nearly everything it primaries.  Instead it advertises what it
+    already holds, in origin coordinates:
+
+    - ``primary_lsns``: its own folder-server id → recovered LSN.  The
+      receiver returns only replica-held, requester-primaried records
+      NOT covered (stamped by an advertised store at ``src_lsn`` ≤ its
+      mark) — i.e. fail-over writes accepted elsewhere, plus anything
+      past a torn-tail truncation.
+    - ``replica_marks``: origin store id → max ``src_lsn`` present in
+      the requester's replica stores.  The receiver re-seeds only its
+      primary records past those marks (empty marks request a full,
+      receiver-side-deduplicated re-seed — used by deep sweeps).
+
+    Timer-driven anti-entropy sweeps send the same message from healthy
+    hosts; receiver-side dedup by origin coordinates keeps repeated
+    sweeps idempotent.
+    """
+
+    app: str
+    requester: str
+    primary_lsns: dict = field(default_factory=dict)
+    replica_marks: dict = field(default_factory=dict)
     origin: str = ""
 
 
@@ -429,6 +468,7 @@ _MESSAGE_TYPES = (
     ReplicatePut,
     Heartbeat,
     SyncPull,
+    DeltaSyncPull,
     StatsRequest,
     ShutdownRequest,
     ForwardEnvelope,
@@ -479,10 +519,23 @@ register_compact(
         ("origin", "str"),
         ("delayed", "bool"),
         ("release_to", "opt_folder"),
+        ("src_sid", "str"),
+        ("src_lsn", "uint"),
     ),
 )
 register_compact(Heartbeat, 8, (("host", "str"), ("origin", "str")))
 register_compact(SyncPull, 9, (("app", "str"), ("requester", "str"), ("origin", "str")))
+register_compact(
+    DeltaSyncPull,
+    20,
+    (
+        ("app", "str"),
+        ("requester", "str"),
+        ("primary_lsns", "tlv"),
+        ("replica_marks", "tlv"),
+        ("origin", "str"),
+    ),
+)
 register_compact(StatsRequest, 10, (("origin", "str"),))
 register_compact(ShutdownRequest, 11, (("origin", "str"),))
 register_compact(

@@ -55,6 +55,7 @@ class NetworkFabric:
         self._lock = threading.Lock()
         self._listeners: dict[Address, "InMemoryListener"] = {}
         self._latency: dict[tuple[str, str], float] = {}
+        self._partitioned: set[tuple[str, str]] = set()
         self._counters: dict[tuple[str, str], _LinkCounter] = {}
         #: Count of broadcast operations; D-Memo never broadcasts, and the
         #: integration tests assert this stays zero.
@@ -79,6 +80,40 @@ class NetworkFabric:
         if host_a == host_b:
             return 0.0
         return self._latency.get((host_a, host_b), 0.0)
+
+    # -- fault injection -------------------------------------------------------
+
+    def partition(self, host_a: str, host_b: str) -> None:
+        """Cut the link between two hosts, both directions.
+
+        New connects fail immediately and in-flight connections refuse
+        further sends (:class:`ConnectionClosedError` either way), which
+        is what a switch failure looks like to TCP-like endpoints.
+        Already-queued envelopes still deliver — packets on the wire
+        outrun the failure.
+        """
+        with self._lock:
+            self._partitioned.add((host_a, host_b))
+            self._partitioned.add((host_b, host_a))
+
+    def heal(self, host_a: str, host_b: str) -> None:
+        """Restore the link between two hosts."""
+        with self._lock:
+            self._partitioned.discard((host_a, host_b))
+            self._partitioned.discard((host_b, host_a))
+
+    def heal_all(self) -> None:
+        """Restore every partitioned link."""
+        with self._lock:
+            self._partitioned.clear()
+
+    def is_partitioned(self, host_a: str, host_b: str) -> bool:
+        """True when traffic between the hosts is currently cut.
+
+        Lock-free set membership (atomic under the GIL) — this sits on
+        the per-message send path of every connection.
+        """
+        return (host_a, host_b) in self._partitioned
 
     # -- traffic metrics ------------------------------------------------------
 
@@ -172,6 +207,10 @@ class InMemoryConnection(Connection):
     def send(self, payload: bytes) -> None:
         if self._closed.is_set():
             raise ConnectionClosedError("send on closed connection")
+        if self._fabric.is_partitioned(self.local_host, self.remote_host):
+            raise ConnectionClosedError(
+                f"link {self.local_host} – {self.remote_host} is partitioned"
+            )
         latency = self._fabric.latency(self.local_host, self.remote_host)
         self._fabric.record_traffic(self.local_host, self.remote_host, len(payload))
         self._outbox.put(_Envelope(payload, time.monotonic() + latency))
@@ -274,6 +313,10 @@ class InMemoryTransport(Transport):
         return InMemoryListener(self.fabric, address)
 
     def connect(self, address: Address, timeout: float | None = None) -> Connection:
+        if self.fabric.is_partitioned(self.local_host, address.host):
+            raise ConnectionClosedError(
+                f"link {self.local_host} – {address.host} is partitioned"
+            )
         listener = self.fabric.lookup(address)
         a_to_b: "queue.Queue[_Envelope]" = queue.Queue()
         b_to_a: "queue.Queue[_Envelope]" = queue.Queue()

@@ -27,7 +27,13 @@ from __future__ import annotations
 
 from repro.errors import ReplicationError
 from repro.network.connection import Address, Transport
-from repro.network.protocol import Reply, SyncPull, recv_message, send_message
+from repro.network.protocol import (
+    DeltaSyncPull,
+    Reply,
+    SyncPull,
+    recv_message,
+    send_message,
+)
 
 __all__ = ["Resyncer"]
 
@@ -52,9 +58,23 @@ class Resyncer:
         self.address_book = address_book
 
     def resync(
-        self, apps: list[str], timeout: float = 10.0
+        self,
+        apps: list[str],
+        timeout: float = 10.0,
+        delta_state: tuple[dict[str, int], dict[str, int]] | None = None,
+        deep: bool = False,
     ) -> dict[str, dict[str, int]]:
-        """Run one SyncPull round against every peer for every app.
+        """Run one pull round against every peer for every app.
+
+        Without *delta_state* this is the classic full
+        :class:`SyncPull`.  With it — ``(primary_lsns, replica_marks)``
+        as produced by ``MemoServer.delta_sync_state()`` — peers receive
+        a :class:`DeltaSyncPull` and ship only what the advertised state
+        is missing: a WAL-recovered host gets the outage delta instead
+        of a duplicate-inducing full round.  *deep* clears the replica
+        marks, asking for a full re-seed that relies on receiver-side
+        origin-coordinate dedup — heals arbitrary replica gaps at full
+        scan cost (periodic sweeps use it sparingly).
 
         Returns per-peer aggregated counters (``returned`` memos routed
         back to this host, ``reseeded`` replica copies pushed to it).
@@ -70,7 +90,7 @@ class Resyncer:
                 continue
             totals = {"returned": 0, "reseeded": 0}
             for app in apps:
-                reply = self._pull(peer, address, app, timeout)
+                reply = self._pull(peer, address, app, timeout, delta_state, deep)
                 if reply is None:
                     continue
                 if not reply.ok:
@@ -83,14 +103,30 @@ class Resyncer:
         return stats
 
     def _pull(
-        self, peer: str, address: Address, app: str, timeout: float
+        self,
+        peer: str,
+        address: Address,
+        app: str,
+        timeout: float,
+        delta_state: tuple[dict[str, int], dict[str, int]] | None = None,
+        deep: bool = False,
     ) -> Reply | None:
+        if delta_state is None:
+            msg: object = SyncPull(app=app, requester=self.host)
+        else:
+            primary_lsns, replica_marks = delta_state
+            msg = DeltaSyncPull(
+                app=app,
+                requester=self.host,
+                primary_lsns=dict(primary_lsns),
+                replica_marks={} if deep else dict(replica_marks),
+            )
         try:
             conn = self.transport.connect(address)
         except Exception:
             return None  # peer is down; nothing to pull from it
         try:
-            send_message(conn, SyncPull(app=app, requester=self.host))
+            send_message(conn, msg)
             reply = recv_message(conn, timeout=timeout)
         except Exception:
             return None

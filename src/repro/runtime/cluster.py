@@ -17,6 +17,7 @@ import threading
 
 from repro.adf.model import ADF
 from repro.core.api import Memo
+from repro.durability.config import DurabilityConfig
 from repro.errors import RuntimeLaunchError
 from repro.network.connection import Address, Transport
 from repro.network.protocol import StatsRequest
@@ -48,6 +49,12 @@ class Cluster:
             (probing only runs while some app has ``replication_factor > 1``).
         failure_threshold: consecutive missed probes before a host is
             suspected dead.
+        durability: per-host WAL + snapshot persistence.  Defaults to the
+            ADF's ``DURABILITY`` section (when present); pass explicitly
+            to override.  With durability, :meth:`restart_host` recovers
+            the host's stores from its local log and anti-entropies only
+            the delta past the recovered LSNs, and a whole new Cluster
+            pointed at the same data dir cold-restarts from disk.
     """
 
     def __init__(
@@ -60,10 +67,12 @@ class Cluster:
         idle_timeout: float = 2.0,
         heartbeat_interval: float = 0.1,
         failure_threshold: int = 3,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         adf.validate()
         self.adf = adf
         self.transport_kind = transport_kind
+        self.durability = durability if durability is not None else adf.durability
         self.address_book: dict[str, Address] = {}
         self.servers: dict[str, MemoServer] = {}
         self.fabric: NetworkFabric | None = None
@@ -74,9 +83,12 @@ class Cluster:
             "policy": policy,
             "heartbeat_interval": heartbeat_interval,
             "failure_threshold": failure_threshold,
+            "durability": self.durability,
         }
         self._lock = threading.Lock()
         self._started = False
+        self._sweep_thread: threading.Thread | None = None
+        self._sweep_stop = threading.Event()
 
         if transport_kind == "memory":
             self.fabric = NetworkFabric()
@@ -123,6 +135,7 @@ class Cluster:
 
     def stop(self) -> None:
         """Stop every memo server; blocked getters are woken with errors."""
+        self.stop_anti_entropy()
         for server in self.servers.values():
             server.stop()
         self._started = False
@@ -188,7 +201,80 @@ class Cluster:
         replicated = [adf.app for adf in adfs if adf.replication_factor > 1]
         if not replicated:
             return {}
-        return Resyncer(host, transport, self.address_book).resync(replicated)
+        resyncer = Resyncer(host, transport, self.address_book)
+        if server.durability is not None:
+            # The host replayed its local WAL at re-registration; pull only
+            # the outage delta past the recovered LSNs instead of a full
+            # (duplicate-inducing) SyncPull round.
+            return resyncer.resync(replicated, delta_state=server.delta_sync_state())
+        return resyncer.resync(replicated)
+
+    def resync_all(self, deep: bool = False) -> dict[str, dict[str, dict[str, int]]]:
+        """One delta anti-entropy round from every host (host → peer → stats).
+
+        After a cold restart this surfaces fail-over-accepted writes back
+        to their primaries; run periodically via
+        :meth:`start_anti_entropy` it heals divergence without a restart.
+        """
+        out: dict[str, dict[str, dict[str, int]]] = {}
+        with self._lock:
+            replicated = [
+                adf.app
+                for adf in self._registered_adfs.values()
+                if adf.replication_factor > 1
+            ]
+        if not replicated:
+            return out
+        for host, server in sorted(self.servers.items()):
+            if server._stopped or not server._running.is_set():
+                continue
+            resyncer = Resyncer(host, self._transports[host], self.address_book)
+            out[host] = resyncer.resync(
+                replicated, delta_state=server.delta_sync_state(), deep=deep
+            )
+        return out
+
+    # -- periodic anti-entropy (opt-in) ---------------------------------------------
+
+    def start_anti_entropy(
+        self, interval: float, *, deep: bool = False
+    ) -> None:
+        """Run :meth:`resync_all` every *interval* seconds until stopped.
+
+        Opt-in: divergence otherwise heals only when a host rejoins.  The
+        sweep sends delta pulls (origin-coordinate filtered, receiver-side
+        deduplicated), so a healthy steady-state round moves no data.
+        ``deep=True`` additionally clears the replica marks each round,
+        re-seeding everything through the dedup — full scan cost, heals
+        even mid-stream replica gaps.  Stopped by :meth:`stop` or
+        :meth:`stop_anti_entropy`.
+        """
+        if self._sweep_thread is not None:
+            raise RuntimeLaunchError("anti-entropy sweep already running")
+        self._sweep_stop.clear()
+
+        def sweep() -> None:
+            while not self._sweep_stop.wait(interval):
+                try:
+                    self.resync_all(deep=deep)
+                except Exception:
+                    # A peer dying mid-sweep is normal chaos; the next
+                    # round (or its own rejoin resync) heals it.
+                    pass
+
+        self._sweep_thread = threading.Thread(
+            target=sweep, name="dmemo-anti-entropy", daemon=True
+        )
+        self._sweep_thread.start()
+
+    def stop_anti_entropy(self) -> None:
+        """Stop the periodic sweep, if one is running."""
+        thread = self._sweep_thread
+        if thread is None:
+            return
+        self._sweep_stop.set()
+        thread.join(timeout=5.0)
+        self._sweep_thread = None
 
     def _register_one(self, adf: ADF, host: str) -> None:
         """Re-run the section-4.4 registration against a single host."""
@@ -330,7 +416,7 @@ class Cluster:
         lines = []
         for host, server in sorted(self.servers.items()):
             s = server.stats.snapshot()
-            lines.append(
+            line = (
                 f"{host}: requests={s['requests']} "
                 f"local={s['local_dispatches']} fwd_out={s['forwards_out']} "
                 f"errors={s['errors']} | waiters active={s['waiters_active']} "
@@ -339,4 +425,12 @@ class Cluster:
                 f"cancelled={s['waiters_cancelled']} "
                 f"pushes={s['push_frames']}"
             )
+            d = server.durability_gauges()
+            if d:
+                line += (
+                    f" | wal stores={d['stores']} records={d['wal_records']} "
+                    f"bytes={d['wal_bytes']} replayed={d['wal_replayed']} "
+                    f"snaps={d['snapshots_written']} fsyncs={d['fsyncs']}"
+                )
+            lines.append(line)
         return "\n".join(lines)

@@ -123,6 +123,12 @@ class FolderServer:
             routes it as an ordinary put.  Wiring it as a callback keeps the
             folder server free of any routing knowledge.
         seed: RNG seed for the unordered-extraction order.
+        journal: optional :class:`~repro.durability.store.DurableStore`;
+            when present every mutation is appended under the server lock
+            (WAL order == mutation order) and made durable by a
+            ``commit()`` after the lock is released but *before* the
+            operation returns or completion callbacks run — durability
+            before visibility, i.e. log-before-ack.
     """
 
     def __init__(
@@ -131,10 +137,20 @@ class FolderServer:
         host: str = "localhost",
         emit_put: Callable[[FolderName, MemoRecord], None] | None = None,
         seed: int = 0x94,
+        journal=None,
+        track_origins: bool = True,
     ) -> None:
         self.server_id = server_id
         self.host = host
         self.emit_put = emit_put
+        self.journal = journal
+        #: Stamp first-accepted records with (server_id, lsn) origin
+        #: coordinates and maintain per-origin high-water marks.  Needed
+        #: by journaling and by replication/anti-entropy dedup; an
+        #: unreplicated in-memory store turns it off to keep the put hot
+        #: path at its pre-durability cost.  Flipped on (never off) when a
+        #: replicated application later registers over a shared store.
+        self.track_origins = track_origins or journal is not None
         self.stats = FolderServerStats()
         self._folders: dict[FolderName, Folder] = {}
         self._lock = threading.Lock()
@@ -144,6 +160,15 @@ class FolderServer:
         self._waiting = 0
         self._rng = random.Random(seed)
         self._shutdown = False
+        #: Log sequence number: advanced for every journaled mutation and
+        #: for every first-accepted put (whose (server_id, lsn) becomes the
+        #: record's cluster-wide origin coordinates — see MemoRecord).
+        self._lsn = 0
+        #: Monotonic per-origin-store high-water marks over every record
+        #: ever accepted (consumption does not lower them — a consumed
+        #: write must not be re-seeded by anti-entropy).  Doubles as the
+        #: O(1) fast path for :meth:`contains_src`.
+        self._src_marks: dict[str, int] = {}
 
     # -- folder bookkeeping (all under self._lock) ---------------------------
 
@@ -176,7 +201,7 @@ class FolderServer:
 
     def put(
         self, name: FolderName, record: MemoRecord, *, trigger_release: bool = True
-    ) -> None:
+    ) -> MemoRecord:
         """Deposit *record* into folder *name*; never blocks.
 
         Arrival also triggers release of every delayed memo parked on the
@@ -185,17 +210,39 @@ class FolderServer:
         copies with ``trigger_release=False``: the authoritative server
         already ran the trigger, and re-running it per copy would release
         each delayed memo once per replica.
+
+        A record arriving without origin coordinates (``src_lsn == 0``) is
+        being *first accepted* here and is stamped with this store's id
+        and next LSN; replica copies and recovered records keep the stamp
+        they arrived with.  Returns the (stamped) stored record so the
+        caller can propagate the coordinates to backups.
         """
         to_release: list[tuple[MemoRecord, FolderName]] = []
         completions: list[tuple[AsyncWaiter, MemoRecord]] = []
+        journal = self.journal
         with self._cond:
             self._ensure_up()
             folder = self._folder(name)
+            if self.track_origins:
+                self._lsn += 1
+                if record.src_lsn == 0:
+                    # In-place stamp: the record is freshly constructed and
+                    # single-owner at this point (frozen guards aliasing after
+                    # it is stored, not construction-time initialisation).
+                    object.__setattr__(record, "src_sid", self.server_id)
+                    object.__setattr__(record, "src_lsn", self._lsn)
+                if record.src_lsn > self._src_marks.get(record.src_sid, 0):
+                    self._src_marks[record.src_sid] = record.src_lsn
+                if journal is not None:
+                    journal.log_put(self._lsn, name, record)
             folder.memos.append(record)
             self.stats.puts += 1
             if folder.delayed and trigger_release:
                 to_release = folder.delayed
                 folder.delayed = []
+                if journal is not None:
+                    self._lsn += 1
+                    journal.log_delayed_clear(self._lsn, name)
             if folder.async_waiters:
                 completions = self._claim_async_locked(folder)
                 self._maybe_vanish(folder)
@@ -205,6 +252,8 @@ class FolderServer:
                 # case.  Waiters increment the count under this lock
                 # before waiting, so a sleeper can never be missed.
                 self._cond.notify_all()
+        if journal is not None:
+            journal.commit()
         # Release outside the lock: the target may be a local folder (plain
         # recursive put) or remote (emit_put -> memo server routing).
         for rec, target in to_release:
@@ -215,6 +264,7 @@ class FolderServer:
         # typically pushes a frame down a connection.
         for waiter, rec in completions:
             waiter.callback(rec, None)
+        return record
 
     def _claim_async_locked(
         self, folder: Folder
@@ -239,7 +289,11 @@ class FolderServer:
                 continue
             if folder.memos:
                 self.stats.gets += 1
-                done.append((waiter, self._pick(folder)))
+                record = self._pick(folder)
+                if self.journal is not None:
+                    self._lsn += 1
+                    self.journal.log_consume(self._lsn, folder.name, record)
+                done.append((waiter, record))
             else:
                 keep.append(waiter)
         folder.async_waiters = keep
@@ -253,13 +307,26 @@ class FolderServer:
 
     def put_delayed(
         self, name: FolderName, release_to: FolderName, record: MemoRecord
-    ) -> None:
+    ) -> MemoRecord:
         """Park *record* on *name*; it moves to *release_to* on next arrival."""
+        journal = self.journal
         with self._cond:
             self._ensure_up()
             folder = self._folder(name)
+            if self.track_origins:
+                self._lsn += 1
+                if record.src_lsn == 0:
+                    object.__setattr__(record, "src_sid", self.server_id)
+                    object.__setattr__(record, "src_lsn", self._lsn)
+                if record.src_lsn > self._src_marks.get(record.src_sid, 0):
+                    self._src_marks[record.src_sid] = record.src_lsn
+                if journal is not None:
+                    journal.log_delayed(self._lsn, name, release_to, record)
             folder.delayed.append((record, release_to))
             self.stats.delayed_parked += 1
+        if journal is not None:
+            journal.commit()
+        return record
 
     def get(self, name: FolderName, timeout: float | None = None) -> MemoRecord:
         """Consume a memo; blocks while the folder is empty."""
@@ -287,10 +354,15 @@ class FolderServer:
                     raise TimeoutError(f"get({name}) timed out")
                 record = self._pick(folder)
                 self.stats.gets += 1
-                return record
+                if self.journal is not None:
+                    self._lsn += 1
+                    self.journal.log_consume(self._lsn, name, record)
             finally:
                 folder.waiters -= 1
                 self._maybe_vanish(folder)
+        if self.journal is not None:
+            self.journal.commit()
+        return record
 
     def get_copy(self, name: FolderName, timeout: float | None = None) -> MemoRecord:
         """Return a memo without consuming it; blocks while empty."""
@@ -353,13 +425,19 @@ class FolderServer:
                 else:
                     self.stats.gets += 1
                     record = self._pick(folder)
+                    if self.journal is not None:
+                        self._lsn += 1
+                        self.journal.log_consume(self._lsn, name, record)
                 self._maybe_vanish(folder)
-                return record, None
-            self.stats.blocked_waits += 1
-            self.stats.async_parked += 1
-            waiter = AsyncWaiter(mode, callback)
-            folder.async_waiters.append(waiter)
-            return None, waiter
+            else:
+                self.stats.blocked_waits += 1
+                self.stats.async_parked += 1
+                waiter = AsyncWaiter(mode, callback)
+                folder.async_waiters.append(waiter)
+                return None, waiter
+        if mode == "get" and self.journal is not None:
+            self.journal.commit()
+        return record, None
 
     def cancel_waiter(self, name: FolderName, waiter: AsyncWaiter) -> bool:
         """Withdraw a parked waiter; True if removed before it completed.
@@ -394,8 +472,13 @@ class FolderServer:
                 return None
             record = self._pick(folder)
             self.stats.skips += 1
+            if self.journal is not None:
+                self._lsn += 1
+                self.journal.log_consume(self._lsn, name, record)
             self._maybe_vanish(folder)
-            return record
+        if self.journal is not None:
+            self.journal.commit()
+        return record
 
     def get_alt_skip(
         self, names: tuple[FolderName, ...]
@@ -406,6 +489,7 @@ class FolderServer:
         randomizes it, giving the nondeterministic choice the paper
         specifies for ``get_alt``) and consumes from the first non-empty.
         """
+        hit = None
         with self._cond:
             self._ensure_up()
             for name in names:
@@ -413,10 +497,17 @@ class FolderServer:
                 if folder is not None and folder.memos:
                     record = self._pick(folder)
                     self.stats.skips += 1
+                    if self.journal is not None:
+                        self._lsn += 1
+                        self.journal.log_consume(self._lsn, name, record)
                     self._maybe_vanish(folder)
-                    return name, record
-            self.stats.skip_misses += 1
-            return None
+                    hit = (name, record)
+                    break
+            else:
+                self.stats.skip_misses += 1
+        if hit is not None and self.journal is not None:
+            self.journal.commit()
+        return hit
 
     # -- migration (dynamic data migration, paper section 1 / abstract) --------
 
@@ -459,10 +550,59 @@ class FolderServer:
                     # waiter cannot consume a memo migration is moving.
                     folder.memos, folder.delayed = [], []
                     folder.migrated = True
+                if self.journal is not None:
+                    self._lsn += 1
+                    self.journal.log_folder_drop(self._lsn, name)
                 moved.append((name, memos, delayed))
             self._cond.notify_all()
+        if moved and self.journal is not None:
+            self.journal.commit()
         for waiter, name in interrupted:
             waiter.callback(None, f"FolderMigratedError: folder {name} migrated away")
+        return moved
+
+    def extract_records(
+        self,
+        should_move: Callable[[FolderName, MemoRecord], bool],
+    ) -> list[tuple[FolderName, list[MemoRecord], list[tuple[MemoRecord, FolderName]]]]:
+        """Atomically remove and return the individual records selected.
+
+        Record-granular sibling of :meth:`extract_folders`, used by delta
+        anti-entropy: only the records a rejoining primary is *missing*
+        leave the replica store; folders keep their other contents and
+        their waiters (the data is going back to its primary, not being
+        re-homed, so nothing needs interrupting).
+        """
+        moved = []
+        with self._cond:
+            self._ensure_up()
+            for name in list(self._folders):
+                folder = self._folders[name]
+                take_memos = [r for r in folder.memos if should_move(name, r)]
+                take_delayed = [
+                    (r, to) for r, to in folder.delayed if should_move(name, r)
+                ]
+                if not take_memos and not take_delayed:
+                    continue
+                if take_memos:
+                    folder.memos = [
+                        r for r in folder.memos if not should_move(name, r)
+                    ]
+                if take_delayed:
+                    folder.delayed = [
+                        (r, to) for r, to in folder.delayed if not should_move(name, r)
+                    ]
+                if self.journal is not None:
+                    for rec in take_memos:
+                        self._lsn += 1
+                        self.journal.log_consume(self._lsn, name, rec)
+                    for rec, _to in take_delayed:
+                        self._lsn += 1
+                        self.journal.log_consume(self._lsn, name, rec, delayed=True)
+                moved.append((name, take_memos, take_delayed))
+                self._maybe_vanish(folder)
+        if moved and self.journal is not None:
+            self.journal.commit()
         return moved
 
     def snapshot_folders(
@@ -483,6 +623,94 @@ class FolderServer:
                 if predicate(name):
                     out.append((name, list(folder.memos), list(folder.delayed)))
         return out
+
+    # -- durability hooks --------------------------------------------------------
+
+    def load_recovered(self, folders: dict, lsn: int) -> None:
+        """Install recovered state (recovery manager only, before traffic).
+
+        *folders* maps name → ``(memos, delayed)`` as rebuilt from
+        snapshot + WAL tail.  Purely structural: no triggers fire, no
+        waiters exist yet.  The LSN counter resumes past the recovered
+        high-water mark so new stamps never collide with logged ones.
+        """
+        with self._cond:
+            for name, (memos, delayed) in folders.items():
+                folder = self._folder(name)
+                folder.memos.extend(memos)
+                folder.delayed.extend(delayed)
+                for rec in memos:
+                    if rec.src_lsn > self._src_marks.get(rec.src_sid, 0):
+                        self._src_marks[rec.src_sid] = rec.src_lsn
+                for rec, _to in delayed:
+                    if rec.src_lsn > self._src_marks.get(rec.src_sid, 0):
+                        self._src_marks[rec.src_sid] = rec.src_lsn
+            if lsn > self._lsn:
+                self._lsn = lsn
+
+    def snapshot_state(
+        self,
+    ) -> tuple[int, list[tuple[FolderName, list[MemoRecord], list[tuple[MemoRecord, FolderName]]]]]:
+        """Consistent (lsn, full folder dump) pair for snapshot writing.
+
+        Taken under the lock, so the dump reflects exactly the mutations
+        journaled at LSNs ≤ the returned value — the invariant snapshot
+        + ``lsn > snapshot_lsn`` WAL replay depends on.
+        """
+        with self._cond:
+            dump = [
+                (name, list(folder.memos), list(folder.delayed))
+                for name, folder in self._folders.items()
+            ]
+            return self._lsn, dump
+
+    def current_lsn(self) -> int:
+        """This store's log sequence high-water mark."""
+        with self._lock:
+            return self._lsn
+
+    def contains_src(
+        self, name: FolderName, src_sid: str, src_lsn: int, delayed: bool = False
+    ) -> bool:
+        """True when the store already holds the write named by the origin
+        coordinates — the dedup test that makes anti-entropy re-seeding
+        idempotent.  O(1) for never-seen writes (the common fan-out case,
+        guarded by the monotonic marks); scans the one folder otherwise.
+
+        Refuses to answer once shut down: a zombie incarnation still
+        draining one last pooled request would otherwise "dedup" a
+        re-seed against its doomed store and ack it, silently keeping the
+        write from the live incarnation (the sender's stale-connection
+        retry only triggers on a shutdown error)."""
+        with self._lock:
+            self._ensure_up()
+            if src_lsn > self._src_marks.get(src_sid, 0):
+                return False
+            folder = self._folders.get(name)
+            if folder is None:
+                return False
+            if delayed:
+                return any(
+                    r.src_sid == src_sid and r.src_lsn == src_lsn
+                    for r, _to in folder.delayed
+                )
+            return any(
+                r.src_sid == src_sid and r.src_lsn == src_lsn for r in folder.memos
+            )
+
+    def src_high_water(self) -> dict[str, int]:
+        """Monotonic max origin LSN accepted per origin store.
+
+        A rejoining host sends these marks with its delta-sync pull;
+        peers re-seed only writes past them.  Deliberately *not* lowered
+        by consumption: a consumed write is gone cluster-wide and must
+        not come back through a re-seed.  After recovery the marks are
+        rebuilt from surviving records only, so writes consumed just
+        before a crash may be re-seeded once — the documented
+        at-least-once window.
+        """
+        with self._lock:
+            return dict(self._src_marks)
 
     # -- introspection ----------------------------------------------------------
 

@@ -93,6 +93,7 @@ from repro.network.protocol import (
     PutDelayedRequest,
     PutRequest,
     RegisterRequest,
+    DeltaSyncPull,
     ReplicatePut,
     Reply,
     ShutdownRequest,
@@ -103,6 +104,8 @@ from repro.network.protocol import (
     recv_message,
     send_message,
 )
+from repro.durability.config import DurabilityConfig
+from repro.durability.manager import DurabilityManager
 from repro.network.routing import RoutingTable
 from repro.replication.failure import FailureDetector, HeartbeatMonitor
 from repro.servers.folder_server import FolderServer
@@ -134,6 +137,14 @@ class MemoServerStats:
     failover_dispatches: int = 0
     resync_returned: int = 0
     resync_reseeded: int = 0
+    resync_reseed_skipped: int = 0
+    #: Durability gauges, refreshed from the manager by
+    #: :meth:`MemoServer.durability_gauges` (zero when not durable).
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_replayed: int = 0
+    snapshots_written: int = 0
+    fsyncs: int = 0
     #: Waiter-table gauges: parked is cumulative, active is the current
     #: table population across all sessions (incremented on park,
     #: decremented on completion/cancellation).
@@ -941,12 +952,19 @@ class MemoServer:
         listen_port: int = MEMO_PORT,
         heartbeat_interval: float = 0.1,
         failure_threshold: int = 3,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         self.host = host
         self.transport = transport
         self.address_book = address_book if address_book is not None else {}
         self.policy = policy
         self.stats = MemoServerStats()
+        #: When configured, every folder store journals to a per-store WAL
+        #: under ``<data_dir>/<host>/`` and recovers from it at
+        #: registration time (see :mod:`repro.durability`).
+        self.durability = (
+            DurabilityManager(host, durability) if durability is not None else None
+        )
         #: Epoch-guarded (app, folder) -> (chain, live candidates) routing
         #: cache; bumped by registration, migration, and liveness flips.
         self.placement_cache = PlacementCache()
@@ -1017,6 +1035,10 @@ class MemoServer:
             folder_servers += list(self._replica_servers.values())
         for fs in folder_servers:
             fs.shutdown()
+        if self.durability is not None:
+            # Orderly shutdown: every journaled record reaches the platter,
+            # so a clean stop/start round loses nothing even at fsync=none.
+            self.durability.close()
         self._listener.close()
         self._pool.close_all()
         self._cache.shutdown()
@@ -1101,6 +1123,8 @@ class MemoServer:
             return Reply(ok=True)
         if isinstance(msg, SyncPull):
             return self._handle_sync_pull(msg)
+        if isinstance(msg, DeltaSyncPull):
+            return self._handle_delta_sync(msg)
         if isinstance(msg, StatsRequest):
             return Reply(ok=True, stats=self._collect_stats())
         if isinstance(msg, ShutdownRequest):
@@ -1131,9 +1155,20 @@ class MemoServer:
             # because folder names are app-qualified).
             for sid, host in msg.folder_servers:
                 if host == self.host and sid not in self._folder_servers:
-                    self._folder_servers[sid] = FolderServer(
-                        sid, host=self.host, emit_put=self._emit_put
-                    )
+                    self._folder_servers[sid] = self._make_folder_server(sid)
+            if msg.replication_factor > 1:
+                # Stores are shared across applications: one materialized
+                # earlier for an unreplicated app must start stamping
+                # origin coordinates now that replicated data can land in
+                # it (the flag only ever flips on).
+                for fs in self._folder_servers.values():
+                    fs.track_origins = True
+        if self.durability is not None:
+            # Replica stores with on-disk state are materialized eagerly so
+            # a cold-started backup can serve fail-overs (and answer
+            # delta-sync pulls) from its recovered copies at once.
+            for sid in self.durability.on_disk_replica_sids():
+                self._replica_server(sid)
         self.placement_cache.bump()  # new placement inputs: old routes are void
         self.stats.bump("registrations")
         # Failure detection only matters (and only costs traffic) once some
@@ -1577,10 +1612,31 @@ class MemoServer:
         with self._reg_lock:
             fs = self._replica_servers.get(sid)
             if fs is None:
-                fs = FolderServer(
-                    f"replica:{sid}", host=self.host, emit_put=self._emit_put
-                )
+                fs = self._make_folder_server(sid, replica=True)
                 self._replica_servers[sid] = fs
+        return fs
+
+    def _make_folder_server(self, sid: str, replica: bool = False) -> FolderServer:
+        """Construct a folder store, recovering it from disk when durable."""
+        store_id = f"replica:{sid}" if replica else sid
+        journal = None
+        if self.durability is not None:
+            journal = self.durability.store_for(store_id)
+        # Origin coordinates only matter once records can exist in more
+        # than one place (replication/anti-entropy) or on disk (journal);
+        # an unreplicated in-memory store skips the stamping work.
+        track = replica or any(
+            reg.replication_factor > 1 for reg in self._registrations.values()
+        )
+        fs = FolderServer(
+            store_id,
+            host=self.host,
+            emit_put=self._emit_put,
+            journal=journal,
+            track_origins=track,
+        )
+        if journal is not None:
+            journal.recover_into(fs)
         return fs
 
     @staticmethod
@@ -1616,36 +1672,55 @@ class MemoServer:
         else:
             self.stats.bump("failover_dispatches")
             fs = self._replica_server(sid)
-        reply = self._apply_store(fs, msg)
+        reply, record = self._apply_store(fs, msg)
         if reply.ok and len(chain) > 1 and isinstance(
             msg, (PutRequest, PutDelayedRequest)
         ):
-            self._fan_out(reg, chain, msg)
+            self._fan_out(reg, chain, msg, record)
         return reply
 
-    def _apply_store(self, fs: FolderServer, msg: object) -> Reply:
+    def _apply_store(
+        self, fs: FolderServer, msg: object
+    ) -> tuple[Reply, MemoRecord | None]:
+        """Apply *msg* to *fs*; for writes, also return the stored record.
+
+        The record comes back stamped with its origin coordinates (the
+        accepting store's id + LSN), which the fan-out propagates so every
+        replica copy names the same cluster-wide write.
+        """
         if isinstance(msg, PutRequest):
-            fs.put(msg.folder, MemoRecord(payload=msg.payload, origin=msg.origin))
-            return _PUT_ACK
+            record = fs.put(
+                msg.folder, MemoRecord(payload=msg.payload, origin=msg.origin)
+            )
+            return _PUT_ACK, record
         if isinstance(msg, PutDelayedRequest):
-            fs.put_delayed(
+            record = fs.put_delayed(
                 msg.folder,
                 msg.release_to,
                 MemoRecord(payload=msg.payload, origin=msg.origin),
             )
-            return _PUT_ACK
+            return _PUT_ACK, record
         if isinstance(msg, GetRequest):
             if msg.mode == "get":
                 record = fs.get(msg.folder)
-                return Reply(ok=True, found=True, payload=record.payload, folder=msg.folder)
+                return (
+                    Reply(ok=True, found=True, payload=record.payload, folder=msg.folder),
+                    None,
+                )
             if msg.mode == "copy":
                 record = fs.get_copy(msg.folder)
-                return Reply(ok=True, found=True, payload=record.payload, folder=msg.folder)
+                return (
+                    Reply(ok=True, found=True, payload=record.payload, folder=msg.folder),
+                    None,
+                )
             record_or_none = fs.get_skip(msg.folder)
             if record_or_none is None:
-                return Reply(ok=True, found=False)
-            return Reply(
-                ok=True, found=True, payload=record_or_none.payload, folder=msg.folder
+                return Reply(ok=True, found=False), None
+            return (
+                Reply(
+                    ok=True, found=True, payload=record_or_none.payload, folder=msg.folder
+                ),
+                None,
             )
         raise ProtocolError(f"cannot dispatch {type(msg).__qualname__} locally")
 
@@ -1656,6 +1731,7 @@ class MemoServer:
         reg: AppRegistration,
         chain: tuple[tuple[str, str], ...],
         msg: PutRequest | PutDelayedRequest,
+        record: MemoRecord | None = None,
     ) -> None:
         """Copy an accepted write to every other live chain member.
 
@@ -1670,6 +1746,8 @@ class MemoServer:
         the write is already durable on this host, and the dead member
         will pull the copy back through anti-entropy when it rejoins.
         """
+        src_sid = record.src_sid if record is not None else ""
+        src_lsn = record.src_lsn if record is not None else 0
         if isinstance(msg, PutDelayedRequest):
             rep = ReplicatePut(
                 app=reg.app,
@@ -1678,6 +1756,8 @@ class MemoServer:
                 origin=msg.origin,
                 delayed=True,
                 release_to=msg.release_to,
+                src_sid=src_sid,
+                src_lsn=src_lsn,
             )
         else:
             rep = ReplicatePut(
@@ -1685,6 +1765,8 @@ class MemoServer:
                 folder=msg.folder,
                 payload=msg.payload,
                 origin=msg.origin,
+                src_sid=src_sid,
+                src_lsn=src_lsn,
             )
         targets = [
             member
@@ -1747,7 +1829,21 @@ class MemoServer:
             fs = self._folder_server(chain[0][0])
         else:
             fs = self._replica_server(entry[0])
-        record = MemoRecord(payload=msg.payload, origin=msg.origin)
+        if msg.src_lsn and fs.contains_src(
+            msg.folder, msg.src_sid, msg.src_lsn, delayed=msg.delayed
+        ):
+            # Already holding this exact write (named by its origin
+            # coordinates): re-seeds from anti-entropy sweeps and resync
+            # overlaps are dropped here, which is what keeps repeated
+            # sweeps idempotent instead of at-least-once.
+            self.stats.bump("resync_reseed_skipped")
+            return Reply(ok=True, found=True)
+        record = MemoRecord(
+            payload=msg.payload,
+            origin=msg.origin,
+            src_sid=msg.src_sid,
+            src_lsn=msg.src_lsn,
+        )
         if msg.delayed:
             assert msg.release_to is not None  # enforced by the message
             fs.put_delayed(msg.folder, msg.release_to, record)
@@ -1845,6 +1941,8 @@ class MemoServer:
                             folder=name,
                             payload=record.payload,
                             origin=record.origin,
+                            src_sid=record.src_sid,
+                            src_lsn=record.src_lsn,
                         ),
                     )
                 for record, release_to in delayed:
@@ -1858,12 +1956,170 @@ class MemoServer:
                             origin=record.origin,
                             delayed=True,
                             release_to=release_to,
+                            src_sid=record.src_sid,
+                            src_lsn=record.src_lsn,
                         ),
                     )
 
         self.stats.bump("resync_returned", returned)
         self.stats.bump("resync_reseeded", reseeded)
         return Reply(ok=True, stats={"returned": returned, "reseeded": reseeded})
+
+    def _handle_delta_sync(self, msg: DeltaSyncPull) -> Reply:
+        """Anti-entropy restricted to the delta past the requester's state.
+
+        Same two phases as :meth:`_handle_sync_pull`, filtered by origin
+        coordinates:
+
+        Phase 1 returns — record by record, not folder by folder — only
+        the replica-held, requester-primaried writes the requester does
+        NOT already hold: anything stamped by a store it did not
+        advertise (fail-over writes accepted elsewhere while it was
+        down), or stamped past the advertised LSN (acked after its WAL
+        horizon, e.g. lost to a torn tail).  Everything at or below the
+        horizon was replayed from its local log, and returning it again
+        is exactly the duplicate explosion this message exists to avoid.
+
+        Phase 2 re-seeds only primary records past the requester's
+        ``replica_marks``; the receiver-side origin-coordinate dedup in
+        :meth:`_handle_replicate` makes overlap harmless, so empty marks
+        are a legitimate "re-seed everything, dedup on arrival" deep
+        sweep.
+        """
+        reg = self.registration(msg.app)
+        self.failure.mark_alive(msg.requester)
+        with self._reg_lock:
+            replicas = dict(self._replica_servers)
+            primaries = dict(self._folder_servers)
+
+        chain_cache: dict[FolderName, tuple] = {}
+
+        def chain_of(name: FolderName):
+            chain = chain_cache.get(name)
+            if chain is None:
+                chain = reg.placement.replica_chain(name)
+                chain_cache[name] = chain
+            return chain
+
+        returned = 0
+        for fs in replicas.values():
+            def requester_is_missing(name: FolderName, record: MemoRecord) -> bool:
+                if name.app != msg.app:
+                    return False
+                if chain_of(name)[0][1] != msg.requester:
+                    return False
+                horizon = msg.primary_lsns.get(record.src_sid)
+                if horizon is None or record.src_lsn == 0:
+                    return True
+                return record.src_lsn > horizon
+
+            extracted = fs.extract_records(requester_is_missing)
+            failure: str | None = None
+            for index, (name, memos, delayed) in enumerate(extracted):
+                while memos and failure is None:
+                    record = memos[0]
+                    failure = self._route_soft(
+                        name,
+                        PutRequest(
+                            folder=name, payload=record.payload, origin=record.origin
+                        ),
+                    )
+                    if failure is None:
+                        memos.pop(0)
+                        returned += 1
+                while delayed and failure is None:
+                    record, release_to = delayed[0]
+                    failure = self._route_soft(
+                        name,
+                        PutDelayedRequest(
+                            folder=name,
+                            release_to=release_to,
+                            payload=record.payload,
+                            origin=record.origin,
+                        ),
+                    )
+                    if failure is None:
+                        delayed.pop(0)
+                        returned += 1
+                if failure is not None:
+                    # Same restore discipline as the full pull: unreturned
+                    # records go back so a later pull still finds them.
+                    for rname, rmemos, rdelayed in extracted[index:]:
+                        for rec in rmemos:
+                            fs.put(rname, rec, trigger_release=False)
+                        for rec, rel in rdelayed:
+                            fs.put_delayed(rname, rel, rec)
+                    self.stats.bump("resync_returned", returned)
+                    return Reply(
+                        ok=False, error=f"delta resync of {name} failed: {failure}"
+                    )
+
+        reseeded = 0
+        for sid, fs in primaries.items():
+            snapshot = fs.snapshot_folders(lambda name: name.app == msg.app)
+            for name, memos, delayed in snapshot:
+                chain = chain_of(name)
+                if chain[0] != (sid, self.host):
+                    continue
+                if not any(h == msg.requester for _s, h in chain[1:]):
+                    continue
+                for record in memos:
+                    if record.src_lsn <= msg.replica_marks.get(record.src_sid, 0):
+                        continue
+                    reseeded += self._reseed(
+                        reg,
+                        msg.requester,
+                        ReplicatePut(
+                            app=msg.app,
+                            folder=name,
+                            payload=record.payload,
+                            origin=record.origin,
+                            src_sid=record.src_sid,
+                            src_lsn=record.src_lsn,
+                        ),
+                    )
+                for record, release_to in delayed:
+                    if record.src_lsn <= msg.replica_marks.get(record.src_sid, 0):
+                        continue
+                    reseeded += self._reseed(
+                        reg,
+                        msg.requester,
+                        ReplicatePut(
+                            app=msg.app,
+                            folder=name,
+                            payload=record.payload,
+                            origin=record.origin,
+                            delayed=True,
+                            release_to=release_to,
+                            src_sid=record.src_sid,
+                            src_lsn=record.src_lsn,
+                        ),
+                    )
+
+        self.stats.bump("resync_returned", returned)
+        self.stats.bump("resync_reseeded", reseeded)
+        return Reply(ok=True, stats={"returned": returned, "reseeded": reseeded})
+
+    def delta_sync_state(self) -> tuple[dict[str, int], dict[str, int]]:
+        """What this host already holds, in origin coordinates.
+
+        Returns ``(primary_lsns, replica_marks)`` for a
+        :class:`DeltaSyncPull`: each local primary store's LSN horizon,
+        and the max origin LSN per origin store across the local replica
+        stores.  Works on non-durable servers too (the counters live
+        regardless), which is what lets the periodic anti-entropy sweep
+        run delta pulls from healthy hosts.
+        """
+        with self._reg_lock:
+            primaries = dict(self._folder_servers)
+            replicas = dict(self._replica_servers)
+        primary_lsns = {sid: fs.current_lsn() for sid, fs in primaries.items()}
+        replica_marks: dict[str, int] = {}
+        for fs in replicas.values():
+            for src_sid, mark in fs.src_high_water().items():
+                if mark > replica_marks.get(src_sid, 0):
+                    replica_marks[src_sid] = mark
+        return primary_lsns, replica_marks
 
     def _route_soft(self, folder: FolderName, msg: object) -> str | None:
         """Route, reporting any failure as a string instead of raising."""
@@ -2005,7 +2261,28 @@ class MemoServer:
         for sid, fs in replica_servers.items():
             stats[f"replica.{sid}.live_folders"] = fs.folder_count()
             stats[f"replica.{sid}.live_memos"] = fs.memo_count()
+        if self.durability is not None:
+            for k, v in self.durability_gauges().items():
+                stats[f"durability.{k}"] = v
         return stats
+
+    def durability_gauges(self) -> dict:
+        """Aggregated durability gauges; also refreshed into ``stats``.
+
+        Empty when the server runs in-memory.  The integer gauges are
+        mirrored into :class:`MemoServerStats` so bench plumbing that
+        only reads stats snapshots sees them too.
+        """
+        if self.durability is None:
+            return {}
+        gauges = self.durability.gauges()
+        with self.stats._lock:
+            self.stats.wal_records = gauges["wal_records"]
+            self.stats.wal_bytes = gauges["wal_bytes"]
+            self.stats.wal_replayed = gauges["wal_replayed"]
+            self.stats.snapshots_written = gauges["snapshots_written"]
+            self.stats.fsyncs = gauges["fsyncs"]
+        return gauges
 
     def local_folder_servers(self) -> dict[str, FolderServer]:
         """Direct handles to this host's folder servers (tests/benches)."""

@@ -11,13 +11,15 @@ effect the FIG2/SEC5B benches measure.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.adf.model import ADF
 from repro.errors import MemoError
 from repro.network.transport import NetworkFabric
 
-__all__ = ["LatencyModel", "apply_latency"]
+__all__ = ["LatencyModel", "apply_latency", "latency_spike", "partitioned"]
 
 
 @dataclass(frozen=True)
@@ -49,3 +51,42 @@ def apply_latency(fabric: NetworkFabric, adf: ADF, model: LatencyModel) -> None:
         fabric.set_latency(
             link.host_a, link.host_b, model.latency_for_cost(link.cost)
         )
+
+
+# -- fault injection (chaos-test helpers) -----------------------------------------
+
+
+@contextmanager
+def latency_spike(
+    fabric: NetworkFabric, host_a: str, host_b: str, seconds: float
+) -> Iterator[None]:
+    """Temporarily raise one link's one-way latency; restore on exit.
+
+    A congestion event, not an outage: messages keep flowing, just late —
+    late enough, with a heartbeat-sized spike, to trip the failure
+    detector into a false suspicion, which is exactly what the recovery
+    chaos tests want to provoke.
+    """
+    previous = fabric.latency(host_a, host_b)
+    fabric.set_latency(host_a, host_b, seconds)
+    try:
+        yield
+    finally:
+        fabric.set_latency(host_a, host_b, previous)
+
+
+@contextmanager
+def partitioned(
+    fabric: NetworkFabric, host_a: str, host_b: str
+) -> Iterator[None]:
+    """Cut the link between two hosts for the duration of the block.
+
+    Connects fail and live connections refuse sends in both directions
+    (:class:`~repro.errors.ConnectionClosedError`); the link heals on
+    exit even if the block raises.
+    """
+    fabric.partition(host_a, host_b)
+    try:
+        yield
+    finally:
+        fabric.heal(host_a, host_b)

@@ -1,0 +1,213 @@
+"""Crash-consistency edge cases: torn tails, partial/corrupt snapshots,
+and crashes between snapshot publication and segment retention."""
+
+import os
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.durability.config import DurabilityConfig
+from repro.durability.manager import DurabilityManager
+from repro.durability.store import DurableStore
+
+from tests.durability.test_store import FakeServer, folder, open_store, rec, write_puts
+
+
+def segments(path):
+    return sorted(n for n in os.listdir(path) if n.startswith("wal-"))
+
+
+def snapshots(path):
+    return sorted(n for n in os.listdir(path) if n.startswith("snap-"))
+
+
+class TestTornTail:
+    def test_garbage_tail_truncated(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 6)
+        store.close()
+        seg = tmp_path / "store" / segments(tmp_path / "store")[-1]
+        intact = seg.stat().st_size
+        with open(seg, "ab") as fh:
+            fh.write(b"\x19torn-frame-garbage")  # looks like a frame header
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert state.truncated_bytes > 0
+        assert state.lsn == 6
+        assert len(recovered.folders[folder()][0]) == 6
+        assert seg.stat().st_size == intact  # torn bytes physically removed
+
+    def test_half_written_frame_truncated(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 4)
+        store.close()
+        seg = tmp_path / "store" / segments(tmp_path / "store")[-1]
+        data = seg.read_bytes()
+        # Re-append the first half of the last frame: a crash mid-append.
+        frame_len = len(data) // 4
+        with open(seg, "ab") as fh:
+            fh.write(data[: frame_len // 2])
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert state.truncated_bytes > 0
+        assert len(recovered.folders[folder()][0]) == 4
+
+    def test_corrupted_crc_truncates_from_there(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 5)
+        store.close()
+        seg = tmp_path / "store" / segments(tmp_path / "store")[-1]
+        data = bytearray(seg.read_bytes())
+        data[-1] ^= 0xFF  # flip a CRC byte of the final frame
+        seg.write_bytes(bytes(data))
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert state.truncated_bytes > 0
+        assert len(recovered.folders[folder()][0]) == 4  # last record lost pre-ack
+
+    def test_appends_after_truncation_recover(self, tmp_path):
+        """The truncated segment stays usable for new appends."""
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 3)
+        store.close()
+        seg = tmp_path / "store" / segments(tmp_path / "store")[-1]
+        with open(seg, "ab") as fh:
+            fh.write(b"XX")
+
+        store2 = open_store(tmp_path)
+        server2 = FakeServer()
+        state = store2.recover_into(server2)
+        assert state.truncated_bytes == 2
+        write_puts(store2, server2, 2, start_lsn=state.lsn + 1)
+        store2.close()
+
+        server3 = FakeServer()
+        final = open_store(tmp_path).recover_into(server3)
+        assert final.truncated_bytes == 0
+        assert len(server3.folders[folder()][0]) == 5
+
+
+class TestSnapshotCrashes:
+    def test_leftover_tmp_snapshot_ignored_and_deleted(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 4)
+        store.close()
+        leftover = tmp_path / "store" / "snap-00000000000000000099.tmp"
+        leftover.write_bytes(b"DSN1 partial snapshot write, crashed mid-way")
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert not leftover.exists()
+        assert state.lsn == 4
+        assert len(recovered.folders[folder()][0]) == 4
+
+    def test_corrupt_newest_snapshot_falls_back_to_previous(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 5)
+        store.snapshot_now()
+        write_puts(store, server, 5, start_lsn=6)
+        store.snapshot_now()
+        store.close()
+        newest = (tmp_path / "store") / snapshots(tmp_path / "store")[-1]
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        # Fallback snapshot plus the still-retained segments reconstruct
+        # everything; the corrupt file is gone.
+        assert len(recovered.folders[folder()][0]) == 10
+        assert state.lsn == 10
+        assert not newest.exists()
+
+    def test_crash_between_snapshot_and_retention_no_double_apply(self, tmp_path):
+        """Stale segments overlapping the snapshot replay idempotently."""
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 6)
+        pre_roll = (tmp_path / "store") / segments(tmp_path / "store")[0]
+        pre_roll_bytes = pre_roll.read_bytes()
+        store.snapshot_now()  # rolls + retires the first segment
+        store.close()
+        # Resurrect the retired segment: the crash happened after the
+        # snapshot published but before retention unlinked it.
+        pre_roll.write_bytes(pre_roll_bytes)
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert len(recovered.folders[folder()][0]) == 6  # not 12
+        assert state.lsn == 6
+
+    def test_all_snapshots_corrupt_replays_segments(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 4)
+        store.snapshot_now()
+        store.close()
+        store_dir = tmp_path / "store"
+        for name in snapshots(store_dir):
+            (store_dir / name).write_bytes(b"DSN1 ruined")
+        # Snapshot retention already removed the covered segment; put the
+        # full history back (identical deterministic bytes) so recovery has
+        # something to replay once it rejects every snapshot.
+        redo = open_store(tmp_path.joinpath("redo"))
+        redo_server = FakeServer()
+        redo.bind(redo_server)
+        write_puts(redo, redo_server, 4)
+        redo.close()
+        src = tmp_path / "redo" / "store"
+        seg = segments(src)[0]
+        (store_dir / seg).write_bytes((src / seg).read_bytes())
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert len(recovered.folders[folder()][0]) == 4
+        assert state.lsn == 4
+
+
+class TestManager:
+    def test_store_ids_round_trip_through_quoting(self, tmp_path):
+        cfg = DurabilityConfig(data_dir=str(tmp_path))
+        mgr = DurabilityManager("host/a", cfg)
+        store = mgr.store_for("replica:s0")
+        store.bind(FakeServer())
+        store.log_put(1, folder(), rec(b"x", 1))
+        store.close()
+        mgr2 = DurabilityManager("host/a", cfg)
+        assert mgr2.on_disk_store_ids() == ["replica:s0"]
+        assert mgr2.on_disk_replica_sids() == ["s0"]
+
+    def test_gauges_aggregate_across_stores(self, tmp_path):
+        cfg = DurabilityConfig(data_dir=str(tmp_path), fsync="always")
+        mgr = DurabilityManager("h", cfg)
+        for sid in ("s0", "s1"):
+            store = mgr.store_for(sid)
+            store.bind(FakeServer())
+            store.log_put(1, folder(sid), rec(b"x", 1))
+            store.commit()
+        g = mgr.gauges()
+        assert g["stores"] == 2
+        assert g["wal_records"] == 2
+        assert g["fsyncs"] == 2
+        mgr.close()
+
+    def test_same_store_object_returned(self, tmp_path):
+        mgr = DurabilityManager("h", DurabilityConfig(data_dir=str(tmp_path)))
+        assert mgr.store_for("s0") is mgr.store_for("s0")
+        assert isinstance(mgr.store_for("s0"), DurableStore)

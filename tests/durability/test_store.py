@@ -1,0 +1,241 @@
+"""DurableStore: WAL framing, fsync policy, snapshots, and recovery."""
+
+import os
+
+import pytest
+
+from repro.core.keys import FolderName, Key, Symbol
+from repro.core.memo import MemoRecord
+from repro.durability.config import DurabilityConfig
+from repro.durability.store import DurableStore
+from repro.errors import MemoError
+
+
+def folder(name="f", app="app"):
+    return FolderName(app, Key(Symbol(name)))
+
+
+def rec(payload, lsn, sid="s0", origin="t"):
+    return MemoRecord(payload=payload, origin=origin, src_sid=sid, src_lsn=lsn)
+
+
+class FakeServer:
+    """Stands in for a FolderServer: holds the recovered dict, dumps it back."""
+
+    def __init__(self):
+        self.folders = {}
+        self.lsn = 0
+
+    def load_recovered(self, folders, lsn):
+        self.folders = folders
+        self.lsn = lsn
+
+    def snapshot_state(self):
+        return self.lsn, [
+            (name, list(memos), list(delayed))
+            for name, (memos, delayed) in self.folders.items()
+        ]
+
+
+def config(tmp_path, **kw):
+    kw.setdefault("fsync", "batch")
+    kw.setdefault("snapshot_every", 0)  # manual snapshots unless a test opts in
+    return DurabilityConfig(data_dir=str(tmp_path), **kw)
+
+
+def open_store(tmp_path, **kw):
+    return DurableStore(tmp_path / "store", config(tmp_path, **kw))
+
+
+def write_puts(store, server, n, name="f", start_lsn=1):
+    """Journal *n* puts through the store, mirroring them in the fake server."""
+    memos, _ = server.folders.setdefault(folder(name), ([], []))
+    for i in range(n):
+        lsn = start_lsn + i
+        record = rec(b"m%d" % lsn, lsn)
+        store.log_put(lsn, folder(name), record)
+        memos.append(record)
+        server.lsn = lsn
+    store.commit()
+
+
+class TestWalRoundTrip:
+    def test_puts_recover_exactly(self, tmp_path):
+        store = open_store(tmp_path)
+        store.bind(FakeServer())
+        for i in range(1, 8):
+            store.log_put(i, folder(), rec(b"m%d" % i, i))
+        store.commit()
+        store.close()
+
+        reopened = open_store(tmp_path)
+        server = FakeServer()
+        state = reopened.recover_into(server)
+        assert state.lsn == 7
+        assert state.replayed == 7
+        assert state.truncated_bytes == 0
+        memos, delayed = server.folders[folder()]
+        assert [m.payload for m in memos] == [b"m%d" % i for i in range(1, 8)]
+        assert [m.src_lsn for m in memos] == list(range(1, 8))
+        assert delayed == []
+        reopened.close()
+
+    def test_consume_tombstones_replay(self, tmp_path):
+        store = open_store(tmp_path)
+        store.bind(FakeServer())
+        records = [rec(b"m%d" % i, i) for i in range(1, 5)]
+        for i, r in enumerate(records, start=1):
+            store.log_put(i, folder(), r)
+        store.log_consume(5, folder(), records[1])
+        store.log_consume(6, folder(), records[3])
+        store.commit()
+        store.close()
+
+        server = FakeServer()
+        open_store(tmp_path).recover_into(server)
+        memos, _ = server.folders[folder()]
+        assert [m.payload for m in memos] == [b"m1", b"m3"]
+
+    def test_delayed_records_and_clear(self, tmp_path):
+        store = open_store(tmp_path)
+        store.bind(FakeServer())
+        store.log_delayed(1, folder("gate"), folder("out"), rec(b"d1", 1))
+        store.log_delayed(2, folder("gate"), folder("out"), rec(b"d2", 2))
+        store.log_put(3, folder("gate"), rec(b"trigger", 3))
+        store.commit()
+        store.close()
+
+        server = FakeServer()
+        open_store(tmp_path).recover_into(server)
+        memos, delayed = server.folders[folder("gate")]
+        assert [m.payload for m in memos] == [b"trigger"]
+        assert [(m.payload, to) for m, to in delayed] == [
+            (b"d1", folder("out")),
+            (b"d2", folder("out")),
+        ]
+
+        # A delayed-clear (trigger release) empties the pending list.
+        store2 = open_store(tmp_path)
+        server2 = FakeServer()
+        store2.recover_into(server2)
+        store2.log_delayed_clear(4, folder("gate"))
+        store2.commit()
+        store2.close()
+        server3 = FakeServer()
+        open_store(tmp_path).recover_into(server3)
+        assert server3.folders[folder("gate")][1] == []
+
+    def test_folder_drop_removes_folder(self, tmp_path):
+        store = open_store(tmp_path)
+        store.bind(FakeServer())
+        store.log_put(1, folder("a"), rec(b"x", 1))
+        store.log_put(2, folder("b"), rec(b"y", 2))
+        store.log_folder_drop(3, folder("a"))
+        store.commit()
+        store.close()
+
+        server = FakeServer()
+        open_store(tmp_path).recover_into(server)
+        assert folder("a") not in server.folders
+        assert [m.payload for m in server.folders[folder("b")][0]] == [b"y"]
+
+    def test_empty_store_recovers_empty(self, tmp_path):
+        server = FakeServer()
+        state = open_store(tmp_path).recover_into(server)
+        assert state.lsn == 0 and state.replayed == 0
+        assert server.folders == {}
+
+
+class TestFsyncPolicy:
+    def test_always_fsyncs_every_commit(self, tmp_path):
+        store = open_store(tmp_path, fsync="always")
+        store.bind(FakeServer())
+        for i in range(1, 4):
+            store.log_put(i, folder(), rec(b"m", i))
+            store.commit()
+        assert store.fsyncs == 3
+        store.close()
+
+    def test_none_fsyncs_only_at_close(self, tmp_path):
+        store = open_store(tmp_path, fsync="none")
+        store.bind(FakeServer())
+        for i in range(1, 4):
+            store.log_put(i, folder(), rec(b"m", i))
+            store.commit()
+        assert store.fsyncs == 0
+        store.close()
+
+    def test_batch_fsyncs_at_record_threshold(self, tmp_path):
+        store = open_store(tmp_path, fsync="batch", batch_records=2, batch_seconds=60.0)
+        store.bind(FakeServer())
+        store.log_put(1, folder(), rec(b"m", 1))
+        store.commit()
+        assert store.fsyncs == 0
+        store.log_put(2, folder(), rec(b"m", 2))
+        store.commit()
+        assert store.fsyncs == 1
+        store.close()
+
+    def test_bad_config_rejected(self, tmp_path):
+        with pytest.raises(MemoError):
+            DurabilityConfig(data_dir=str(tmp_path), fsync="sometimes")
+        with pytest.raises(MemoError):
+            DurabilityConfig(data_dir="")
+
+    def test_append_after_close_is_noop(self, tmp_path):
+        store = open_store(tmp_path)
+        store.bind(FakeServer())
+        store.log_put(1, folder(), rec(b"m", 1))
+        store.commit()
+        store.close()
+        store.log_put(2, folder(), rec(b"late", 2))  # silently dropped
+        store.commit()
+        server = FakeServer()
+        open_store(tmp_path).recover_into(server)
+        assert [m.payload for m in server.folders[folder()][0]] == [b"m"]
+
+
+class TestSnapshots:
+    def test_snapshot_rolls_segment_and_retires(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 10)
+        store.snapshot_now()
+        write_puts(store, server, 10, start_lsn=11)
+        store.snapshot_now()
+        store.close()
+
+        names = sorted(os.listdir(tmp_path / "store"))
+        snaps = [n for n in names if n.startswith("snap-")]
+        segs = [n for n in names if n.startswith("wal-")]
+        assert len(snaps) == 2
+        # The pre-first-snapshot segment is covered by the older retained
+        # snapshot and must have been retired.
+        assert "wal-00000000000000000001.log" not in segs
+
+        recovered = FakeServer()
+        state = open_store(tmp_path).recover_into(recovered)
+        assert state.lsn == 20
+        assert len(recovered.folders[folder()][0]) == 20
+
+    def test_automatic_snapshot_trigger(self, tmp_path):
+        store = open_store(tmp_path, snapshot_every=4)
+        server = FakeServer()
+        store.bind(server)
+        write_puts(store, server, 9)  # commits once; 9 >= 4 -> snapshot fires
+        assert store.snapshots_written >= 1
+        store.close()
+
+    def test_snapshot_keeps_newest_two(self, tmp_path):
+        store = open_store(tmp_path)
+        server = FakeServer()
+        store.bind(server)
+        for round_no in range(4):
+            write_puts(store, server, 3, start_lsn=1 + 3 * round_no)
+            store.snapshot_now()
+        store.close()
+        snaps = [
+            n for n in os.listdir(tmp_path / "store") if n.startswith("snap-")
+        ]
+        assert len(snaps) == 2

@@ -10,8 +10,16 @@ from repro.network.codec import (
     encode_message,
 )
 from repro.network.connection import Address
+from repro.durability.records import (
+    WalConsume,
+    WalDelayed,
+    WalDelayedClear,
+    WalFolderDrop,
+    WalPut,
+)
 from repro.network.protocol import (
     CancelWaitRequest,
+    DeltaSyncPull,
     ForwardEnvelope,
     GetAltSkipRequest,
     GetRequest,
@@ -69,6 +77,13 @@ ALL_MESSAGES = [
     ),
     Heartbeat(host="h1", origin="p"),
     SyncPull(app="inv", requester="h2", origin="p"),
+    DeltaSyncPull(
+        app="inv",
+        requester="h2",
+        primary_lsns={"0": 17, "1": 0},
+        replica_marks={"0": 9},
+        origin="p",
+    ),
     StatsRequest(origin="p"),
     ShutdownRequest(origin="p"),
     ForwardEnvelope("inv", "h2", b"inner-bytes", trail=("h1", "h3")),
@@ -76,6 +91,33 @@ ALL_MESSAGES = [
 ]
 
 _ids = [type(m).__name__ for m in ALL_MESSAGES]
+
+# WAL records are compact-only: they live on disk inside log frames, never
+# cross the wire, and so have no TLV fallback to stay compatible with.
+WAL_MESSAGES = [
+    WalPut(folder(), b"pay", origin="p", src_sid="0", src_lsn=4),
+    WalConsume(folder(), digest=(3 << 32) | 12345, delayed=True),
+    WalDelayed(folder("a"), folder("b"), b"x", origin="p", src_sid="1", src_lsn=2),
+    WalDelayedClear(folder()),
+    WalFolderDrop(folder()),
+]
+
+_wal_ids = [type(m).__name__ for m in WAL_MESSAGES]
+
+
+class TestWalRecordRoundTrip:
+    @pytest.mark.parametrize("msg", WAL_MESSAGES, ids=_wal_ids)
+    def test_compact_roundtrip(self, msg):
+        data = encode_message(msg)
+        assert data[:2] == COMPACT_MAGIC
+        assert decode_message(data) == msg
+
+    @pytest.mark.parametrize("msg", WAL_MESSAGES, ids=_wal_ids)
+    def test_truncated_frames_rejected(self, msg):
+        data = encode_message(msg)
+        for cut in range(4, len(data)):
+            with pytest.raises(DecodingError):
+                decode_message(data[:cut])
 
 
 class TestCrossCodecRoundTrip:
