@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Real operating-system processes over real TCP sockets.
+"""Real operating-system processes over real TCP sockets — on both sides.
 
 Everything else in the examples runs simulated hosts as threads; this one
-is the fidelity check: the memo servers listen on loopback TCP ports, and
-the workers are genuine ``multiprocessing`` processes — separate address
-spaces, exactly like the paper's boss/worker executables — that connect
-back to the servers with nothing but host/port pairs.
+is the fidelity check, now all the way down: ``backend="process"`` gives
+every memo server its own OS process (its own interpreter, its own GIL),
+exactly like the paper's one-server-per-machine deployment, and the
+workers are genuine ``multiprocessing`` processes that connect back with
+nothing but host/port pairs from the cluster's address book.
 
-The workload is the classic job-jar Monte-Carlo π estimate.
+The workload is the classic job-jar Monte-Carlo π estimate: a boss fills
+a jar of tasks on one host, workers attached to *different* hosts drain
+it through ordinary cross-server forwarding.
 
 Run:  python examples/multiprocess_tcp.py
 """
@@ -16,12 +19,13 @@ import multiprocessing
 import random
 
 from repro import Cluster, system_default_adf
-from repro.core.api import Memo, NIL
+from repro.core.api import Memo
 from repro.core.keys import Key, Symbol
 from repro.network.connection import Address
 from repro.network.tcp import TCPTransport
 from repro.runtime.client import MemoClient
 
+HOSTS = ["hub", "east", "west"]
 N_WORKERS = 3
 N_TASKS = 24
 POINTS_PER_TASK = 20_000
@@ -30,11 +34,11 @@ JAR = Symbol("jar")
 OUT = Symbol("out")
 
 
-def worker_process(server_port: int, worker_id: int) -> None:
+def worker_process(host: str, server_port: int, worker_id: int) -> None:
     """Runs in a separate OS process: connect, drain the jar, deposit hits."""
     transport = TCPTransport()
     client = MemoClient(
-        transport, Address("hub", server_port), origin=f"worker-{worker_id}"
+        transport, Address(host, server_port), origin=f"worker-{worker_id}"
     )
     memo = Memo(client, "mcpi", process_name=f"worker-{worker_id}")
     rng = random.Random(worker_id)
@@ -52,14 +56,23 @@ def worker_process(server_port: int, worker_id: int) -> None:
 
 
 def main() -> None:
-    adf = system_default_adf(["hub"], app="mcpi")
-    with Cluster(adf, transport_kind="tcp") as cluster:
+    adf = system_default_adf(HOSTS, app="mcpi")
+    with Cluster(adf, backend="process") as cluster:
         cluster.register()
-        port = cluster.servers["hub"].address.port
         boss = cluster.memo_api("hub", "mcpi", "boss")
 
+        # Each worker attaches to a different server process; the ports
+        # are ephemeral, handed out by the OS and collected by the
+        # parent's spawn handshake.
         procs = [
-            multiprocessing.Process(target=worker_process, args=(port, i))
+            multiprocessing.Process(
+                target=worker_process,
+                args=(
+                    HOSTS[i % len(HOSTS)],
+                    cluster.address_book[HOSTS[i % len(HOSTS)]].port,
+                    i,
+                ),
+            )
             for i in range(N_WORKERS)
         ]
         for p in procs:
@@ -84,8 +97,10 @@ def main() -> None:
 
         total_points = N_TASKS * POINTS_PER_TASK
         pi = 4.0 * total_hits / total_points
-        print(f"π ≈ {pi:.4f} from {total_points:,} points "
-              f"across {N_WORKERS} OS processes over TCP")
+        n_procs = len(HOSTS) + N_WORKERS
+        print(f"π ≈ {pi:.4f} from {total_points:,} points across "
+              f"{n_procs} OS processes ({len(HOSTS)} servers + "
+              f"{N_WORKERS} workers) over TCP")
         for wid in sorted(per_worker):
             print(f"  worker {wid} (pid was separate): {per_worker[wid]} tasks")
         assert abs(pi - 3.14159) < 0.05

@@ -48,6 +48,8 @@ __all__ = [
     "DeltaSyncPull",
     "StatsRequest",
     "ShutdownRequest",
+    "AddressUpdate",
+    "ResyncRequest",
     "ForwardEnvelope",
     "BurstEnvelope",
     "PipelineBatch",
@@ -364,6 +366,47 @@ class ShutdownRequest:
 
 
 @dataclass(frozen=True)
+class AddressUpdate:
+    """Control-plane push of the cluster's current host → TCP port map.
+
+    In-process clusters share one address-book dict, so a restarted
+    host's new ephemeral port is visible to every peer the instant the
+    parent assigns it.  Process-per-server clusters have no shared
+    memory: the supervising parent broadcasts this message to every
+    live child after each spawn or restart.  The receiver replaces the
+    changed entries and drops any pooled connections to the stale
+    addresses, so the next forward, heartbeat, or replicate dials the
+    reborn listener instead of a dead port.
+    """
+
+    ports: dict  # host -> listening TCP port
+    origin: str = ""
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """Control-plane ask: run one anti-entropy round *from* this server.
+
+    In-process clusters drive :class:`~repro.replication.resync.Resyncer`
+    directly against the server object; a process-per-server parent
+    cannot, so it asks the child to run its own round.  The receiver
+    resyncs *apps* against every peer in its address book — with
+    ``delta=True`` it advertises its recovered LSNs and replica marks
+    (see :class:`DeltaSyncPull`) so only the outage delta moves.  The
+    reply's ``stats`` flattens the per-peer counters as
+    ``"<peer>:<metric>"``.
+    """
+
+    apps: tuple[str, ...]
+    delta: bool = False
+    deep: bool = False
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "apps", tuple(self.apps))
+
+
+@dataclass(frozen=True)
 class ForwardEnvelope:
     """A request in transit between memo servers (Figure 2).
 
@@ -471,6 +514,8 @@ _MESSAGE_TYPES = (
     DeltaSyncPull,
     StatsRequest,
     ShutdownRequest,
+    AddressUpdate,
+    ResyncRequest,
     ForwardEnvelope,
     Reply,
     PipelineBatch,
@@ -538,6 +583,12 @@ register_compact(
 )
 register_compact(StatsRequest, 10, (("origin", "str"),))
 register_compact(ShutdownRequest, 11, (("origin", "str"),))
+register_compact(AddressUpdate, 26, (("ports", "tlv"), ("origin", "str")))
+register_compact(
+    ResyncRequest,
+    27,
+    (("apps", "str_tuple"), ("delta", "bool"), ("deep", "bool"), ("origin", "str")),
+)
 register_compact(
     ForwardEnvelope,
     12,

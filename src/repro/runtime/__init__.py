@@ -5,6 +5,10 @@
   own host, as in Figure 1).
 * :mod:`repro.runtime.cluster` — builds the simulated heterogeneous network
   from an ADF: one memo server per host over a shared fabric (or TCP).
+* :mod:`repro.runtime.backends` — where those servers live: threads in
+  this interpreter (default) or one OS process per host.
+* :mod:`repro.runtime.server_main` — the per-process memo-server
+  entrypoint (``python -m repro.runtime.server_main``).
 * :mod:`repro.runtime.registration` — the section-4.4 registration protocol.
 * :mod:`repro.runtime.program` / :mod:`repro.runtime.process` — the
   boss/worker program registry and process harness (section 4.2).
@@ -12,6 +16,7 @@
   start processes, collect results.
 """
 
+from repro.runtime.backends import ClusterBackend, InProcessBackend, ProcessBackend
 from repro.runtime.client import MemoClient
 from repro.runtime.cluster import Cluster
 from repro.runtime.program import ProcessContext, ProgramRegistry
@@ -22,6 +27,9 @@ from repro.runtime.launcher import run_application
 __all__ = [
     "MemoClient",
     "Cluster",
+    "ClusterBackend",
+    "InProcessBackend",
+    "ProcessBackend",
     "ProcessContext",
     "ProgramRegistry",
     "ProcessHandle",

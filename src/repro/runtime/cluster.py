@@ -1,19 +1,28 @@
 """The simulated heterogeneous cluster.
 
-A :class:`Cluster` is the reproduction's network installation: it builds
-one memo server per ADF host — over the in-memory fabric (default, with
-optional link latency from the ADF costs) or over real TCP loopback sockets
-— starts them, and hands out per-process clients and Memo APIs.
+A :class:`Cluster` is the reproduction's network installation: one memo
+server per ADF host, plus clients, registration, chaos hooks, and
+anti-entropy policy on top.  *Where* the servers run is delegated to a
+:class:`~repro.runtime.backends.ClusterBackend`:
 
-This substitutes for the paper's departmental network + inetd: where the
-paper's servers are spawned by ``inetd`` on first contact, the cluster
-starts them eagerly at construction; the registration protocol and
-everything above it is identical.
+* ``backend="inprocess"`` (default) — servers are thread pools in this
+  interpreter, over the in-memory fabric (with optional link latency
+  from the ADF costs) or TCP loopback.  This substitutes for the
+  paper's departmental network + inetd with zero process overhead.
+* ``backend="process"`` — each server is its own OS process over TCP
+  (``repro.runtime.server_main``), the closest reproduction of the
+  paper's one-server-per-machine deployment: N hosts, N interpreters,
+  N GILs.  ``kill_host`` is a genuine SIGKILL and ``restart_host`` a
+  re-exec with WAL recovery plus delta resync.
+
+Either way the public API is identical; the registration protocol and
+everything above it never learns which backend it runs on.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import asdict
 
 from repro.adf.model import ADF
 from repro.core.api import Memo
@@ -21,15 +30,19 @@ from repro.durability.config import DurabilityConfig
 from repro.errors import RuntimeLaunchError
 from repro.network.connection import Address, Transport
 from repro.network.protocol import StatsRequest
-from repro.network.tcp import TCPTransport
-from repro.network.transport import InMemoryTransport, NetworkFabric
-from repro.replication.resync import Resyncer
+from repro.network.transport import NetworkFabric
+from repro.runtime.backends import (
+    HANDSHAKE_TIMEOUT,
+    ClusterBackend,
+    InProcessBackend,
+    ProcessBackend,
+)
 from repro.runtime.client import MemoClient
 from repro.runtime.registration import register_everywhere, registration_request_for
 from repro.servers.hashing import HashWeightPolicy
-from repro.servers.memo_server import MEMO_PORT, MemoServer
+from repro.servers.memo_server import MemoServer
 from repro.sim.metrics import ClusterMetrics
-from repro.sim.netsim import LatencyModel, apply_latency
+from repro.sim.netsim import LatencyModel
 
 __all__ = ["Cluster"]
 
@@ -40,10 +53,13 @@ class Cluster:
     Args:
         adf: the description whose HOSTS/PPC sections shape the network.
             (Folder servers are created at application registration.)
-        transport_kind: ``"memory"`` (default) or ``"tcp"``.
+        backend: ``"inprocess"`` (default) or ``"process"``.
+        transport_kind: ``"memory"`` or ``"tcp"``.  Defaults to
+            ``"memory"`` in-process; the process backend is TCP-only.
         latency: latency model applied to the in-memory fabric.
         policy: hash-weight policy installed on every memo server
-            (ablation knob for SEC5A/ABL1).
+            (ablation knob for SEC5A/ABL1; in-process only — a policy
+            object cannot cross a process boundary).
         idle_timeout: thread-cache idle timer for all servers.
         heartbeat_interval: failure-detector probe period for every server
             (probing only runs while some app has ``replication_factor > 1``).
@@ -55,90 +71,126 @@ class Cluster:
             the host's stores from its local log and anti-entropies only
             the delta past the recovered LSNs, and a whole new Cluster
             pointed at the same data dir cold-restarts from disk.
+        handshake_timeout: process backend only — how long a spawned
+            server may take to report its ephemeral port back.
     """
 
     def __init__(
         self,
         adf: ADF,
         *,
-        transport_kind: str = "memory",
+        backend: str = "inprocess",
+        transport_kind: str | None = None,
         latency: LatencyModel | None = None,
         policy: HashWeightPolicy | None = None,
         idle_timeout: float = 2.0,
         heartbeat_interval: float = 0.1,
         failure_threshold: int = 3,
         durability: DurabilityConfig | None = None,
+        handshake_timeout: float = HANDSHAKE_TIMEOUT,
     ) -> None:
         adf.validate()
         self.adf = adf
-        self.transport_kind = transport_kind
         self.durability = durability if durability is not None else adf.durability
-        self.address_book: dict[str, Address] = {}
-        self.servers: dict[str, MemoServer] = {}
-        self.fabric: NetworkFabric | None = None
-        self._transports: dict[str, Transport] = {}
         self._registered_adfs: dict[str, ADF] = {}
-        self._server_kwargs = {
-            "idle_timeout": idle_timeout,
-            "policy": policy,
-            "heartbeat_interval": heartbeat_interval,
-            "failure_threshold": failure_threshold,
-            "durability": self.durability,
-        }
         self._lock = threading.Lock()
-        self._started = False
         self._sweep_thread: threading.Thread | None = None
         self._sweep_stop = threading.Event()
 
-        if transport_kind == "memory":
-            self.fabric = NetworkFabric()
-            if latency is not None:
-                apply_latency(self.fabric, adf, latency)
-            for host in adf.host_names():
-                transport = InMemoryTransport(self.fabric, host)
-                self._transports[host] = transport
-                self.servers[host] = MemoServer(
-                    host,
-                    transport,
-                    address_book=self.address_book,
-                    listen_port=MEMO_PORT,
-                    **self._server_kwargs,
+        if backend == "inprocess":
+            self.transport_kind = transport_kind or "memory"
+            self.backend: ClusterBackend = InProcessBackend(
+                adf,
+                transport_kind=self.transport_kind,
+                latency=latency,
+                server_kwargs={
+                    "idle_timeout": idle_timeout,
+                    "policy": policy,
+                    "heartbeat_interval": heartbeat_interval,
+                    "failure_threshold": failure_threshold,
+                    "durability": self.durability,
+                },
+            )
+        elif backend == "process":
+            self.transport_kind = transport_kind or "tcp"
+            if self.transport_kind != "tcp":
+                raise RuntimeLaunchError(
+                    "the process backend runs over TCP; "
+                    f"transport_kind {self.transport_kind!r} is not supported"
                 )
-        elif transport_kind == "tcp":
             if latency is not None and not latency.is_zero:
                 raise RuntimeLaunchError(
                     "latency injection is only supported on the memory transport"
                 )
-            transport = TCPTransport()
-            for host in adf.host_names():
-                self._transports[host] = transport
-                self.servers[host] = MemoServer(
-                    host,
-                    transport,
-                    address_book=self.address_book,
-                    listen_port=0,  # OS-assigned; recorded in the book
-                    **self._server_kwargs,
+            if policy is not None:
+                raise RuntimeLaunchError(
+                    "a hash-weight policy object cannot cross a process "
+                    "boundary; use the inprocess backend for policy ablations"
                 )
+            self.backend = ProcessBackend(
+                adf,
+                server_config={
+                    "idle_timeout": idle_timeout,
+                    "heartbeat_interval": heartbeat_interval,
+                    "failure_threshold": failure_threshold,
+                    "durability": (
+                        asdict(self.durability)
+                        if self.durability is not None
+                        else None
+                    ),
+                },
+                durability=self.durability,
+                handshake_timeout=handshake_timeout,
+            )
         else:
-            raise RuntimeLaunchError(f"unknown transport kind {transport_kind!r}")
+            raise RuntimeLaunchError(f"unknown cluster backend {backend!r}")
+        self.backend_kind = self.backend.kind
+
+    # -- backend pass-throughs (and seed-era compatibility) ----------------------
+
+    @property
+    def address_book(self) -> dict[str, Address]:
+        """Host → memo-server address, as the backend currently knows it."""
+        return self.backend.address_book
+
+    @property
+    def servers(self) -> dict[str, MemoServer]:
+        """In-process server objects (inprocess backend only)."""
+        servers = getattr(self.backend, "servers", None)
+        if servers is None:
+            raise RuntimeLaunchError(
+                "the process backend has no in-process server objects; "
+                "use stats()/debug_report()/waiter_gauges() instead"
+            )
+        return servers
+
+    @property
+    def fabric(self) -> NetworkFabric | None:
+        return self.backend.fabric
+
+    @property
+    def _transports(self) -> dict[str, Transport]:
+        """Per-host client transports (compat shim for benches/tests)."""
+        transports = getattr(self.backend, "_transports", None)
+        if transports is not None:
+            return transports
+        return {host: self.backend.transport_for(host) for host in self.backend.hosts}
 
     # -- lifecycle --------------------------------------------------------------
 
     def start(self) -> "Cluster":
-        """Start every memo server."""
-        if self._started:
-            return self
-        for server in self.servers.values():
-            server.start()
-        self._started = True
+        """Start every memo server (spawning processes in process mode)."""
+        self.backend.start()
         return self
 
     def stop(self) -> None:
-        """Stop every memo server; blocked getters are woken with errors."""
+        """Stop every memo server; blocked getters are woken with errors.
+
+        In process mode this reaps every child (SIGTERM, bounded wait,
+        then SIGKILL stragglers) — no zombies survive a clean ``stop``.
+        """
         self.stop_anti_entropy()
-        for server in self.servers.values():
-            server.stop()
-        self._started = False
+        self.backend.stop()
 
     def __enter__(self) -> "Cluster":
         return self.start()
@@ -151,45 +203,27 @@ class Cluster:
     def kill_host(self, host: str) -> None:
         """Take *host*'s memo server down, simulating a machine loss.
 
-        The host's listener unbinds and its blocked getters are woken, so
-        peers see connection failures, suspect it, and fail folders over
-        to backups.  The dead server object stays in :attr:`servers` until
-        :meth:`restart_host` replaces it.
+        In-process this stops the server's threads (listener unbinds,
+        blocked getters wake); in process mode it is a genuine SIGKILL —
+        the OS reclaims the sockets mid-request and whatever wasn't
+        journaled is gone, exactly like a machine losing power.  Either
+        way peers see connection failures, suspect the host, and fail
+        folders over to backups until :meth:`restart_host`.
         """
-        server = self.servers.get(host)
-        if server is None:
-            raise RuntimeLaunchError(f"no memo server on host {host!r}")
-        server.stop()
+        self.backend.kill_host(host)
 
     def restart_host(self, host: str) -> dict[str, dict[str, int]]:
-        """Bring a killed host back empty, re-register it, and resync it.
+        """Bring a killed host back, re-register it, and resync it.
 
         Models a machine rejoining after a crash: a fresh memo server
-        binds the host's address, learns every registered application
-        again, and then runs one anti-entropy round
-        (:class:`~repro.replication.resync.Resyncer`) so peers return the
-        folders it primaries and re-seed its replica store.  Returns the
-        per-peer resync stats (empty when nothing replicates).
+        (in process mode: a fresh OS process, which replays the host's
+        WAL during re-registration) binds the host's address, learns
+        every registered application again, and then runs one
+        anti-entropy round so peers return the folders it primaries and
+        re-seed its replica store.  Returns the per-peer resync stats
+        (empty when nothing replicates).
         """
-        old = self.servers.get(host)
-        if old is None:
-            raise RuntimeLaunchError(f"no memo server on host {host!r}")
-        old.stop()  # idempotent; normally already dead
-        transport = self._transports[host]
-        listen_port = MEMO_PORT if self.transport_kind == "memory" else 0
-        server = MemoServer(
-            host,
-            transport,
-            address_book=self.address_book,
-            listen_port=listen_port,
-            **self._server_kwargs,
-        )
-        # The book may still hold the dead server's address (TCP ports are
-        # dynamic); the shared dict updates every peer at once.
-        self.address_book[host] = server.address
-        self.servers[host] = server
-        if self._started:
-            server.start()
+        self.backend.respawn_host(host)
         with self._lock:
             adfs = [
                 adf
@@ -201,13 +235,7 @@ class Cluster:
         replicated = [adf.app for adf in adfs if adf.replication_factor > 1]
         if not replicated:
             return {}
-        resyncer = Resyncer(host, transport, self.address_book)
-        if server.durability is not None:
-            # The host replayed its local WAL at re-registration; pull only
-            # the outage delta past the recovered LSNs instead of a full
-            # (duplicate-inducing) SyncPull round.
-            return resyncer.resync(replicated, delta_state=server.delta_sync_state())
-        return resyncer.resync(replicated)
+        return self.backend.resync_host(host, replicated)
 
     def resync_all(self, deep: bool = False) -> dict[str, dict[str, dict[str, int]]]:
         """One delta anti-entropy round from every host (host → peer → stats).
@@ -216,7 +244,6 @@ class Cluster:
         to their primaries; run periodically via
         :meth:`start_anti_entropy` it heals divergence without a restart.
         """
-        out: dict[str, dict[str, dict[str, int]]] = {}
         with self._lock:
             replicated = [
                 adf.app
@@ -224,15 +251,8 @@ class Cluster:
                 if adf.replication_factor > 1
             ]
         if not replicated:
-            return out
-        for host, server in sorted(self.servers.items()):
-            if server._stopped or not server._running.is_set():
-                continue
-            resyncer = Resyncer(host, self._transports[host], self.address_book)
-            out[host] = resyncer.resync(
-                replicated, delta_state=server.delta_sync_state(), deep=deep
-            )
-        return out
+            return {}
+        return self.backend.resync_all(replicated, deep=deep)
 
     # -- periodic anti-entropy (opt-in) ---------------------------------------------
 
@@ -281,7 +301,7 @@ class Cluster:
         from repro.network.protocol import recv_message, send_message
 
         request = registration_request_for(adf)
-        conn = self._transports[host].connect(self.address_book[host])
+        conn = self.backend.transport_for(host).connect(self.backend.address_of(host))
         try:
             send_message(conn, request)
             reply = recv_message(conn, timeout=10.0)
@@ -302,13 +322,15 @@ class Cluster:
         sharing the servers) but must name a subset of the cluster's hosts.
         """
         target = adf if adf is not None else self.adf
-        unknown = set(target.host_names()) - set(self.servers)
+        unknown = set(target.host_names()) - set(self.backend.hosts)
         if unknown:
             raise RuntimeLaunchError(
                 f"ADF names hosts with no memo server: {sorted(unknown)}"
             )
         anchor = target.host_names()[0]
-        register_everywhere(target, self._transports[anchor], self.address_book)
+        register_everywhere(
+            target, self.backend.transport_for(anchor), self.backend.address_book
+        )
         with self._lock:
             self._registered_adfs[target.app] = target
 
@@ -347,10 +369,11 @@ class Cluster:
 
     def client_for(self, host: str, origin: str = "") -> MemoClient:
         """A client connected to *host*'s memo server."""
-        server = self.servers.get(host)
-        if server is None:
-            raise RuntimeLaunchError(f"no memo server on host {host!r}")
-        return MemoClient(self._transports[host], server.address, origin=origin)
+        return MemoClient(
+            self.backend.transport_for(host),
+            self.backend.address_of(host),
+            origin=origin,
+        )
 
     def memo_api(
         self,
@@ -371,7 +394,7 @@ class Cluster:
     def stats(self) -> dict[str, dict]:
         """Per-host stats via the wire protocol (host → counter map)."""
         out: dict[str, dict] = {}
-        for host in self.servers:
+        for host in self.backend.hosts:
             with self.client_for(host, origin="stats") as client:
                 reply = client.request(StatsRequest(origin="stats"))
             out[host] = reply.stats
@@ -388,15 +411,16 @@ class Cluster:
         return metrics
 
     def waiter_gauges(self) -> dict[str, dict[str, int]]:
-        """Per-host waiter-table gauges (direct reads, no wire round).
+        """Per-host waiter-table gauges.
 
         ``active`` is the live table population; the rest are cumulative.
-        Reads the in-process server objects so it works even on a host
-        whose listener is wedged — this is a debugging aid.
+        In-process this reads the server objects directly, so it works
+        even on a host whose listener is wedged — a debugging aid.  In
+        process mode the gauges come over the wire via ``StatsRequest``.
         """
         out: dict[str, dict[str, int]] = {}
-        for host, server in self.servers.items():
-            snap = server.stats.snapshot()
+        for host in self.backend.hosts:
+            snap = self.backend.stats_snapshot(host)
             out[host] = {
                 "active": snap["waiters_active"],
                 "parked": snap["waiters_parked"],
@@ -411,11 +435,19 @@ class Cluster:
 
         One line per host: request volume, routing split, and the
         waiter-table gauges (parked waits are otherwise invisible — no
-        thread shows up anywhere while a wait is parked).
+        thread shows up anywhere while a wait is parked).  A process-mode
+        host whose process is dead (or unreachable) reports as ``down``.
         """
+        from repro.errors import MemoError
+
         lines = []
-        for host, server in sorted(self.servers.items()):
-            s = server.stats.snapshot()
+        for host in sorted(self.backend.hosts):
+            try:
+                s = self.backend.stats_snapshot(host)
+                d = self.backend.durability_snapshot(host)
+            except MemoError:
+                lines.append(f"{host}: down (no stats reply)")
+                continue
             line = (
                 f"{host}: requests={s['requests']} "
                 f"local={s['local_dispatches']} fwd_out={s['forwards_out']} "
@@ -425,7 +457,6 @@ class Cluster:
                 f"cancelled={s['waiters_cancelled']} "
                 f"pushes={s['push_frames']}"
             )
-            d = server.durability_gauges()
             if d:
                 line += (
                     f" | wal stores={d['stores']} records={d['wal_records']} "

@@ -1,0 +1,149 @@
+"""``python -m repro.runtime.server_main`` — one memo server per OS process.
+
+This is the reproduction's stand-in for the paper's ``inetd``-spawned
+per-machine memo server: a tiny entrypoint that owns exactly one
+:class:`~repro.servers.memo_server.MemoServer` over real TCP and nothing
+else, so a cluster of N hosts is N interpreters with N GILs.
+
+Two modes:
+
+* **Managed** (``--managed``): spawned by the cluster's
+  :class:`~repro.runtime.backends.ProcessBackend`.  Reads one JSON
+  config line from stdin, binds an *ephemeral* port (port 0), and
+  reports it back as one JSON line on stdout — the handshake the parent
+  blocks on.  The process exits when it is signalled (SIGTERM/SIGINT),
+  when a wire :class:`~repro.network.protocol.ShutdownRequest` stops the
+  server, or when stdin hits EOF — the parent holds the other end of
+  that pipe, so even a SIGKILLed parent takes its children down with it
+  instead of leaking listeners.
+
+* **Standalone** (``server_main HOSTNAME``): a hand-run server for
+  scripts and experiments, listening on :data:`MEMO_PORT` unless
+  ``--port`` says otherwise.
+
+The managed config line mirrors the keyword arguments of
+:class:`~repro.servers.memo_server.MemoServer`::
+
+    {"host": "hub", "idle_timeout": 2.0, "heartbeat_interval": 0.1,
+     "failure_threshold": 3, "durability": {"data_dir": "...", ...} | null}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+
+from repro.durability.config import DurabilityConfig
+from repro.network.tcp import TCPTransport
+from repro.servers.memo_server import MEMO_PORT, MemoServer
+
+__all__ = ["build_server", "main"]
+
+
+def build_server(config: dict) -> MemoServer:
+    """Construct (and bind) a memo server from a managed-mode config dict."""
+    durability = config.get("durability")
+    return MemoServer(
+        str(config["host"]),
+        TCPTransport(),
+        address_book={},
+        listen_port=int(config.get("port", 0)),
+        idle_timeout=float(config.get("idle_timeout", 2.0)),
+        heartbeat_interval=float(config.get("heartbeat_interval", 0.1)),
+        failure_threshold=int(config.get("failure_threshold", 3)),
+        durability=DurabilityConfig(**durability) if durability else None,
+    )
+
+
+def _watch_parent(stop: threading.Event) -> None:
+    """Block on stdin until EOF — i.e. until the parent process is gone.
+
+    Raw ``os.read`` on the file descriptor, not the buffered reader: a
+    daemon thread parked inside the buffered object's lock would deadlock
+    interpreter shutdown (``_enter_buffered_busy``).
+    """
+    fd = sys.stdin.fileno()
+    try:
+        while os.read(fd, 4096):
+            pass
+    except OSError:
+        pass
+    stop.set()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.server_main",
+        description="Run one D-Memo memo server in this process.",
+    )
+    parser.add_argument(
+        "host", nargs="?", help="logical host name (standalone mode)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=MEMO_PORT,
+        help=f"TCP port to bind in standalone mode (default {MEMO_PORT}; 0 = OS-assigned)",
+    )
+    parser.add_argument(
+        "--data-dir",
+        default="",
+        help="enable WAL+snapshot durability under this directory (standalone mode)",
+    )
+    parser.add_argument(
+        "--managed",
+        action="store_true",
+        help="cluster-supervised mode: JSON config on stdin, port handshake on stdout, "
+        "exit on stdin EOF",
+    )
+    args = parser.parse_args(argv)
+
+    if args.managed:
+        line = sys.stdin.readline()
+        if not line:
+            print("server_main --managed: no config line on stdin", file=sys.stderr)
+            return 2
+        config = json.loads(line)
+    else:
+        if not args.host:
+            parser.error("host name required unless --managed")
+        config = {"host": args.host, "port": args.port}
+        if args.data_dir:
+            config["durability"] = {"data_dir": args.data_dir}
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _sig, _frame: stop.set())
+
+    server = build_server(config)
+    server.start()
+
+    if args.managed:
+        sys.stdout.write(
+            json.dumps({"host": server.host, "port": server.address.port}) + "\n"
+        )
+        sys.stdout.flush()
+        threading.Thread(
+            target=_watch_parent, args=(stop,), name="parent-watch", daemon=True
+        ).start()
+    else:
+        print(
+            f"memo server {server.host!r} listening on port {server.address.port}",
+            flush=True,
+        )
+
+    try:
+        while not stop.wait(0.2):
+            if server.stopped:  # a wire ShutdownRequest already stopped it
+                break
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ from repro.network.codec import (
 )
 from repro.network.connection import Address, Connection, Transport
 from repro.network.protocol import (
+    AddressUpdate,
     BurstEnvelope,
     CancelWaitRequest,
     ForwardEnvelope,
@@ -96,6 +97,7 @@ from repro.network.protocol import (
     DeltaSyncPull,
     ReplicatePut,
     Reply,
+    ResyncRequest,
     ShutdownRequest,
     StatsRequest,
     SyncPull,
@@ -108,6 +110,7 @@ from repro.durability.config import DurabilityConfig
 from repro.durability.manager import DurabilityManager
 from repro.network.routing import RoutingTable
 from repro.replication.failure import FailureDetector, HeartbeatMonitor
+from repro.replication.resync import Resyncer
 from repro.servers.folder_server import FolderServer
 from repro.servers.hashing import FolderPlacement, HashWeightPolicy, PlacementCache
 from repro.servers.threadcache import ThreadCache, scatter_join
@@ -1002,6 +1005,11 @@ class MemoServer:
         """Where applications and peer servers connect."""
         return self._listener.address
 
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` ran (including via :class:`ShutdownRequest`)."""
+        return self._stopped
+
     def start(self) -> None:
         """Begin accepting connections."""
         if self._stopped:
@@ -1127,6 +1135,10 @@ class MemoServer:
             return self._handle_delta_sync(msg)
         if isinstance(msg, StatsRequest):
             return Reply(ok=True, stats=self._collect_stats())
+        if isinstance(msg, AddressUpdate):
+            return self._handle_address_update(msg)
+        if isinstance(msg, ResyncRequest):
+            return self._handle_resync_request(msg)
         if isinstance(msg, ShutdownRequest):
             threading.Thread(target=self.stop, daemon=True).start()
             return Reply(ok=True)
@@ -2099,6 +2111,40 @@ class MemoServer:
         self.stats.bump("resync_returned", returned)
         self.stats.bump("resync_reseeded", reseeded)
         return Reply(ok=True, stats={"returned": returned, "reseeded": reseeded})
+
+    def _handle_address_update(self, msg: AddressUpdate) -> Reply:
+        """Adopt the cluster's current host → port map (process mode).
+
+        Pooled connections to a host whose port changed are dropped so
+        nothing keeps dialing the pre-restart listener.
+        """
+        for host, port in msg.ports.items():
+            new = Address(str(host), int(port))
+            old = self.address_book.get(new.host)
+            if old == new:
+                continue
+            if old is not None:
+                self._pool.drop(old)
+            self.address_book[new.host] = new
+        return Reply(ok=True)
+
+    def _handle_resync_request(self, msg: ResyncRequest) -> Reply:
+        """Run one anti-entropy round from here, on the parent's behalf.
+
+        The per-peer stats come back flattened as ``"<peer>:<metric>"``
+        inside the reply's counter map (the wire stats dict is flat).
+        """
+        resyncer = Resyncer(self.host, self.transport, self.address_book)
+        delta_state = self.delta_sync_state() if msg.delta else None
+        stats = resyncer.resync(
+            list(msg.apps), delta_state=delta_state, deep=msg.deep
+        )
+        flat = {
+            f"{peer}:{metric}": count
+            for peer, counters in stats.items()
+            for metric, count in counters.items()
+        }
+        return Reply(ok=True, stats=flat)
 
     def delta_sync_state(self) -> tuple[dict[str, int], dict[str, int]]:
         """What this host already holds, in origin coordinates.

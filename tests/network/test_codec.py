@@ -18,6 +18,7 @@ from repro.durability.records import (
     WalPut,
 )
 from repro.network.protocol import (
+    AddressUpdate,
     CancelWaitRequest,
     DeltaSyncPull,
     ForwardEnvelope,
@@ -32,6 +33,7 @@ from repro.network.protocol import (
     RegisterRequest,
     ReplicatePut,
     Reply,
+    ResyncRequest,
     ShutdownRequest,
     StatsRequest,
     SyncPull,
@@ -86,6 +88,8 @@ ALL_MESSAGES = [
     ),
     StatsRequest(origin="p"),
     ShutdownRequest(origin="p"),
+    AddressUpdate(ports={"h1": 50301, "h2": 50307}, origin="cluster"),
+    ResyncRequest(apps=("inv", "pay"), delta=True, deep=True, origin="cluster"),
     ForwardEnvelope("inv", "h2", b"inner-bytes", trail=("h1", "h3")),
     Reply(ok=True, found=True, payload=b"v", folder=folder(), stats={"memo.requests": 5}),
 ]

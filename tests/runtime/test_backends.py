@@ -1,0 +1,160 @@
+"""Backend selection, validation, and the server_main entrypoint."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.adf.defaults import system_default_adf
+from repro.errors import RuntimeLaunchError
+from repro.runtime.backends import InProcessBackend, ProcessBackend
+from repro.runtime.cluster import Cluster
+from repro.servers.hashing import HashWeightPolicy
+from repro.servers.memo_server import MEMO_PORT
+
+HOSTS = ["a", "b"]
+
+
+def adf():
+    return system_default_adf(HOSTS, app="sel")
+
+
+class TestBackendSelection:
+    def test_default_is_inprocess_over_memory(self):
+        cluster = Cluster(adf())
+        assert cluster.backend_kind == "inprocess"
+        assert isinstance(cluster.backend, InProcessBackend)
+        assert cluster.transport_kind == "memory"
+        assert cluster.fabric is not None
+
+    def test_process_backend_defaults_to_tcp(self):
+        cluster = Cluster(adf(), backend="process")
+        assert cluster.backend_kind == "process"
+        assert isinstance(cluster.backend, ProcessBackend)
+        assert cluster.transport_kind == "tcp"
+        assert cluster.fabric is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(RuntimeLaunchError, match="unknown cluster backend"):
+            Cluster(adf(), backend="carrier-pigeon")
+
+    def test_process_backend_rejects_memory_transport(self):
+        with pytest.raises(RuntimeLaunchError, match="TCP"):
+            Cluster(adf(), backend="process", transport_kind="memory")
+
+    def test_process_backend_rejects_policy_objects(self):
+        with pytest.raises(RuntimeLaunchError, match="process boundary"):
+            Cluster(adf(), backend="process", policy=HashWeightPolicy())
+
+    def test_process_backend_has_no_server_objects(self):
+        cluster = Cluster(adf(), backend="process")
+        with pytest.raises(RuntimeLaunchError, match="no in-process server"):
+            cluster.servers
+        with pytest.raises(RuntimeLaunchError, match="not started"):
+            cluster.client_for("a")
+
+    def test_inprocess_keeps_seed_surface(self):
+        cluster = Cluster(adf(), transport_kind="tcp")
+        assert set(cluster.servers) == set(HOSTS)
+        assert set(cluster._transports) == set(HOSTS)
+        # TCP listeners bind ephemerally: never the fixed base port.
+        for host in HOSTS:
+            assert cluster.address_book[host].port != MEMO_PORT
+        cluster.stop()
+
+
+class TestEphemeralPorts:
+    def test_parallel_tcp_clusters_never_collide(self, tmp_path):
+        """Two clusters (one threaded, one process-per-server) coexist:
+        every listener is OS-assigned, nothing derives from MEMO_PORT."""
+        with Cluster(adf(), transport_kind="tcp") as first:
+            with Cluster(adf(), backend="process") as second:
+                ports = [first.address_book[h].port for h in HOSTS]
+                ports += [second.address_book[h].port for h in HOSTS]
+                assert len(set(ports)) == len(ports)
+                assert MEMO_PORT not in ports
+                first.register()
+                second.register()
+
+
+class TestServerMain:
+    def _env(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return env
+
+    def test_managed_mode_handshakes_and_dies_on_stdin_eof(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.server_main", "--managed"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=self._env(),
+        )
+        try:
+            proc.stdin.write(b'{"host": "solo"}\n')
+            proc.stdin.flush()
+            handshake = json.loads(proc.stdout.readline())
+            assert handshake["host"] == "solo"
+            assert handshake["port"] > 0  # ephemeral, OS-assigned
+            # Parent death = stdin EOF: the child must exit on its own.
+            proc.stdin.close()
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_standalone_mode_defaults_documented_port_and_obeys_sigterm(self):
+        # --port 0 keeps the test collision-free; MEMO_PORT stays the
+        # documented standalone default in the argparse surface.
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.server_main",
+                "standalone-host",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            env=self._env(),
+        )
+        try:
+            line = proc.stdout.readline().decode()
+            assert "standalone-host" in line and "listening" in line
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_standalone_default_port_is_memo_port(self):
+        from repro.runtime import server_main
+
+        parser_default = None
+        # The argparse default is the documented MEMO_PORT contract; probe
+        # it without binding (7094 may be in use on a shared machine).
+        import argparse
+
+        original = argparse.ArgumentParser.parse_args
+
+        def capture(self, argv=None, namespace=None):
+            nonlocal parser_default
+            for action in self._actions:
+                if action.dest == "port":
+                    parser_default = action.default
+            raise SystemExit(0)
+
+        argparse.ArgumentParser.parse_args = capture
+        try:
+            with pytest.raises(SystemExit):
+                server_main.main(["x"])
+        finally:
+            argparse.ArgumentParser.parse_args = original
+        assert parser_default == MEMO_PORT
