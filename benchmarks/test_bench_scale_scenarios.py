@@ -1,0 +1,122 @@
+"""SCALE — scenario-harness scaling curve: hosts vs throughput, calm and faulted.
+
+The paper's evaluation argues D-Memo keeps useful throughput as the
+cluster grows and as machines misbehave.  This bench drives the scenario
+harness (`repro.scenarios.run_scenario`) over a host-count curve twice
+per point — once calm, once with a mid-run kill + partition — and
+records acked-put throughput with p50/p99 ack latency into
+``BENCH_SCALE.json``.  Every run also re-checks the three cluster-wide
+invariants (no lost acked puts, no stranded waiters, bounded
+duplicates), so the curve is only recorded for runs the checker passed.
+
+Set ``DMEMO_SCENARIO_SMOKE=1`` (CI) for a quick bitrot check: a shorter
+host curve with smaller op budgets and no artifact recording.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import FaultEvent, ScenarioSpec, WorkloadSpec, run_scenario
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.benchmark(group="scale-scenarios")
+
+SMOKE = os.environ.get("DMEMO_SCENARIO_SMOKE") == "1"
+HOST_CURVE = [2, 3, 4] if SMOKE else [4, 8, 16]
+OPS_PER_WORKER = 60 if SMOKE else 260
+SEED = 1994
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_SCALE.json"
+
+
+def _record(curve: dict) -> None:
+    if SMOKE:
+        return
+    results: dict = {}
+    if _RESULTS_PATH.exists():
+        try:
+            results = json.loads(_RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results.update(curve)
+    _RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def _spec(hosts: int, faulted: bool) -> ScenarioSpec:
+    """One curve point: a worker per host hammering a replicated cluster.
+
+    The faulted variant kills one non-anchor host mid-run and cuts one
+    link while it is down — the restart-under-partition shape that
+    exercises delta anti-entropy's resync floor.
+    """
+    names = [f"n{i:02d}" for i in range(hosts)]
+    faults = []
+    if faulted:
+        faults.append(
+            FaultEvent(at=0.4, kind="kill", targets=(names[-1],), duration=1.2)
+        )
+        if hosts >= 3:
+            faults.append(
+                FaultEvent(
+                    at=0.7,
+                    kind="partition",
+                    targets=(names[1], names[-1]),
+                    duration=0.8,
+                )
+            )
+    return ScenarioSpec(
+        name=f"scale-{hosts}-{'faulted' if faulted else 'calm'}",
+        seed=SEED,
+        hosts=hosts,
+        replication_factor=2,
+        duration=90.0,
+        faults=faults,
+        workloads=[
+            WorkloadSpec(kind="uniform", workers=hosts, ops=OPS_PER_WORKER),
+            WorkloadSpec(kind="pipeline", workers=1, ops=OPS_PER_WORKER // 2,
+                         options={"stages": 3}),
+        ],
+    )
+
+
+def _point(result) -> dict:
+    m = result.metrics
+    return {
+        "hosts": m["hosts"],
+        "acked_puts": m["acked_puts"],
+        "throughput_put_s": m["throughput_ops"],
+        "p50_ms": m.get("p50_ms", 0.0),
+        "p99_ms": m.get("p99_ms", 0.0),
+        "duplicates": sum(result.report.duplicates.values()),
+        "faults_executed": len(result.executed_faults),
+    }
+
+
+def test_scaling_curve_calm_and_faulted():
+    curve: dict[str, dict] = {}
+    rows = []
+    for hosts in HOST_CURVE:
+        for faulted in (False, True):
+            result = run_scenario(_spec(hosts, faulted))
+            result.assert_ok()  # the curve only records invariant-clean runs
+            point = _point(result)
+            label = "faulted" if faulted else "calm"
+            curve.setdefault(str(hosts), {})[label] = point
+            rows.append(
+                (
+                    f"{hosts} hosts",
+                    label,
+                    f"{point['throughput_put_s']:.0f} put/s",
+                    f"p50 {point['p50_ms']:.2f} ms",
+                    f"p99 {point['p99_ms']:.2f} ms",
+                )
+            )
+    report("SCALE: scenario throughput vs host count (calm / faulted)", rows)
+    assert len(curve) >= 3  # a real curve, not a point
+    _record({"backend": "inprocess", "seed": SEED, "curve": curve})

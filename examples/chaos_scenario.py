@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Chaos, scripted: a seeded fault schedule under sustained mixed load.
+
+The scenario harness turns "did the cluster survive that?" into a
+checked, reproducible experiment.  A :class:`ScenarioSpec` is pure data —
+cluster shape, workload mix, fault timeline — so the same seed replays
+the same byte-identical schedule; `run_scenario` drives the traffic,
+injects the faults beside it, then settles the cluster and reconciles a
+client-side ledger against what the folders still hold.  Three
+invariants decide the verdict:
+
+* **no lost acked puts** — everything the cluster acknowledged is seen
+  again (consumed mid-run or recovered by the final drain);
+* **no stranded waiters** — no server's waiter table leaks a parked
+  ``get_async`` through the kill/fail-over windows;
+* **bounded duplicates** — any token seen twice is explained by a client
+  retry or a fault window (and exactly-once when the run is calm).
+
+This example kills one host mid-run, cuts a link while it is down —
+the restart-under-partition shape that once stranded acked writes in a
+backup's replica store — and prints the full invariant report.
+
+Run:  python examples/chaos_scenario.py
+"""
+
+from repro.scenarios import FaultEvent, ScenarioSpec, WorkloadSpec, run_scenario
+
+spec = ScenarioSpec(
+    name="chaos-demo",
+    seed=424242,
+    hosts=4,
+    replication_factor=2,  # kills need a surviving copy to fail over to
+    duration=45.0,
+    backend="inprocess",  # try backend="process" for real SIGKILLs
+    faults=[
+        # 0.4s in: machine n03 drops dead for 1.5s, then rejoins cold.
+        FaultEvent(at=0.4, kind="kill", targets=("n03",), duration=1.5),
+        # While it is down, the n01<->n03 link is cut; the restart happens
+        # behind the partition and anti-entropy must heal it afterwards.
+        FaultEvent(at=0.9, kind="partition", targets=("n01", "n03"), duration=1.0),
+    ],
+    workloads=[
+        # A mixed open put/batch/consume stream from every corner...
+        WorkloadSpec(kind="uniform", workers=3, ops=400),
+        # ...a producer -> relay -> sink pipeline hopping across hosts...
+        WorkloadSpec(kind="pipeline", workers=1, ops=120, options={"stages": 3}),
+        # ...and a scatter-gather boss fanning work out and waiting fan-in.
+        WorkloadSpec(kind="scatter_gather", workers=1, ops=30,
+                     options={"fanout": 3}),
+    ],
+)
+
+print("fault schedule (replayable from seed", spec.seed, "):")
+for event in spec.fault_schedule():
+    print(f"  t+{event.at:.2f}s  {event.kind:<9} {','.join(event.targets)}"
+          f"  for {event.duration:.2f}s")
+
+result = run_scenario(spec)
+
+print()
+print(result.format())
+result.assert_ok()
+print()
+print("survived: every acked put accounted for, waiter tables clean,"
+      " duplicates all fault-explained.")

@@ -179,6 +179,7 @@ class LucidActorNetwork:
         program: LucidProgram,
         system: ActorSystem,
         prefix: str = "lucid",
+        transient_retries: int = 0,
     ) -> None:
         self.program = program
         self.system = system
@@ -188,7 +189,9 @@ class LucidActorNetwork:
         for var, expr in program.equations.items():
             behaviors[var] = _variable_behavior(var, expr, self._refs)
         for var, behavior in behaviors.items():
-            self._refs[var] = system.spawn(f"{prefix}.{var}", behavior)
+            self._refs[var] = system.spawn(
+                f"{prefix}.{var}", behavior, transient_retries=transient_retries
+            )
 
         self._results: dict[int, object] = {}
         self._results_lock = threading.Lock()
@@ -199,7 +202,9 @@ class LucidActorNetwork:
             with self._results_lock:
                 self._results[msg["t"]] = msg["value"]
 
-        self._collector = system.spawn(f"{prefix}.__collector__", collector)
+        self._collector = system.spawn(
+            f"{prefix}.__collector__", collector, transient_retries=transient_retries
+        )
 
     def demand(self, var: str, t: int) -> None:
         """Fire one asynchronous demand (the answer lands in the collector)."""

@@ -87,14 +87,31 @@ _STOP = {"type": "__stop__"}
 
 
 class Actor:
-    """A running actor: mailbox folder + behaviour + serving thread."""
+    """A running actor: mailbox folder + behaviour + serving thread.
 
-    def __init__(self, system: "ActorSystem", name: str, behavior: Behavior) -> None:
+    ``transient_retries`` bounds how many *consecutive* transient memo
+    errors (fail-over in progress, folder mid-migration, a dying host's
+    last reply) the mailbox loop rides through before concluding the
+    cluster is gone and exiting.  The default 0 preserves the original
+    behaviour — any error ends the actor — while chaos workloads spawn
+    actors with a generous budget so a killed host's fail-over window
+    doesn't silently decapitate the actor network.
+    """
+
+    def __init__(
+        self,
+        system: "ActorSystem",
+        name: str,
+        behavior: Behavior,
+        *,
+        transient_retries: int = 0,
+    ) -> None:
         self.system = system
         self.ref = ActorRef(name, system.memo.create_symbol(f"mbox.{name}"))
         self._memo = system._memo_for(name)  # dedicated connection
         self._behavior = behavior
         self._state: dict = {}
+        self._transient_retries = transient_retries
         self._thread = threading.Thread(
             target=self._loop, name=f"mdc-{name}", daemon=True
         )
@@ -132,16 +149,26 @@ class Actor:
     POLL_MAX = 0.01
 
     def _loop(self) -> None:
-        from repro.core.api import NIL
+        from repro.core.api import _ALT_TRANSIENT_MARKERS, NIL
 
         memo = self._memo
         key = self.ref.mailbox_key()
         backoff = self.POLL_MIN
+        transients = 0
         while True:
             try:
                 message = memo.get_skip(key)
-            except MemoError:
-                return  # cluster shut down
+            except MemoError as exc:
+                # Either the cluster shut down (exit) or a fault window is
+                # passing under us (ride it out, within budget).
+                transients += 1
+                if transients > self._transient_retries or not any(
+                    m in str(exc) for m in _ALT_TRANSIENT_MARKERS
+                ):
+                    return
+                time.sleep(min(0.01 * transients, 0.2))
+                continue
+            transients = 0
             if message is NIL:
                 time.sleep(backoff)
                 backoff = min(backoff * 2, self.POLL_MAX)
@@ -203,12 +230,19 @@ class ActorSystem:
             return self._memo_factory(name)
         return self.memo
 
-    def spawn(self, name: str, behavior: Behavior) -> ActorRef:
-        """Create and start an actor; returns its reference."""
+    def spawn(
+        self, name: str, behavior: Behavior, *, transient_retries: int = 0
+    ) -> ActorRef:
+        """Create and start an actor; returns its reference.
+
+        *transient_retries* > 0 makes the actor survive that many
+        consecutive fail-over-shaped errors on its mailbox (see
+        :class:`Actor`) — chaos workloads want a generous budget.
+        """
         with self._lock:
             if name in self._actors:
                 raise MemoError(f"actor {name!r} already exists in this system")
-            actor = Actor(self, name, behavior)
+            actor = Actor(self, name, behavior, transient_retries=transient_retries)
             self._actors[name] = actor
         actor.start()
         return actor.ref

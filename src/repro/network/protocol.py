@@ -338,6 +338,13 @@ class DeltaSyncPull:
       the requester's replica stores.  The receiver re-seeds only its
       primary records past those marks (empty marks request a full,
       receiver-side-deduplicated re-seed — used by deep sweeps).
+    - ``primary_floors``: its own folder-server id → the store's
+      resync floor.  A cold (log-less) restart resumes the LSN clock
+      past the dead incarnation's high-water mark, so the range below
+      the floor was *never* recovered even though it sits under the
+      advertised LSN; the receiver returns records at or below the
+      floor unconditionally.  Empty for hosts with continuous or
+      WAL-replayed history.
 
     Timer-driven anti-entropy sweeps send the same message from healthy
     hosts; receiver-side dedup by origin coordinates keeps repeated
@@ -348,6 +355,7 @@ class DeltaSyncPull:
     requester: str
     primary_lsns: dict = field(default_factory=dict)
     replica_marks: dict = field(default_factory=dict)
+    primary_floors: dict = field(default_factory=dict)
     origin: str = ""
 
 
@@ -578,6 +586,7 @@ register_compact(
         ("requester", "str"),
         ("primary_lsns", "tlv"),
         ("replica_marks", "tlv"),
+        ("primary_floors", "tlv"),
         ("origin", "str"),
     ),
 )

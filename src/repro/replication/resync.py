@@ -61,13 +61,13 @@ class Resyncer:
         self,
         apps: list[str],
         timeout: float = 10.0,
-        delta_state: tuple[dict[str, int], dict[str, int]] | None = None,
+        delta_state: tuple[dict[str, int], dict[str, int], dict[str, int]] | None = None,
         deep: bool = False,
     ) -> dict[str, dict[str, int]]:
         """Run one pull round against every peer for every app.
 
         Without *delta_state* this is the classic full
-        :class:`SyncPull`.  With it — ``(primary_lsns, replica_marks)``
+        :class:`SyncPull`.  With it — ``(primary_lsns, replica_marks, primary_floors)``
         as produced by ``MemoServer.delta_sync_state()`` — peers receive
         a :class:`DeltaSyncPull` and ship only what the advertised state
         is missing: a WAL-recovered host gets the outage delta instead
@@ -108,18 +108,19 @@ class Resyncer:
         address: Address,
         app: str,
         timeout: float,
-        delta_state: tuple[dict[str, int], dict[str, int]] | None = None,
+        delta_state: tuple[dict[str, int], dict[str, int], dict[str, int]] | None = None,
         deep: bool = False,
     ) -> Reply | None:
         if delta_state is None:
             msg: object = SyncPull(app=app, requester=self.host)
         else:
-            primary_lsns, replica_marks = delta_state
+            primary_lsns, replica_marks, primary_floors = delta_state
             msg = DeltaSyncPull(
                 app=app,
                 requester=self.host,
                 primary_lsns=dict(primary_lsns),
                 replica_marks={} if deep else dict(replica_marks),
+                primary_floors=dict(primary_floors),
             )
         try:
             conn = self.transport.connect(address)

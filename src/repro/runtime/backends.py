@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import select
+import signal
 import subprocess
 import sys
 import threading
@@ -108,6 +109,21 @@ class ClusterBackend:
         """
         raise NotImplementedError
 
+    def pause_host(self, host: str) -> None:
+        """Make *host* unresponsive without killing it (a gray failure).
+
+        In-process (memory fabric) this cuts every link touching the
+        host; in process mode it is a genuine ``SIGSTOP`` — the server
+        freezes mid-whatever, keeps its sockets, and answers nothing
+        until :meth:`resume_host`.  Peers see timeouts, suspect it, and
+        fail over; on resume it picks up exactly where it stopped.
+        """
+        raise NotImplementedError
+
+    def resume_host(self, host: str) -> None:
+        """Undo :meth:`pause_host`; a no-op for a host that isn't paused."""
+        raise NotImplementedError
+
     def resync_host(self, host: str, apps: list[str]) -> dict[str, dict[str, int]]:
         """One anti-entropy round from *host* (peer → stats)."""
         raise NotImplementedError
@@ -171,6 +187,8 @@ class InProcessBackend(ClusterBackend):
         self._transports: dict[str, Transport] = {}
         self._server_kwargs = server_kwargs
         self._started = False
+        #: host → peers whose link this backend cut for a pause window.
+        self._paused_links: dict[str, list[str]] = {}
 
         if transport_kind == "memory":
             self.fabric = NetworkFabric()
@@ -244,12 +262,43 @@ class InProcessBackend(ClusterBackend):
             listen_port=listen_port,
             **self._server_kwargs,
         )
+        # The dead incarnation's stores are still in memory: hand its LSN
+        # clocks to the fresh server so log-less stores resume stamping
+        # past them (otherwise regrown clocks shadow the crash-lost range
+        # and delta anti-entropy would never return it).
+        legacy = dict(old.lsn_rebase)
+        for fs in (*old._folder_servers.values(), *old._replica_servers.values()):
+            clock = fs.current_lsn()
+            if clock > legacy.get(fs.server_id, 0):
+                legacy[fs.server_id] = clock
+        server.lsn_rebase = legacy
         # The book may still hold the dead server's address (TCP ports are
         # dynamic); the shared dict updates every peer at once.
         self.address_book[host] = server.address
         self.servers[host] = server
         if self._started:
             server.start()
+
+    def pause_host(self, host: str) -> None:
+        if host not in self.servers:
+            raise RuntimeLaunchError(f"no memo server on host {host!r}")
+        if self.fabric is None:
+            raise RuntimeLaunchError(
+                "pause_host on the in-process backend needs the memory "
+                "fabric (it is modeled as cutting every link of the host)"
+            )
+        cut = self._paused_links.setdefault(host, [])
+        for peer in self.hosts:
+            if peer == host or self.fabric.is_partitioned(host, peer):
+                continue
+            self.fabric.partition(host, peer)
+            cut.append(peer)
+
+    def resume_host(self, host: str) -> None:
+        if self.fabric is None:
+            return
+        for peer in self._paused_links.pop(host, []):
+            self.fabric.heal(host, peer)
 
     def resync_host(self, host: str, apps: list[str]) -> dict[str, dict[str, int]]:
         server = self.servers[host]
@@ -354,6 +403,7 @@ class ProcessBackend(ClusterBackend):
         self._server_config = dict(server_config)
         self._handshake_timeout = handshake_timeout
         self._children: dict[str, _ChildProcess] = {}
+        self._paused: set[str] = set()
         self._intended_down: set[str] = set()
         self._lock = threading.Lock()
         self._started = False
@@ -490,7 +540,10 @@ class ProcessBackend(ClusterBackend):
             self._supervisor = None
         children = list(self._children.values())
         # Graceful first: SIGTERM runs the child's orderly MemoServer.stop()
-        # (blocked getters woken, WAL flushed to the platter).
+        # (blocked getters woken, WAL flushed to the platter).  A frozen
+        # child would queue the SIGTERM forever; thaw it first.
+        for host in list(self._paused):
+            self.resume_host(host)
         for child in children:
             if child.alive:
                 child.proc.terminate()
@@ -530,16 +583,35 @@ class ProcessBackend(ClusterBackend):
             raise RuntimeLaunchError(f"no memo server on host {host!r}")
         with self._lock:
             self._intended_down.add(host)
+        self._paused.discard(host)  # SIGKILL lands even on a stopped process
         child.proc.kill()
         child.proc.wait(timeout=STOP_GRACE)
         child.reported = True
         self._close_pipes(child)
         self.failure.mark_dead(host)
 
+    def pause_host(self, host: str) -> None:
+        """``SIGSTOP`` the child: frozen, reachable, answering nothing."""
+        child = self._children.get(host)
+        if child is None or not child.alive:
+            raise RuntimeLaunchError(f"no live memo server process on host {host!r}")
+        self._paused.add(host)
+        os.kill(child.proc.pid, signal.SIGSTOP)
+
+    def resume_host(self, host: str) -> None:
+        child = self._children.get(host)
+        if child is None or host not in self._paused:
+            return
+        self._paused.discard(host)
+        if child.alive:
+            os.kill(child.proc.pid, signal.SIGCONT)
+
     def respawn_host(self, host: str) -> None:
         old = self._children.get(host)
         if old is None:
             raise RuntimeLaunchError(f"no memo server on host {host!r}")
+        if host in self._paused:
+            self.resume_host(host)  # an unkillable frozen child can't reap
         if old.alive:
             old.proc.kill()
             old.proc.wait(timeout=STOP_GRACE)

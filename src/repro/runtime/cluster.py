@@ -212,6 +212,21 @@ class Cluster:
         """
         self.backend.kill_host(host)
 
+    def pause_host(self, host: str) -> None:
+        """Freeze *host* without killing it (a gray failure).
+
+        The server stays up but answers nothing: in-process every fabric
+        link touching it is cut, in process mode the child is
+        ``SIGSTOP``ped.  Peers time out, suspect it, and fail over —
+        then :meth:`resume_host` thaws it with all its state intact,
+        the classic split-brain-then-heal shape partitions produce.
+        """
+        self.backend.pause_host(host)
+
+    def resume_host(self, host: str) -> None:
+        """Undo :meth:`pause_host` (no-op for a host that isn't paused)."""
+        self.backend.resume_host(host)
+
     def restart_host(self, host: str) -> dict[str, dict[str, int]]:
         """Bring a killed host back, re-register it, and resync it.
 
@@ -416,11 +431,24 @@ class Cluster:
         ``active`` is the live table population; the rest are cumulative.
         In-process this reads the server objects directly, so it works
         even on a host whose listener is wedged — a debugging aid.  In
-        process mode the gauges come over the wire via ``StatsRequest``.
+        process mode the gauges come over the wire via ``StatsRequest``,
+        and a host that is dead (or dies mid-query) yields a partial
+        entry tagged ``{"down": True}`` instead of failing the whole
+        aggregation — callers polling during a kill window (the scenario
+        invariant checker does) still see every surviving host.
         """
+        from repro.errors import MemoError
+
         out: dict[str, dict[str, int]] = {}
         for host in self.backend.hosts:
-            snap = self.backend.stats_snapshot(host)
+            try:
+                snap = self.backend.stats_snapshot(host)
+            except (MemoError, TimeoutError, OSError):
+                # Dead, not-yet-spawned, or frozen mid-query (process mode
+                # answers over the wire; a paused child accepts and says
+                # nothing until the recv deadline).
+                out[host] = {"down": True}
+                continue
             out[host] = {
                 "active": snap["waiters_active"],
                 "parked": snap["waiters_parked"],
@@ -445,7 +473,7 @@ class Cluster:
             try:
                 s = self.backend.stats_snapshot(host)
                 d = self.backend.durability_snapshot(host)
-            except MemoError:
+            except (MemoError, TimeoutError, OSError):
                 lines.append(f"{host}: down (no stats reply)")
                 continue
             line = (

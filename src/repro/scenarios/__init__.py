@@ -1,0 +1,43 @@
+"""The scenario harness: sustained load + scheduled faults + invariants.
+
+The paper's evaluation runs D-Memo under real application traffic; this
+package is the reproduction's equivalent of that end-to-end exercise,
+hardened into a chaos harness:
+
+* :mod:`~repro.scenarios.spec` — a scenario as data: cluster shape,
+  workload mix, fault schedule; seeded, serializable, reproducible.
+* :mod:`~repro.scenarios.workloads` — composable traffic shapes
+  (uniform mix, pipeline, scatter-gather fan-in, MDC actor rings, Lucid
+  dataflow) with open-/closed-loop pacing.
+* :mod:`~repro.scenarios.faults` — the timed fault scheduler
+  (kill/restart, pause, partition, latency spike) running beside the
+  load.
+* :mod:`~repro.scenarios.ledger` / :mod:`~repro.scenarios.checker` —
+  the client-side ledger and the cluster-wide invariant checker: no
+  lost acked puts, no stranded waiters, bounded duplicates.
+* :mod:`~repro.scenarios.driver` — ``run_scenario(spec)``: one call,
+  one invariant-checked :class:`~repro.scenarios.driver.ScenarioResult`.
+"""
+
+from repro.scenarios.checker import InvariantChecker, InvariantReport
+from repro.scenarios.driver import ScenarioResult, run_scenario
+from repro.scenarios.faults import FaultScheduler
+from repro.scenarios.ledger import FaultEpoch, ScenarioLedger
+from repro.scenarios.spec import FaultEvent, ScenarioSpec, WorkloadSpec
+from repro.scenarios.workloads import WORKLOADS, Workload, WorkloadContext
+
+__all__ = [
+    "FaultEpoch",
+    "FaultEvent",
+    "FaultScheduler",
+    "InvariantChecker",
+    "InvariantReport",
+    "ScenarioLedger",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "Workload",
+    "WorkloadContext",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "run_scenario",
+]

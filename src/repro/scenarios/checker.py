@@ -1,0 +1,273 @@
+"""The cluster-wide invariant checker: ledger vs post-chaos cluster state.
+
+After the workloads wind down and the fault scheduler has closed every
+window, the checker (1) **settles** the cluster — resumes paused hosts,
+heals fabric cuts, restarts anything still dead, runs an anti-entropy
+round, and waits for the waiter tables to quiesce; (2) **drains** every
+tracked folder from the anchor host, crediting each recovered token to
+the ledger; (3) **checks** three invariants over the reconciled ledger:
+
+* **No lost acked puts** — every token whose put was acknowledged is
+  observed at least once (consumed during the run, or recovered by the
+  drain).  An acked-then-vanished token is data loss, full stop.
+* **No stranded waiters** — after quiescence no server's waiter table
+  holds active entries: every parked ``get_async`` either completed or
+  was cancelled; none leaked through kill/fail-over windows.
+* **Bounded duplicates** — a token observed more than once must be
+  *explainable*: its put was retried (at-least-once resend) or its
+  lifetime overlapped a fault window (fail-over re-exposure); an
+  optional spec-level cap bounds the total count either way.  In a
+  calm run the bound degenerates to exactly-once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.api import NIL
+from repro.core.keys import Key
+from repro.errors import MemoError
+from repro.scenarios.ledger import ScenarioLedger
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["InvariantReport", "InvariantChecker"]
+
+#: Widening (seconds) applied to fault windows when deciding whether a
+#: duplicate token was fault-exposed: covers detector flip time plus the
+#: client retry window on either side of the epoch.
+_EPOCH_GRACE = 2.0
+
+
+@dataclass
+class InvariantReport:
+    """The checker's verdict, serializable for the run artifact."""
+
+    lost_acked: list[dict] = field(default_factory=list)
+    stranded_waiters: dict[str, int] = field(default_factory=dict)
+    duplicates: dict[str, int] = field(default_factory=dict)
+    unexplained_duplicates: list[str] = field(default_factory=list)
+    duplicate_cap: int | None = None
+    counts: dict = field(default_factory=dict)
+    settle: dict = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "lost_acked": list(self.lost_acked),
+            "stranded_waiters": dict(self.stranded_waiters),
+            "duplicates": dict(self.duplicates),
+            "unexplained_duplicates": list(self.unexplained_duplicates),
+            "duplicate_cap": self.duplicate_cap,
+            "counts": dict(self.counts),
+            "settle": dict(self.settle),
+        }
+
+    def format(self) -> str:
+        lines = [
+            "invariants: "
+            + ("ALL HOLD" if self.ok else f"{len(self.failures)} VIOLATED")
+        ]
+        counts = self.counts
+        lines.append(
+            "  no-lost-acked-puts: "
+            + (
+                f"VIOLATED ({len(self.lost_acked)} lost of "
+                f"{counts.get('acked_puts', 0)} acked)"
+                if self.lost_acked
+                else f"holds ({counts.get('acked_puts', 0)} acked, "
+                f"{counts.get('consumes', 0)} consumed, "
+                f"{counts.get('drained', 0)} drained)"
+            )
+        )
+        lines.append(
+            "  no-stranded-waiters: "
+            + (
+                f"VIOLATED {self.stranded_waiters}"
+                if self.stranded_waiters
+                else "holds (all waiter tables quiescent)"
+            )
+        )
+        dup_total = sum(self.duplicates.values())
+        label = f"holds ({dup_total} duplicate observations, all explained)"
+        if self.unexplained_duplicates or (
+            self.duplicate_cap is not None and dup_total > self.duplicate_cap
+        ):
+            label = (
+                f"VIOLATED ({len(self.unexplained_duplicates)} unexplained, "
+                f"total {dup_total}, cap {self.duplicate_cap})"
+            )
+        lines.append("  bounded-duplicates: " + label)
+        for failure in self.failures:
+            lines.append(f"  ! {failure}")
+        return "\n".join(lines)
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            raise AssertionError(self.format())
+
+
+class InvariantChecker:
+    """Reconciles a :class:`ScenarioLedger` against the (healed) cluster."""
+
+    def __init__(
+        self,
+        cluster,
+        ledger: ScenarioLedger,
+        spec: ScenarioSpec,
+        tracked_folders: list[Key],
+        anchor_host: str,
+    ) -> None:
+        self.cluster = cluster
+        self.ledger = ledger
+        self.spec = spec
+        self.tracked_folders = tracked_folders
+        self.anchor_host = anchor_host
+        self._settle_info: dict = {}
+
+    # -- phase 1: settle ---------------------------------------------------------
+
+    def settle(self) -> dict:
+        """Heal the world, then wait for the waiter tables to go quiet."""
+        info: dict = {"restarted": [], "resumed": True}
+        cluster = self.cluster
+        for host in cluster.backend.hosts:
+            try:
+                cluster.resume_host(host)
+            except (MemoError, TimeoutError, OSError):
+                pass
+        if cluster.fabric is not None:
+            cluster.fabric.heal_all()
+        for host in list(cluster.backend.hosts):
+            if cluster.backend.is_live(host):
+                continue
+            try:
+                cluster.restart_host(host)
+                info["restarted"].append(host)
+            except (MemoError, TimeoutError, OSError) as exc:
+                info.setdefault("restart_errors", {})[host] = str(exc)
+        if self.spec.replication_factor > 1:
+            try:
+                cluster.resync_all()
+            except (MemoError, TimeoutError, OSError) as exc:
+                info["resync_error"] = str(exc)
+        info["quiesced"] = self._wait_quiescent(self.spec.settle_timeout)
+        self._settle_info = info
+        return info
+
+    def _wait_quiescent(self, timeout: float) -> bool:
+        """Poll until no host reports active waiter-table entries."""
+        deadline = time.monotonic() + timeout
+        while True:
+            gauges = self.cluster.waiter_gauges()
+            active = sum(
+                g.get("active", 0) for g in gauges.values() if not g.get("down")
+            )
+            if active == 0:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.1)
+
+    # -- phase 2: drain ----------------------------------------------------------
+
+    def drain(self) -> int:
+        """Consume every tracked folder dry, crediting tokens to the ledger.
+
+        Untracked values (actor control messages, ring forwards) are
+        consumed and dropped — after the run they are garbage either way.
+        """
+        recovered = 0
+        memo = self.cluster.memo_api(self.anchor_host, self.spec.app, "drain")
+        with memo:
+            for key in self.tracked_folders:
+                while True:
+                    try:
+                        value = memo.get_skip(key)
+                    except MemoError:
+                        break  # settled cluster; treat as empty
+                    if value is NIL:
+                        break
+                    if isinstance(value, dict) and "t" in value:
+                        self.ledger.drained(value["t"])
+                        recovered += 1
+        return recovered
+
+    # -- phase 3: check ----------------------------------------------------------
+
+    def check(self) -> InvariantReport:
+        report = InvariantReport(
+            duplicate_cap=self.spec.max_duplicates,
+            counts=self.ledger.counts(),
+            settle=dict(self._settle_info),
+        )
+
+        # Invariant 1: no lost acked puts.
+        for token, record in sorted(self.ledger.acked_tokens().items()):
+            observations = record.consumed + record.drained
+            if observations == 0:
+                report.lost_acked.append(
+                    {"token": token, "folder": record.folder}
+                )
+            elif observations > 1:
+                report.duplicates[token] = observations
+        if report.lost_acked:
+            report.failures.append(
+                f"no-lost-acked-puts: {len(report.lost_acked)} acked tokens "
+                f"never observed again, e.g. {report.lost_acked[0]}"
+            )
+
+        # Invariant 2: no stranded waiters (post-quiescence active == 0).
+        gauges = self.cluster.waiter_gauges()
+        for host, g in sorted(gauges.items()):
+            if g.get("down"):
+                report.failures.append(
+                    f"no-stranded-waiters: host {host} still down after settle"
+                )
+                continue
+            if g.get("active", 0):
+                report.stranded_waiters[host] = g["active"]
+        if report.stranded_waiters:
+            report.failures.append(
+                f"no-stranded-waiters: active entries remain {report.stranded_waiters}"
+            )
+        if not self._settle_info.get("quiesced", True):
+            report.failures.append(
+                "no-stranded-waiters: waiter tables never quiesced within "
+                f"{self.spec.settle_timeout}s"
+            )
+
+        # Invariant 3: bounded duplicates.
+        acked = self.ledger.acked_tokens()
+        for token in sorted(report.duplicates):
+            record = acked[token]
+            if record.retried:
+                continue  # at-least-once resend: explained
+            if self.ledger.fault_exposed(record, _EPOCH_GRACE):
+                continue  # lived through a fault window: explained
+            report.unexplained_duplicates.append(token)
+        if report.unexplained_duplicates:
+            report.failures.append(
+                "bounded-duplicates: duplicates with no retry and no fault "
+                f"exposure: {report.unexplained_duplicates[:5]}"
+                + ("..." if len(report.unexplained_duplicates) > 5 else "")
+            )
+        total = sum(report.duplicates.values())
+        if self.spec.max_duplicates is not None and total > self.spec.max_duplicates:
+            report.failures.append(
+                f"bounded-duplicates: {total} duplicate observations exceed "
+                f"the spec cap {self.spec.max_duplicates}"
+            )
+        return report
+
+    def run(self) -> InvariantReport:
+        """settle → drain → check, in order."""
+        self.settle()
+        self.drain()
+        return self.check()

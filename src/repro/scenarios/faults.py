@@ -1,0 +1,208 @@
+"""The fault scheduler: a timed, reproducible chaos track beside the load.
+
+Takes the spec's :meth:`~repro.scenarios.spec.ScenarioSpec.fault_schedule`
+(explicit or seed-generated, either way deterministic), expands windowed
+events into open/close *actions*, and executes them on the run's clock in
+a dedicated thread while the workload driver hammers the cluster.  Every
+window is logged as a :class:`~repro.scenarios.ledger.FaultEpoch` so the
+invariant checker can tell fault-exposed tokens from calm-period ones,
+and every executed action lands in :attr:`FaultScheduler.executed` — the
+replayable record a failing run serializes.
+
+Backend mapping: ``kill``/``restart``/``pause`` run everywhere.
+``spike`` and ``partition`` manipulate the in-memory fabric; on a
+fabric-less backend (process mode) a ``partition`` degrades to pausing
+its first target — the nearest real-OS equivalent of "this host became
+unreachable, then came back with its state intact" — and the executed
+record says so (``{"mapped": "pause"}``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import MemoError
+from repro.scenarios.ledger import ScenarioLedger
+from repro.scenarios.spec import FaultEvent
+
+__all__ = ["FaultScheduler"]
+
+
+class _Action:
+    """One scheduled step: open or close one fault event."""
+
+    __slots__ = ("at", "phase", "event", "state")
+
+    def __init__(self, at: float, phase: str, event: FaultEvent) -> None:
+        self.at = at
+        self.phase = phase  # "open" | "close"
+        self.event = event
+        self.state: dict = {}
+
+
+class FaultScheduler:
+    """Executes a fault schedule against a live cluster.
+
+    Args:
+        cluster: the cluster under test.
+        events: the deterministic schedule (seconds from :meth:`start`).
+        ledger: run ledger receiving the fault epochs.
+    """
+
+    def __init__(self, cluster, events: list[FaultEvent], ledger: ScenarioLedger):
+        self.cluster = cluster
+        self.ledger = ledger
+        self.executed: list[dict] = []
+        self._epochs: dict[int, object] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+        self._actions: list[_Action] = []
+        for index, event in enumerate(events):
+            opener = _Action(event.at, "open", event)
+            opener.state["index"] = index
+            self._actions.append(opener)
+            windowed = event.duration > 0 and event.kind != "restart"
+            if windowed:
+                closer = _Action(event.at + event.duration, "close", event)
+                closer.state["index"] = index
+                self._actions.append(closer)
+        self._actions.sort(key=lambda a: (a.at, a.phase == "close"))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "FaultScheduler":
+        self._thread = threading.Thread(
+            target=self._run, name="dmemo-fault-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the clock and force every still-open window closed.
+
+        After this returns the cluster is *healed as far as the schedule
+        goes*: paused hosts resumed, partitions/spikes lifted, killed
+        hosts restarted — the state the invariant checker starts from.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        with self._lock:
+            pending = [a for a in self._actions if a.phase == "close" and not a.state.get("done")]
+        # Heal connectivity faults before restarting killed hosts: a
+        # restart's resync pull must see the whole cluster, not whatever
+        # half a still-open partition leaves visible.
+        pending.sort(key=lambda a: a.event.kind == "kill")
+        for action in pending:
+            self._apply(action, forced=True)
+
+    # -- execution --------------------------------------------------------------
+
+    def _run(self) -> None:
+        t0 = time.monotonic()
+        for action in self._actions:
+            delay = t0 + action.at - time.monotonic()
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            self._apply(action)
+
+    def _apply(self, action: _Action, forced: bool = False) -> None:
+        with self._lock:
+            if action.state.get("done"):
+                return
+            action.state["done"] = True
+        event = action.event
+        record = {
+            "at": event.at,
+            "phase": action.phase,
+            "kind": event.kind,
+            "targets": list(event.targets),
+        }
+        if forced:
+            record["forced_close"] = True
+        try:
+            if action.phase == "open":
+                self._open(action, record)
+            else:
+                self._close(action, record)
+        except (MemoError, TimeoutError, OSError) as exc:
+            # Chaos on chaos (e.g. a restart racing a partition) must not
+            # kill the scheduler; the checker's settle pass re-heals.
+            record["error"] = str(exc)
+        self.executed.append(record)
+
+    def _open(self, action: _Action, record: dict) -> None:
+        event, index = action.event, action.state["index"]
+        cluster = self.cluster
+        fabric = cluster.fabric
+        if event.kind == "kill":
+            self._epochs[index] = self.ledger.open_epoch("kill", event.targets)
+            cluster.kill_host(event.targets[0])
+        elif event.kind == "restart":
+            cluster.restart_host(event.targets[0])
+        elif event.kind == "pause":
+            self._epochs[index] = self.ledger.open_epoch("pause", event.targets)
+            cluster.pause_host(event.targets[0])
+        elif event.kind == "partition":
+            if fabric is None:
+                # No shared fabric to cut: freeze one endpoint instead.
+                record["mapped"] = "pause"
+                self._epochs[index] = self.ledger.open_epoch(
+                    "partition", event.targets
+                )
+                cluster.pause_host(event.targets[0])
+            else:
+                a, b = event.targets[0], event.targets[1]
+                action.state["was_cut"] = fabric.is_partitioned(a, b)
+                self._epochs[index] = self.ledger.open_epoch(
+                    "partition", event.targets
+                )
+                fabric.partition(a, b)
+        elif event.kind == "spike":
+            if fabric is None:
+                raise MemoError("latency spikes need the in-memory fabric")
+            a, b = event.targets[0], event.targets[1]
+            action.state["previous"] = fabric.latency(a, b)
+            self._epochs[index] = self.ledger.open_epoch("spike", event.targets)
+            fabric.set_latency(a, b, event.seconds)
+
+    def _close(self, action: _Action, record: dict) -> None:
+        event, index = action.event, action.state["index"]
+        cluster = self.cluster
+        fabric = cluster.fabric
+        # The matching opener carries window state (previous latency,
+        # pre-existing cut); find it by index.
+        opener = next(
+            a
+            for a in self._actions
+            if a.phase == "open" and a.state.get("index") == index
+        )
+        if not opener.state.get("done"):
+            record["skipped"] = "window never opened"
+            return
+        try:
+            if event.kind == "kill":
+                cluster.restart_host(event.targets[0])
+            elif event.kind == "pause":
+                cluster.resume_host(event.targets[0])
+            elif event.kind == "partition":
+                if fabric is None:
+                    record["mapped"] = "pause"
+                    cluster.resume_host(event.targets[0])
+                elif not opener.state.get("was_cut"):
+                    fabric.heal(event.targets[0], event.targets[1])
+            elif event.kind == "spike":
+                assert fabric is not None
+                fabric.set_latency(
+                    event.targets[0], event.targets[1], opener.state["previous"]
+                )
+        finally:
+            epoch = self._epochs.pop(index, None)
+            if epoch is not None:
+                self.ledger.close_epoch(epoch)

@@ -1,0 +1,174 @@
+"""The client-side ledger a scenario run reconciles against the cluster.
+
+Every *tracked* operation a workload performs is recorded here with the
+token it carried: acked puts, retried/abandoned puts, consumes, and the
+end-of-run drain.  The fault scheduler logs its open/close windows as
+*epochs* in the same ledger.  The invariant checker then needs nothing
+but this object and the (healed) cluster to decide the three scenario
+invariants — no lost acked puts, no stranded waiters, bounded duplicates.
+
+Time is :func:`time.monotonic`, shared by op records and fault epochs so
+"was this token exposed to a fault?" is a plain interval intersection.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FaultEpoch", "ScenarioLedger"]
+
+
+@dataclass
+class FaultEpoch:
+    """One open..close fault window on the run's monotonic clock."""
+
+    kind: str
+    targets: tuple[str, ...]
+    opened: float
+    closed: float | None = None
+
+    def overlaps(self, start: float, end: float, grace: float = 0.0) -> bool:
+        """Did [start, end] intersect this window, widened by *grace*?
+
+        The widening covers the failure detector's flip time and the
+        client's retry window on both sides — a token acked just before
+        a kill can still be the one the kill duplicates.
+        """
+        closed = self.closed if self.closed is not None else float("inf")
+        return start <= closed + grace and end >= self.opened - grace
+
+
+@dataclass
+class _TokenRecord:
+    folder: str = ""
+    acked_at: float = 0.0
+    ack_latency: float = 0.0
+    consumed: int = 0
+    drained: int = 0
+    last_seen: float = 0.0
+    retried: bool = False
+
+
+@dataclass
+class ScenarioLedger:
+    """Thread-safe run ledger; one per scenario execution."""
+
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _tokens: dict[str, _TokenRecord] = field(default_factory=dict)
+    _epochs: list[FaultEpoch] = field(default_factory=list)
+    _abandoned: set[str] = field(default_factory=set)
+    _ack_latencies: list[float] = field(default_factory=list)
+    started_at: float = field(default_factory=time.monotonic)
+    finished_at: float | None = None
+
+    def _record(self, token: str) -> _TokenRecord:
+        record = self._tokens.get(token)
+        if record is None:
+            record = self._tokens[token] = _TokenRecord()
+        return record
+
+    # -- op recording ----------------------------------------------------------
+
+    def put_acked(self, token: str, folder: str, latency: float) -> None:
+        now = time.monotonic()
+        with self._lock:
+            record = self._record(token)
+            record.folder = folder
+            record.acked_at = now
+            record.ack_latency = latency
+            self._ack_latencies.append(latency)
+
+    def put_retried(self, token: str) -> None:
+        """The put needed more than one attempt — its first try is of
+        unknown fate, so the token may legitimately exist twice."""
+        with self._lock:
+            self._record(token).retried = True
+
+    def put_abandoned(self, token: str) -> None:
+        """Every attempt failed; the token was never acked (losing it is
+        allowed — the invariant covers *acknowledged* puts only)."""
+        with self._lock:
+            self._abandoned.add(token)
+
+    def consumed(self, token: str) -> None:
+        now = time.monotonic()
+        with self._lock:
+            record = self._record(token)
+            record.consumed += 1
+            record.last_seen = now
+
+    def drained(self, token: str) -> None:
+        now = time.monotonic()
+        with self._lock:
+            record = self._record(token)
+            record.drained += 1
+            record.last_seen = now
+
+    # -- fault epochs ----------------------------------------------------------
+
+    def open_epoch(self, kind: str, targets: tuple[str, ...]) -> FaultEpoch:
+        epoch = FaultEpoch(kind=kind, targets=targets, opened=time.monotonic())
+        with self._lock:
+            self._epochs.append(epoch)
+        return epoch
+
+    def close_epoch(self, epoch: FaultEpoch) -> None:
+        epoch.closed = time.monotonic()
+
+    @property
+    def epochs(self) -> list[FaultEpoch]:
+        with self._lock:
+            return list(self._epochs)
+
+    # -- reconciliation views --------------------------------------------------
+
+    def acked_tokens(self) -> dict[str, _TokenRecord]:
+        with self._lock:
+            return {t: r for t, r in self._tokens.items() if r.acked_at > 0}
+
+    def fault_exposed(self, record: _TokenRecord, grace: float) -> bool:
+        start = record.acked_at or record.last_seen
+        end = record.last_seen or start
+        if end < start:
+            start, end = end, start
+        with self._lock:
+            epochs = list(self._epochs)
+        return any(e.overlaps(start, end, grace) for e in epochs)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            acked = [r for r in self._tokens.values() if r.acked_at > 0]
+            return {
+                "tokens": len(self._tokens),
+                "acked_puts": len(acked),
+                "retried_puts": sum(1 for r in acked if r.retried),
+                "abandoned_puts": len(self._abandoned),
+                "consumes": sum(r.consumed for r in self._tokens.values()),
+                "drained": sum(r.drained for r in self._tokens.values()),
+                "fault_epochs": len(self._epochs),
+            }
+
+    def ack_latency_percentiles(self) -> dict[str, float]:
+        """p50/p99 acked-put latency in milliseconds (0.0 when no acks)."""
+        with self._lock:
+            samples = sorted(self._ack_latencies)
+        if not samples:
+            return {"p50_ms": 0.0, "p99_ms": 0.0}
+
+        def pick(p: float) -> float:
+            index = min(len(samples) - 1, int(p * (len(samples) - 1)))
+            return samples[index] * 1000.0
+
+        return {"p50_ms": round(pick(0.50), 4), "p99_ms": round(pick(0.99), 4)}
+
+    def finish(self) -> None:
+        self.finished_at = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else time.monotonic()
+        return max(end - self.started_at, 1e-9)

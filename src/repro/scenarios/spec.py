@@ -1,0 +1,319 @@
+"""Scenario specifications: one chaos run, described as data.
+
+A :class:`ScenarioSpec` is the complete, serializable description of a
+sustained-load run: the simulated cluster shape, the mix of workloads
+driven against it, and the fault schedule injected while they run.  Specs
+round-trip through JSON (:meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict`) so a failing chaos run can be re-executed
+from the artifact alone, and everything random — generated fault
+schedules, workload op mixes — derives from ``seed`` through explicit
+:class:`random.Random` instances, never module-level randomness.  Same
+spec + same seed ⇒ byte-identical fault schedule and planned op/token
+streams (the reproducibility the regression tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.adf.defaults import system_default_adf
+from repro.adf.model import ADF
+from repro.errors import MemoError
+
+__all__ = ["FaultEvent", "WorkloadSpec", "ScenarioSpec"]
+
+#: Fault kinds the scheduler understands.  ``kill``/``restart`` work on
+#: every backend; ``spike``/``partition`` need the in-memory fabric
+#: (process mode maps ``partition`` onto a ``pause`` of its first
+#: target); ``pause`` freezes a host without killing it on both backends.
+FAULT_KINDS = ("kill", "restart", "spike", "partition", "pause")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    ``at`` is seconds after the workload clock starts.  Windowed kinds
+    (``spike``, ``partition``, ``pause``, and ``kill`` with a positive
+    ``duration``) open at ``at`` and close at ``at + duration`` — a kill
+    closes by restarting the host.  ``seconds`` is the spike magnitude.
+    """
+
+    at: float
+    kind: str
+    targets: tuple[str, ...]
+    duration: float = 0.0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise MemoError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0 or self.duration < 0 or self.seconds < 0:
+            raise MemoError("fault times must be >= 0")
+        if not self.targets:
+            raise MemoError("fault event needs at least one target host")
+        if isinstance(self.targets, list):
+            object.__setattr__(self, "targets", tuple(self.targets))
+
+    def to_dict(self) -> dict:
+        return asdict(self) | {"targets": list(self.targets)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            at=float(data["at"]),
+            kind=data["kind"],
+            targets=tuple(data["targets"]),
+            duration=float(data.get("duration", 0.0)),
+            seconds=float(data.get("seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload leg of a scenario.
+
+    ``kind`` names a registered workload class (``pipeline``,
+    ``scatter_gather``, ``actors``, ``lucid``, ``uniform`` — see
+    :mod:`repro.scenarios.workloads`).  ``ops`` is the per-workload
+    operation budget (the run is budget-bounded so its planned token
+    stream is deterministic); ``pacing`` selects closed-loop (each op
+    waits for its ack) or open-loop (ops issued on a fixed ``rate``
+    clock regardless of completions) driving.
+    """
+
+    kind: str
+    workers: int = 1
+    ops: int = 100
+    pacing: str = "closed"
+    rate: float = 0.0
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pacing not in ("closed", "open"):
+            raise MemoError(f"unknown pacing {self.pacing!r}")
+        if self.pacing == "open" and self.rate <= 0:
+            raise MemoError("open-loop pacing needs a positive rate (ops/sec)")
+        if self.workers < 1 or self.ops < 1:
+            raise MemoError("workers and ops must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "ops": self.ops,
+            "pacing": self.pacing,
+            "rate": self.rate,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(
+            kind=data["kind"],
+            workers=int(data.get("workers", 1)),
+            ops=int(data.get("ops", 100)),
+            pacing=data.get("pacing", "closed"),
+            rate=float(data.get("rate", 0.0)),
+            options=dict(data.get("options", {})),
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete scenario: cluster shape + workload mix + fault schedule.
+
+    ``hosts`` is either a count (hosts are named ``n00``, ``n01``, …) or
+    an explicit name list.  ``faults`` is an explicit schedule; when it
+    is empty and ``fault_plan`` is given, the schedule is *generated*
+    deterministically from ``seed`` (see :meth:`fault_schedule`).  The
+    generator never targets the first host — it anchors the checker's
+    drain client — while explicit schedules may do anything.
+
+    ``fault_plan`` knobs (all optional)::
+
+        {"kills": 1,            # kill/restart cycles
+         "kill_hold": 1.0,      # seconds down before the restart
+         "partitions": 1,       # partition windows
+         "pauses": 0,           # freeze windows
+         "spikes": 1,           # latency spike windows
+         "spike_seconds": [0.05, 0.3],   # magnitude range
+         "window": [0.3, 0.8],  # fraction of `duration` events land in
+         "fault_duration": 0.8} # window length for partitions/pauses/spikes
+    """
+
+    name: str
+    seed: int
+    hosts: int | list[str] = 4
+    replication_factor: int = 2
+    duration: float = 5.0
+    backend: str = "inprocess"
+    transport: str | None = None
+    heartbeat_interval: float = 0.05
+    failure_threshold: int = 2
+    workloads: list[WorkloadSpec] = field(default_factory=list)
+    faults: list[FaultEvent] = field(default_factory=list)
+    fault_plan: dict | None = None
+    #: Hard cap on total duplicate observations the checker accepts
+    #: (None: any count, as long as every duplicate is fault-explained).
+    max_duplicates: int | None = None
+    settle_timeout: float = 20.0
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def app(self) -> str:
+        return f"scn-{self.name}"
+
+    def host_names(self) -> list[str]:
+        if isinstance(self.hosts, int):
+            if self.hosts < 1:
+                raise MemoError("a scenario needs at least one host")
+            return [f"n{i:02d}" for i in range(self.hosts)]
+        return list(self.hosts)
+
+    def build_adf(self) -> ADF:
+        """The fully connected heterogeneous installation this spec runs on."""
+        return system_default_adf(
+            self.host_names(),
+            app=self.app,
+            replication_factor=self.replication_factor,
+        )
+
+    # -- fault schedule --------------------------------------------------------
+
+    def fault_schedule(self) -> list[FaultEvent]:
+        """The schedule to execute: explicit events, or the seeded plan.
+
+        Deterministic: the same spec yields a byte-identical schedule on
+        every call (the generator consumes its own ``random.Random``
+        seeded from ``seed``, in a fixed draw order).
+        """
+        if self.faults:
+            return sorted(self.faults, key=lambda e: (e.at, e.kind, e.targets))
+        if not self.fault_plan:
+            return []
+        return self._generate_faults()
+
+    def _generate_faults(self) -> list[FaultEvent]:
+        plan = self.fault_plan or {}
+        rng = random.Random(self.seed)
+        hosts = self.host_names()
+        victims = hosts[1:] if len(hosts) > 1 else hosts
+        lo_f, hi_f = plan.get("window", (0.25, 0.75))
+        lo, hi = lo_f * self.duration, hi_f * self.duration
+        hold = float(plan.get("kill_hold", 1.0))
+        width = float(plan.get("fault_duration", 0.8))
+        spike_lo, spike_hi = plan.get("spike_seconds", (0.05, 0.3))
+        events: list[FaultEvent] = []
+        # Fixed draw order per category keeps the stream reproducible even
+        # if knobs are added later: kills, partitions, pauses, spikes.
+        for _ in range(int(plan.get("kills", 0))):
+            host = rng.choice(victims)
+            at = rng.uniform(lo, hi)
+            events.append(
+                FaultEvent(at=at, kind="kill", targets=(host,), duration=hold)
+            )
+        for _ in range(int(plan.get("partitions", 0))):
+            a, b = rng.sample(victims if len(victims) >= 2 else hosts, 2)
+            at = rng.uniform(lo, hi)
+            events.append(
+                FaultEvent(at=at, kind="partition", targets=(a, b), duration=width)
+            )
+        for _ in range(int(plan.get("pauses", 0))):
+            host = rng.choice(victims)
+            at = rng.uniform(lo, hi)
+            events.append(
+                FaultEvent(at=at, kind="pause", targets=(host,), duration=width)
+            )
+        for _ in range(int(plan.get("spikes", 0))):
+            a, b = rng.sample(victims if len(victims) >= 2 else hosts, 2)
+            at = rng.uniform(lo, hi)
+            seconds = rng.uniform(spike_lo, spike_hi)
+            events.append(
+                FaultEvent(
+                    at=at, kind="spike", targets=(a, b),
+                    duration=width, seconds=seconds,
+                )
+            )
+        return sorted(events, key=lambda e: (e.at, e.kind, e.targets))
+
+    def schedule_json(self) -> str:
+        """Canonical serialization of the schedule (reproducibility pin)."""
+        return json.dumps(
+            [e.to_dict() for e in self.fault_schedule()], sort_keys=True
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "hosts": self.hosts if isinstance(self.hosts, int) else list(self.hosts),
+            "replication_factor": self.replication_factor,
+            "duration": self.duration,
+            "backend": self.backend,
+            "transport": self.transport,
+            "heartbeat_interval": self.heartbeat_interval,
+            "failure_threshold": self.failure_threshold,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "faults": [e.to_dict() for e in self.faults],
+            "fault_plan": self.fault_plan,
+            "max_duplicates": self.max_duplicates,
+            "settle_timeout": self.settle_timeout,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        return cls(
+            name=data["name"],
+            seed=int(data["seed"]),
+            hosts=data.get("hosts", 4),
+            replication_factor=int(data.get("replication_factor", 2)),
+            duration=float(data.get("duration", 5.0)),
+            backend=data.get("backend", "inprocess"),
+            transport=data.get("transport"),
+            heartbeat_interval=float(data.get("heartbeat_interval", 0.05)),
+            failure_threshold=int(data.get("failure_threshold", 2)),
+            workloads=[WorkloadSpec.from_dict(w) for w in data.get("workloads", [])],
+            faults=[FaultEvent.from_dict(e) for e in data.get("faults", [])],
+            fault_plan=data.get("fault_plan"),
+            max_duplicates=data.get("max_duplicates"),
+            settle_timeout=float(data.get("settle_timeout", 20.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def validate(self) -> None:
+        """Spec-level sanity: backend capabilities vs the fault schedule."""
+        hosts = set(self.host_names())
+        if not self.workloads:
+            raise MemoError(f"scenario {self.name!r} drives no workloads")
+        for event in self.fault_schedule():
+            unknown = set(event.targets) - hosts
+            if unknown:
+                raise MemoError(
+                    f"fault {event.kind!r} targets unknown hosts {sorted(unknown)}"
+                )
+            if event.kind == "spike" and self.backend != "inprocess":
+                raise MemoError(
+                    "latency spikes need the in-memory fabric "
+                    "(backend='inprocess', memory transport)"
+                )
+        kills = self.fault_plan and self.fault_plan.get("kills") or any(
+            e.kind == "kill" for e in self.faults
+        )
+        if kills and self.replication_factor < 2:
+            raise MemoError(
+                "a scenario that kills hosts needs replication_factor >= 2, "
+                "or acked puts on the victim are legitimately lost and the "
+                "no-lost-acked-puts invariant cannot hold"
+            )

@@ -1,0 +1,833 @@
+"""Composable scenario workloads: shaped traffic the driver sustains.
+
+Each workload class turns one :class:`~repro.scenarios.spec.WorkloadSpec`
+into threads of real memo traffic — mixed get/put/consume/``put_many``/
+fan-in — with every *tracked* operation carrying a token recorded in the
+run's :class:`~repro.scenarios.ledger.ScenarioLedger`.  Tokens are
+formulaic (``pl3.0.17@s2``), so a workload's planned token stream is a
+pure function of the spec — the reproducibility pin — and the invariant
+checker can reconcile the ledger against a post-run drain of the
+workload's folders.
+
+Shapes (registry :data:`WORKLOADS`):
+
+* ``uniform`` — per-worker random op mix (put / ``put_many`` burst /
+  consume) over a private keyspace, drawn from a seeded rng at
+  construction time; supports open- and closed-loop pacing.
+* ``pipeline`` — producer → N relay stages → sink, one folder per stage,
+  stages spread round-robin across hosts; every hop is consume+re-put.
+* ``scatter_gather`` — a boss scatters tasks to per-slot folders on many
+  hosts, slot workers compute and deposit results, and the boss gathers
+  by **fan-in**: parked ``get_async`` futures on the result folder.
+* ``actors`` — an MDC actor ring (mailboxes are folders); injected
+  messages hop the ring and land in a tracked done-folder.
+* ``lucid`` — a Lucid program evaluated by the demand-driven actor
+  network, variable-actors spread across hosts; verified against the
+  sequential evaluator.
+
+Every loop is fault-aware: puts retry through fail-over windows (retries
+are recorded — they widen the at-least-once duplicate allowance),
+consumes treat transient errors as empty polls, and everything winds
+down when the driver's stop event fires.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.core.api import NIL, Memo
+from repro.core.keys import Key, Symbol
+from repro.errors import MemoError
+from repro.scenarios.ledger import ScenarioLedger
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+__all__ = ["WorkloadContext", "Workload", "WORKLOADS", "build_workloads"]
+
+#: Retry cadence for tracked puts riding out a fail-over window.
+_RETRY_SLEEP = 0.05
+#: Attempt budget per tracked put (~15s of sustained failure).
+_MAX_PUT_ATTEMPTS = 300
+#: Attempt budget once the driver asked the run to wind down.
+_STOPPING_PUT_ATTEMPTS = 8
+
+
+class WorkloadContext:
+    """Everything a workload needs from the run: cluster, ledger, clock."""
+
+    def __init__(
+        self, cluster, spec: ScenarioSpec, ledger: ScenarioLedger
+    ) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.ledger = ledger
+        self.stop = threading.Event()
+        self.hosts = spec.host_names()
+
+    def memo(self, host: str, name: str) -> Memo:
+        return self.cluster.memo_api(host, self.spec.app, name)
+
+    def host_at(self, index: int) -> str:
+        return self.hosts[index % len(self.hosts)]
+
+
+class Pacer:
+    """Open- or closed-loop op pacing for one worker thread.
+
+    Closed loop: the op itself is the governor (each call blocks for its
+    ack); a positive rate additionally throttles.  Open loop: ops are
+    released on a fixed schedule regardless of completions — the pacer
+    tracks the *intended* send time, so a stall is followed by a burst,
+    exactly the backlog behaviour open-loop load generators exhibit.
+    """
+
+    def __init__(self, wspec: WorkloadSpec, stop: threading.Event) -> None:
+        self._interval = 1.0 / wspec.rate if wspec.rate > 0 else 0.0
+        self._stop = stop
+        self._next = time.monotonic()
+
+    def pace(self) -> None:
+        if self._interval <= 0:
+            return
+        now = time.monotonic()
+        if self._next > now:
+            self._stop.wait(self._next - now)
+        self._next += self._interval
+
+
+def tracked_put(
+    ctx: WorkloadContext, memo: Memo, key: Key, token: str, extra: dict | None = None
+) -> bool:
+    """One acked, ledger-tracked put, retried through fault windows.
+
+    Returns True when acked.  A retried put is recorded as such — its
+    first attempt is of unknown fate, so the token may legitimately end
+    up deposited twice (the at-least-once window the duplicates
+    invariant bounds).  A put that exhausts its budget is recorded
+    abandoned: never acked, so losing it is allowed.
+    """
+    value = {"t": token}
+    if extra:
+        value.update(extra)
+    started = time.monotonic()
+    attempts = 0
+    while True:
+        try:
+            memo.put(key, value, wait=True)
+        except MemoError:
+            attempts += 1
+            ctx.ledger.put_retried(token)
+            budget = (
+                _STOPPING_PUT_ATTEMPTS if ctx.stop.is_set() else _MAX_PUT_ATTEMPTS
+            )
+            if attempts >= budget:
+                ctx.ledger.put_abandoned(token)
+                return False
+            time.sleep(_RETRY_SLEEP)
+            continue
+        ctx.ledger.put_acked(
+            token, str(key.symbol.name), time.monotonic() - started
+        )
+        return True
+
+
+def tracked_consume(ctx: WorkloadContext, memo: Memo, key: Key) -> dict | None:
+    """One non-blocking consume; records the token when the value has one.
+
+    Transient errors (a fault window passing under the poll) read as an
+    empty folder — the caller's loop just polls again.
+    """
+    try:
+        value = memo.get_skip(key)
+    except MemoError:
+        return None
+    if value is NIL:
+        return None
+    if isinstance(value, dict) and "t" in value:
+        ctx.ledger.consumed(value["t"])
+    return value if isinstance(value, dict) else {"value": value}
+
+
+class Workload:
+    """Base: thread bookkeeping + the contract the driver/checker use."""
+
+    kind = "abstract"
+
+    def __init__(self, ctx: WorkloadContext, wspec: WorkloadSpec, index: int):
+        self.ctx = ctx
+        self.wspec = wspec
+        self.index = index
+        self.notes: dict = {}
+        self._threads: list[threading.Thread] = []
+        self._failures: list[str] = []
+
+    # -- contract ---------------------------------------------------------------
+
+    def planned_tokens(self) -> list[str]:
+        """Every token this workload would put, in plan order."""
+        raise NotImplementedError
+
+    def tracked_folders(self) -> list[Key]:
+        """Folders the checker drains after the run."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def is_complete(self) -> bool:
+        """Budget fully delivered (the driver may stop early on deadline)."""
+        return all(not t.is_alive() for t in self._threads)
+
+    def join(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(deadline - time.monotonic(), 0.1))
+
+    def shutdown(self) -> None:
+        """Post-join teardown (actor systems and the like)."""
+
+    def verify(self) -> dict:
+        """Workload-specific outcome notes; failures collected, not raised."""
+        out = dict(self.notes)
+        if self._failures:
+            out["failures"] = list(self._failures)
+        return out
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _spawn(self, target: Callable[[], None], name: str) -> None:
+        thread = threading.Thread(
+            target=self._guard(target), name=f"scn-{self.kind}-{name}", daemon=True
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _guard(self, target: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            try:
+                target()
+            except Exception as exc:  # pragma: no cover - defensive
+                self._failures.append(f"{type(exc).__name__}: {exc}")
+
+        return run
+
+    def _folder(self, *parts: object) -> Key:
+        return Key(Symbol(".".join(str(p) for p in ("scn", *parts))))
+
+
+class UniformWorkload(Workload):
+    """Per-worker random mix of put / put_many burst / consume ops.
+
+    The op plan (which op, which key, which tokens) is drawn at
+    construction from a rng seeded by ``(spec.seed, workload index)`` —
+    running the plan is the only nondeterminism.  Options: ``keys``
+    (folders per worker, default 8), ``batch`` (put_many burst size,
+    default 8), ``mix`` ([put, batch, consume] weights, default
+    [6, 2, 2]).
+    """
+
+    kind = "uniform"
+
+    def __init__(self, ctx, wspec, index):
+        super().__init__(ctx, wspec, index)
+        import random
+
+        keys_per_worker = int(wspec.options.get("keys", 8))
+        batch = int(wspec.options.get("batch", 8))
+        weights = list(wspec.options.get("mix", [6, 2, 2]))
+        self._plans: list[list[tuple]] = []
+        self._keys: list[list[Key]] = []
+        self._delivered = [0] * wspec.workers
+        for w in range(wspec.workers):
+            rng = random.Random(f"{ctx.spec.seed}/uniform/{index}/{w}")
+            keys = [
+                self._folder(f"u{index}", w, k) for k in range(keys_per_worker)
+            ]
+            plan: list[tuple] = []
+            seq = 0
+            for _ in range(wspec.ops):
+                op = rng.choices(["put", "batch", "consume"], weights=weights)[0]
+                key_at = rng.randrange(keys_per_worker)
+                if op == "put":
+                    plan.append(("put", key_at, f"u{index}.{w}.{seq}"))
+                    seq += 1
+                elif op == "batch":
+                    tokens = [f"u{index}.{w}.{seq + j}" for j in range(batch)]
+                    seq += batch
+                    plan.append(("batch", key_at, tokens))
+                else:
+                    plan.append(("consume", key_at, None))
+            self._plans.append(plan)
+            self._keys.append(keys)
+
+    def planned_tokens(self) -> list[str]:
+        out: list[str] = []
+        for plan in self._plans:
+            for op, _key_at, payload in plan:
+                if op == "put":
+                    out.append(payload)
+                elif op == "batch":
+                    out.extend(payload)
+        return out
+
+    def tracked_folders(self) -> list[Key]:
+        return [key for keys in self._keys for key in keys]
+
+    def start(self) -> None:
+        for w in range(self.wspec.workers):
+            self._spawn(lambda w=w: self._worker(w), f"u{self.index}.{w}")
+
+    def _worker(self, w: int) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(ctx.host_at(self.index + w), f"uniform.{self.index}.{w}")
+        pacer = Pacer(self.wspec, ctx.stop)
+        open_loop = self.wspec.pacing == "open"
+        pending: list[tuple[str, str, float, object]] = []
+        keys = self._keys[w]
+        with memo:
+            for op, key_at, payload in self._plans[w]:
+                if ctx.stop.is_set():
+                    break
+                pacer.pace()
+                key = keys[key_at]
+                if op == "put":
+                    if open_loop:
+                        self._issue_async(memo, key, payload, pending)
+                    else:
+                        tracked_put(ctx, memo, key, payload)
+                elif op == "batch":
+                    self._batch(memo, key, payload)
+                else:
+                    tracked_consume(ctx, memo, key)
+                if len(pending) >= 64:
+                    pending = self._reap(memo, pending, block=False)
+                self._delivered[w] += 1
+            self._reap(memo, pending, block=True)
+
+    def _issue_async(self, memo, key, token, pending) -> None:
+        try:
+            future = memo.put_async(key, {"t": token})
+        except MemoError:
+            self.ctx.ledger.put_retried(token)
+            tracked_put(self.ctx, memo, key, token)
+            return
+        pending.append((token, str(key.symbol.name), time.monotonic(), future))
+
+    def _reap(self, memo, pending, block: bool) -> list:
+        still = []
+        for token, folder, t0, future in pending:
+            if not future.done() and not block:
+                still.append((token, folder, t0, future))
+                continue
+            try:
+                future.wait(15.0 if block else 0.0)
+            except TimeoutError:
+                self.ctx.ledger.put_abandoned(token)
+                continue
+            except MemoError:
+                self.ctx.ledger.put_retried(token)
+                key = Key(Symbol(folder))
+                tracked_put(self.ctx, memo, key, token)
+                continue
+            self.ctx.ledger.put_acked(token, folder, time.monotonic() - t0)
+        return still
+
+    def _batch(self, memo, key, tokens: list[str]) -> None:
+        ctx = self.ctx
+        started = time.monotonic()
+        try:
+            memo.put_many((key, {"t": token}) for token in tokens)
+            memo.flush()
+        except MemoError:
+            # The burst's fate is ambiguous; replay each token tracked.
+            for token in tokens:
+                ctx.ledger.put_retried(token)
+                tracked_put(ctx, memo, key, token)
+            return
+        each = (time.monotonic() - started) / max(len(tokens), 1)
+        for token in tokens:
+            ctx.ledger.put_acked(token, str(key.symbol.name), each)
+
+    def is_complete(self) -> bool:
+        plans = self._plans
+        return all(
+            self._delivered[w] >= len(plans[w]) for w in range(len(plans))
+        )
+
+
+class PipelineWorkload(Workload):
+    """Producer → relay stages → sink; every hop a consume + re-put.
+
+    ``workers`` parallel pipelines; each stage lives in its own folder
+    and its relay thread attaches to a different host, so one pipeline
+    crosses most of the cluster.  Options: ``stages`` (default 3).
+    """
+
+    kind = "pipeline"
+
+    def __init__(self, ctx, wspec, index):
+        super().__init__(ctx, wspec, index)
+        self.stages = max(int(wspec.options.get("stages", 3)), 2)
+        self._folders = {
+            (w, s): self._folder(f"pl{index}", w, f"s{s}")
+            for w in range(wspec.workers)
+            for s in range(self.stages)
+        }
+        self._sunk = [0] * wspec.workers
+
+    def planned_tokens(self) -> list[str]:
+        return [
+            f"pl{self.index}.{w}.{seq}@s{s}"
+            for w in range(self.wspec.workers)
+            for seq in range(self.wspec.ops)
+            for s in range(self.stages)
+        ]
+
+    def tracked_folders(self) -> list[Key]:
+        return list(self._folders.values())
+
+    def start(self) -> None:
+        for w in range(self.wspec.workers):
+            self._spawn(lambda w=w: self._producer(w), f"pl{self.index}.{w}.prod")
+            for s in range(self.stages - 1):
+                self._spawn(
+                    lambda w=w, s=s: self._relay(w, s), f"pl{self.index}.{w}.r{s}"
+                )
+            self._spawn(lambda w=w: self._sink(w), f"pl{self.index}.{w}.sink")
+
+    def _producer(self, w: int) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(ctx.host_at(self.index + w), f"pl.{self.index}.{w}.prod")
+        pacer = Pacer(self.wspec, ctx.stop)
+        with memo:
+            for seq in range(self.wspec.ops):
+                if ctx.stop.is_set():
+                    return
+                pacer.pace()
+                token = f"pl{self.index}.{w}.{seq}@s0"
+                tracked_put(ctx, memo, self._folders[(w, 0)], token)
+
+    def _relay(self, w: int, s: int) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(
+            ctx.host_at(self.index + w + s + 1), f"pl.{self.index}.{w}.r{s}"
+        )
+        src, dst = self._folders[(w, s)], self._folders[(w, s + 1)]
+        with memo:
+            self._pump(
+                memo,
+                src,
+                lambda value: tracked_put(
+                    ctx,
+                    memo,
+                    dst,
+                    value["t"].rsplit("@", 1)[0] + f"@s{s + 1}",
+                ),
+            )
+
+    def _sink(self, w: int) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(
+            ctx.host_at(self.index + w + self.stages), f"pl.{self.index}.{w}.sink"
+        )
+        last = self._folders[(w, self.stages - 1)]
+
+        def deliver(value: dict) -> None:
+            self._sunk[w] += 1
+
+        with memo:
+            self._pump(memo, last, deliver)
+
+    def _pump(self, memo, key: Key, handle: Callable[[dict], None]) -> None:
+        """Poll-consume *key* until the run winds down and the folder dries."""
+        ctx = self.ctx
+        empties = 0
+        while True:
+            value = tracked_consume(ctx, memo, key)
+            if value is None or "t" not in value:
+                if ctx.stop.is_set():
+                    empties += 1
+                    if empties > 5:
+                        return
+                time.sleep(0.005)
+                continue
+            empties = 0
+            handle(value)
+
+    def is_complete(self) -> bool:
+        return all(n >= self.wspec.ops for n in self._sunk)
+
+    def verify(self) -> dict:
+        self.notes["sunk"] = list(self._sunk)
+        return super().verify()
+
+
+class ScatterGatherWorkload(Workload):
+    """Boss scatters tasks across hosts, gathers results by fan-in.
+
+    The gather leg registers ``fanout`` parked ``get_async`` waits on the
+    boss's result folder — the waiter-table path under churn, which is
+    exactly what the no-stranded-waiters invariant audits.  Options:
+    ``fanout`` (default min(4, hosts)), ``gather_timeout`` (default 20s).
+    """
+
+    kind = "scatter_gather"
+
+    def __init__(self, ctx, wspec, index):
+        super().__init__(ctx, wspec, index)
+        self.fanout = int(wspec.options.get("fanout", min(4, len(ctx.hosts))))
+        self.gather_timeout = float(wspec.options.get("gather_timeout", 20.0))
+        self._task_folders = {
+            (w, i): self._folder(f"sg{index}", w, f"task{i}")
+            for w in range(wspec.workers)
+            for i in range(self.fanout)
+        }
+        self._result_folders = {
+            w: self._folder(f"sg{index}", w, "res") for w in range(wspec.workers)
+        }
+        self._rounds_done = [0] * wspec.workers
+
+    def planned_tokens(self) -> list[str]:
+        out = []
+        for w in range(self.wspec.workers):
+            for r in range(self.wspec.ops):
+                out.extend(
+                    f"sg{self.index}.{w}.{r}.task{i}" for i in range(self.fanout)
+                )
+                out.extend(
+                    f"sg{self.index}.{w}.{r}.res{i}" for i in range(self.fanout)
+                )
+        return out
+
+    def tracked_folders(self) -> list[Key]:
+        return list(self._task_folders.values()) + list(
+            self._result_folders.values()
+        )
+
+    def start(self) -> None:
+        for w in range(self.wspec.workers):
+            for i in range(self.fanout):
+                self._spawn(
+                    lambda w=w, i=i: self._slot(w, i), f"sg{self.index}.{w}.s{i}"
+                )
+            self._spawn(lambda w=w: self._boss(w), f"sg{self.index}.{w}.boss")
+
+    def _slot(self, w: int, i: int) -> None:
+        """One worker slot: consume my task folder, deposit the result."""
+        ctx = self.ctx
+        memo = ctx.memo(ctx.host_at(self.index + w + i + 1), f"sg.{w}.slot{i}")
+        src = self._task_folders[(w, i)]
+        dst = self._result_folders[w]
+        empties = 0
+        with memo:
+            while True:
+                value = tracked_consume(ctx, memo, src)
+                if value is None or "t" not in value:
+                    if ctx.stop.is_set():
+                        empties += 1
+                        if empties > 5:
+                            return
+                    time.sleep(0.005)
+                    continue
+                empties = 0
+                result_token = value["t"].replace(".task", ".res")
+                tracked_put(ctx, memo, dst, result_token)
+
+    def _boss(self, w: int) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(ctx.host_at(self.index + w), f"sg.{w}.boss")
+        pacer = Pacer(self.wspec, ctx.stop)
+        result_key = self._result_folders[w]
+        with memo:
+            for r in range(self.wspec.ops):
+                if ctx.stop.is_set():
+                    return
+                pacer.pace()
+                for i in range(self.fanout):
+                    tracked_put(
+                        ctx,
+                        memo,
+                        self._task_folders[(w, i)],
+                        f"sg{self.index}.{w}.{r}.task{i}",
+                    )
+                self._gather(memo, result_key)
+                self._rounds_done[w] += 1
+
+    def _gather(self, memo, result_key: Key) -> None:
+        """Fan-in: parked waits for this round's results (count-matched)."""
+        ctx = self.ctx
+        try:
+            futures = [memo.get_async(result_key) for _ in range(self.fanout)]
+        except MemoError:
+            return  # transient; leftovers surface in the end-of-run drain
+        deadline = time.monotonic() + self.gather_timeout
+        for future in futures:
+            remaining = deadline - time.monotonic()
+            if ctx.stop.is_set():
+                remaining = min(remaining, 2.0)
+            value = None
+            try:
+                value = future.wait(max(remaining, 0.05))
+            except TimeoutError:
+                # wait() cancels on timeout; a completion that raced the
+                # cancel is re-deposited server-side, so just move on.
+                continue
+            except MemoError:
+                continue
+            if isinstance(value, dict) and "t" in value:
+                ctx.ledger.consumed(value["t"])
+
+    def is_complete(self) -> bool:
+        return all(n >= self.wspec.ops for n in self._rounds_done)
+
+    def verify(self) -> dict:
+        self.notes["rounds"] = list(self._rounds_done)
+        return super().verify()
+
+
+class ActorRingWorkload(Workload):
+    """An MDC actor ring: injected messages hop mailboxes, then land in a
+    tracked done-folder.
+
+    Mailboxes are folders, sends are puts — the actor-model traffic shape
+    of section 6.3.  Options: ``actors`` (ring size, default 4), ``hops``
+    (per message, default 2×ring).  Actors are spawned with a generous
+    transient budget so fail-over windows don't decapitate the ring.
+    """
+
+    kind = "actors"
+
+    def __init__(self, ctx, wspec, index):
+        super().__init__(ctx, wspec, index)
+        self.n_actors = int(wspec.options.get("actors", 4))
+        self.hops = int(wspec.options.get("hops", 2 * self.n_actors))
+        self._done_folder = self._folder(f"ar{index}", "done")
+        self._system = None
+        self._refs = []
+        self._delivered = 0
+        self._injected = 0
+
+    def planned_tokens(self) -> list[str]:
+        out = []
+        for seq in range(self.wspec.ops):
+            out.append(f"ar{self.index}.{seq}@in")
+            out.append(f"ar{self.index}.{seq}@done")
+        return out
+
+    def tracked_folders(self) -> list[Key]:
+        keys = [self._done_folder]
+        keys.extend(ref.mailbox_key() for ref in self._refs)
+        return keys
+
+    def start(self) -> None:
+        from repro.languages.mdc import ActorSystem, Behavior
+
+        ctx = self.ctx
+        system_memo = ctx.memo(ctx.host_at(self.index), f"ar.{self.index}.sys")
+        counter = {"next": 0}
+
+        def factory(name: str) -> Memo:
+            host = ctx.host_at(self.index + counter["next"])
+            counter["next"] += 1
+            return ctx.memo(host, f"ar.{self.index}.{name}")
+
+        self._system = ActorSystem(system_memo, memo_factory=factory)
+        refs_by_slot: dict[int, object] = {}
+
+        def ring_behavior(slot: int) -> Behavior:
+            behavior = Behavior()
+
+            @behavior.on({"type": "ring"})
+            def on_ring(actor, msg):
+                if "t" in msg:  # the tracked injection hop
+                    ctx.ledger.consumed(msg["t"])
+                hops = msg["hops"]
+                if hops <= 0:
+                    tracked_put(
+                        ctx,
+                        actor._memo,
+                        self._done_folder,
+                        msg["base"] + "@done",
+                    )
+                    return
+                successor = refs_by_slot[(slot + 1) % self.n_actors]
+                actor.send(
+                    successor,
+                    {"type": "ring", "base": msg["base"], "hops": hops - 1},
+                )
+
+            return behavior
+
+        for slot in range(self.n_actors):
+            refs_by_slot[slot] = self._system.spawn(
+                f"ring{self.index}.{slot}",
+                ring_behavior(slot),
+                transient_retries=500,
+            )
+        self._refs = list(refs_by_slot.values())
+        self._spawn(self._injector, f"ar{self.index}.inject")
+        self._spawn(self._done_sink, f"ar{self.index}.sink")
+
+    def _injector(self) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(ctx.host_at(self.index), f"ar.{self.index}.inject")
+        pacer = Pacer(self.wspec, ctx.stop)
+        first = self._refs[0]
+        with memo:
+            for seq in range(self.wspec.ops):
+                if ctx.stop.is_set():
+                    return
+                pacer.pace()
+                base = f"ar{self.index}.{seq}"
+                tracked_put(
+                    ctx,
+                    memo,
+                    first.mailbox_key(),
+                    f"{base}@in",
+                    extra={"type": "ring", "base": base, "hops": self.hops},
+                )
+                self._injected += 1
+
+    def _done_sink(self) -> None:
+        ctx = self.ctx
+        memo = ctx.memo(ctx.host_at(self.index + 1), f"ar.{self.index}.sink")
+        empties = 0
+        with memo:
+            while True:
+                value = tracked_consume(ctx, memo, self._done_folder)
+                if value is None:
+                    if ctx.stop.is_set():
+                        empties += 1
+                        if empties > 5:
+                            return
+                    time.sleep(0.005)
+                    continue
+                empties = 0
+                self._delivered += 1
+
+    def is_complete(self) -> bool:
+        return self._delivered >= self.wspec.ops
+
+    def shutdown(self) -> None:
+        if self._system is not None:
+            try:
+                self._system.shutdown(timeout=5.0)
+            except MemoError:
+                pass
+
+    def verify(self) -> dict:
+        self.notes["injected"] = self._injected
+        self.notes["rings_completed"] = self._delivered
+        return super().verify()
+
+
+class LucidWorkload(Workload):
+    """A Lucid program on the demand-driven actor network, across hosts.
+
+    Self-verifying: the distributed answer must equal the sequential
+    :class:`~repro.languages.lucid.evaluator.LucidEvaluator`.  Demands
+    are re-issued after timeouts (values are cached actor-side, so
+    progress is monotonic even when a fault eats a value message).
+    Options: ``program`` (source), ``n`` (stream prefix length).
+    """
+
+    kind = "lucid"
+
+    DEFAULT_PROGRAM = "fib = 0 fby nf; nf = 1 fby fib + nf; result = fib;"
+
+    def __init__(self, ctx, wspec, index):
+        super().__init__(ctx, wspec, index)
+        self.source = wspec.options.get("program", self.DEFAULT_PROGRAM)
+        self.n = int(wspec.options.get("n", 8))
+        self._system = None
+        self._values: list | None = None
+        self._expected: list | None = None
+
+    def planned_tokens(self) -> list[str]:
+        return []  # self-verified; traffic is actor-internal
+
+    def tracked_folders(self) -> list[Key]:
+        return []
+
+    def start(self) -> None:
+        self._spawn(self._run, f"lucid{self.index}")
+
+    def _run(self) -> None:
+        from repro.languages.lucid import LucidEvaluator, parse_program
+        from repro.languages.lucid.mdc_bridge import LucidActorNetwork
+        from repro.languages.mdc import ActorSystem
+
+        ctx = self.ctx
+        program = parse_program(self.source)
+        self._expected = LucidEvaluator(program).run(self.n)
+        counter = {"next": 0}
+
+        def factory(name: str) -> Memo:
+            host = ctx.host_at(self.index + counter["next"])
+            counter["next"] += 1
+            return ctx.memo(host, f"lucid.{self.index}.{name}")
+
+        self._system = ActorSystem(
+            ctx.memo(ctx.host_at(self.index), f"lucid.{self.index}.sys"),
+            memo_factory=factory,
+        )
+        network = LucidActorNetwork(
+            program,
+            self._system,
+            prefix=f"scn{self.index}",
+            transient_retries=500,
+        )
+        # Re-demand through fault windows: each round re-asks for the
+        # whole prefix; cached values answer instantly, so every round
+        # strictly extends coverage.
+        while not ctx.stop.is_set():
+            try:
+                self._values = network.run(self.n, timeout=5.0)
+                return
+            except (TimeoutError, MemoError):
+                continue
+
+    def is_complete(self) -> bool:
+        return self._values is not None
+
+    def shutdown(self) -> None:
+        if self._system is not None:
+            try:
+                self._system.shutdown(timeout=5.0)
+            except MemoError:
+                pass
+
+    def verify(self) -> dict:
+        self.notes["n"] = self.n
+        self.notes["converged"] = self._values is not None
+        if self._values is not None and self._values != self._expected:
+            self._failures.append(
+                f"lucid stream mismatch: {self._values!r} != {self._expected!r}"
+            )
+        return super().verify()
+
+
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.kind: cls
+    for cls in (
+        UniformWorkload,
+        PipelineWorkload,
+        ScatterGatherWorkload,
+        ActorRingWorkload,
+        LucidWorkload,
+    )
+}
+
+
+def build_workloads(ctx: WorkloadContext) -> list[Workload]:
+    out = []
+    for index, wspec in enumerate(ctx.spec.workloads):
+        cls = WORKLOADS.get(wspec.kind)
+        if cls is None:
+            raise MemoError(
+                f"unknown workload kind {wspec.kind!r} "
+                f"(have: {sorted(WORKLOADS)})"
+            )
+        out.append(cls(ctx, wspec, index))
+    return out

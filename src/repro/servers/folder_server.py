@@ -169,6 +169,12 @@ class FolderServer:
         #: write must not be re-seeded by anti-entropy).  Doubles as the
         #: O(1) fast path for :meth:`contains_src`.
         self._src_marks: dict[str, int] = {}
+        #: LSNs at or below this mark belong to a previous incarnation of
+        #: this store whose records were NOT locally recovered (a cold,
+        #: log-less restart).  Advertised in delta anti-entropy so peers
+        #: keep returning that range instead of trusting the regrown
+        #: clock; zero for stores with continuous or replayed history.
+        self._resync_floor = 0
 
     # -- folder bookkeeping (all under self._lock) ---------------------------
 
@@ -231,6 +237,14 @@ class FolderServer:
                     # it is stored, not construction-time initialisation).
                     object.__setattr__(record, "src_sid", self.server_id)
                     object.__setattr__(record, "src_lsn", self._lsn)
+                elif record.src_sid == self.server_id and record.src_lsn > self._lsn:
+                    # A stamp from a previous incarnation of this store
+                    # (anti-entropy returning a pre-crash write): jump the
+                    # clock past it so fresh stamps never reuse old-world
+                    # coordinates, and mark the range as unrecovered.
+                    self._lsn = record.src_lsn
+                    if record.src_lsn > self._resync_floor:
+                        self._resync_floor = record.src_lsn
                 if record.src_lsn > self._src_marks.get(record.src_sid, 0):
                     self._src_marks[record.src_sid] = record.src_lsn
                 if journal is not None:
@@ -318,6 +332,10 @@ class FolderServer:
                 if record.src_lsn == 0:
                     object.__setattr__(record, "src_sid", self.server_id)
                     object.__setattr__(record, "src_lsn", self._lsn)
+                elif record.src_sid == self.server_id and record.src_lsn > self._lsn:
+                    self._lsn = record.src_lsn
+                    if record.src_lsn > self._resync_floor:
+                        self._resync_floor = record.src_lsn
                 if record.src_lsn > self._src_marks.get(record.src_sid, 0):
                     self._src_marks[record.src_sid] = record.src_lsn
                 if journal is not None:
@@ -668,6 +686,33 @@ class FolderServer:
         """This store's log sequence high-water mark."""
         with self._lock:
             return self._lsn
+
+    def resync_floor(self) -> int:
+        """Highest LSN possibly stamped by an unrecovered prior incarnation.
+
+        Everything at or below the floor may exist only on peers (the
+        crash destroyed the local copies and there was no log to replay),
+        so delta anti-entropy must keep returning that range no matter
+        how far the live clock has regrown.  Zero when history is
+        continuous or was replayed from a journal.
+        """
+        with self._lock:
+            return self._resync_floor
+
+    def rebase_lsn(self, lsn: int) -> None:
+        """Resume stamping past a dead incarnation's clock.
+
+        Called on a cold (log-less) restart with the best known
+        high-water mark of the previous incarnation: fresh stamps start
+        above it (origin coordinates stay cluster-unique) and the whole
+        range below it becomes the :meth:`resync_floor` — "I recovered
+        nothing of this; peers, send it all back."
+        """
+        with self._lock:
+            if lsn > self._lsn:
+                self._lsn = lsn
+            if lsn > self._resync_floor:
+                self._resync_floor = lsn
 
     def contains_src(
         self, name: FolderName, src_sid: str, src_lsn: int, delayed: bool = False

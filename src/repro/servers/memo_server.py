@@ -981,6 +981,11 @@ class MemoServer:
         #: folder's replica chain.  Kept apart from the primary stores so
         #: ownership checks, migration, and live-memo counts stay exact.
         self._replica_servers: dict[str, FolderServer] = {}
+        #: store id → LSN high-water mark of a dead prior incarnation,
+        #: set by the backend on a log-less respawn (in-process restarts
+        #: have no WAL to replay; the old clock is still in memory).
+        #: Applied when the store materializes at registration.
+        self.lsn_rebase: dict[str, int] = {}
         self._reg_lock = threading.Lock()
         self._cache = ThreadCache(idle_timeout, name=f"memo-{host}")
         self._pool = _ConnectionPool(transport)
@@ -1649,6 +1654,11 @@ class MemoServer:
         )
         if journal is not None:
             journal.recover_into(fs)
+        elif self.lsn_rebase.get(store_id, 0):
+            # A log-less respawn: nothing local to replay, but the dead
+            # incarnation's clock is known — resume past it so stamps stay
+            # unique and anti-entropy keeps returning the lost range.
+            fs.rebase_lsn(self.lsn_rebase[store_id])
         return fs
 
     @staticmethod
@@ -2023,6 +2033,11 @@ class MemoServer:
                 horizon = msg.primary_lsns.get(record.src_sid)
                 if horizon is None or record.src_lsn == 0:
                     return True
+                if record.src_lsn <= msg.primary_floors.get(record.src_sid, 0):
+                    # Below the requester's resync floor: the advertised
+                    # LSN is a regrown clock, not recovered history — the
+                    # cold restart never replayed this range.
+                    return True
                 return record.src_lsn > horizon
 
             extracted = fs.extract_records(requester_is_missing)
@@ -2146,26 +2161,35 @@ class MemoServer:
         }
         return Reply(ok=True, stats=flat)
 
-    def delta_sync_state(self) -> tuple[dict[str, int], dict[str, int]]:
+    def delta_sync_state(
+        self,
+    ) -> tuple[dict[str, int], dict[str, int], dict[str, int]]:
         """What this host already holds, in origin coordinates.
 
-        Returns ``(primary_lsns, replica_marks)`` for a
+        Returns ``(primary_lsns, replica_marks, primary_floors)`` for a
         :class:`DeltaSyncPull`: each local primary store's LSN horizon,
-        and the max origin LSN per origin store across the local replica
-        stores.  Works on non-durable servers too (the counters live
-        regardless), which is what lets the periodic anti-entropy sweep
-        run delta pulls from healthy hosts.
+        the max origin LSN per origin store across the local replica
+        stores, and each primary store's resync floor (non-zero only
+        after a cold restart resumed the clock past an unrecovered
+        incarnation).  Works on non-durable servers too (the counters
+        live regardless), which is what lets the periodic anti-entropy
+        sweep run delta pulls from healthy hosts.
         """
         with self._reg_lock:
             primaries = dict(self._folder_servers)
             replicas = dict(self._replica_servers)
         primary_lsns = {sid: fs.current_lsn() for sid, fs in primaries.items()}
+        primary_floors = {
+            sid: floor
+            for sid, fs in primaries.items()
+            if (floor := fs.resync_floor())
+        }
         replica_marks: dict[str, int] = {}
         for fs in replicas.values():
             for src_sid, mark in fs.src_high_water().items():
                 if mark > replica_marks.get(src_sid, 0):
                     replica_marks[src_sid] = mark
-        return primary_lsns, replica_marks
+        return primary_lsns, replica_marks, primary_floors
 
     def _route_soft(self, folder: FolderName, msg: object) -> str | None:
         """Route, reporting any failure as a string instead of raising."""

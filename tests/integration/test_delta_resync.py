@@ -153,6 +153,63 @@ class TestDeltaRestart:
             cluster.stop()
 
 
+class TestColdRestartClockContinuity:
+    def test_regrown_clock_does_not_shadow_crash_lost_writes(self, tmp_path):
+        """A log-less restart resumes the LSN clock past the dead
+        incarnation and advertises the gap as a resync floor.
+
+        Without the rebase, the fresh clock regrows through the crash-lost
+        range and a later delta sweep concludes the primary "already
+        holds" the pre-crash writes sitting in its backup's replica store
+        — permanently stranding acked data.  The sequence: ack writes,
+        crash the primary, restart it while its backup is unreachable
+        (the rejoin round cannot return anything), regrow the clock with
+        fresh traffic, heal, then run one ordinary delta sweep.
+        """
+        cluster = make_cluster(tmp_path, durable=False)
+        try:
+            key = key_primaried_on(cluster, "h1")
+            backup = chain_for(cluster, key.symbol.name)[1][1]
+            with cluster.memo_api("h0", APP) as memo:
+                for i in range(20):
+                    memo.put(key, f"pre-{i}", wait=True)
+            cluster.kill_host("h1")
+            time.sleep(0.5)
+            with partitioned(cluster.fabric, "h1", backup):
+                cluster.restart_host("h1")  # rejoin pull cannot reach backup
+                # Fresh traffic regrows the clock well past the lsn range
+                # of the 20 crash-lost records.
+                with cluster.memo_api("h0", APP) as memo:
+                    for i in range(40):
+                        memo.put(key, f"post-{i}", wait=True)
+            cluster.resync_all()  # ordinary delta sweep, healed fabric
+            got = drain(cluster, "h2", key)
+            assert set(got) >= {f"pre-{i}" for i in range(20)}
+            assert set(got) >= {f"post-{i}" for i in range(40)}
+        finally:
+            cluster.stop()
+
+    def test_respawn_resumes_stamping_past_dead_incarnation(self, tmp_path):
+        """Post-restart stamps must not reuse the dead incarnation's
+        origin coordinates, or replica-side dedup drops fresh backups."""
+        cluster = make_cluster(tmp_path, durable=False)
+        try:
+            key = key_primaried_on(cluster, "h1")
+            with cluster.memo_api("h0", APP) as memo:
+                for i in range(10):
+                    memo.put(key, f"old-{i}", wait=True)
+            sid = chain_for(cluster, key.symbol.name)[0][0]
+            dead_clock = cluster.servers["h1"]._folder_servers[sid].current_lsn()
+            cluster.kill_host("h1")
+            time.sleep(0.5)
+            cluster.restart_host("h1")
+            store = cluster.servers["h1"]._folder_servers[sid]
+            assert store.current_lsn() >= dead_clock
+            assert store.resync_floor() >= dead_clock
+        finally:
+            cluster.stop()
+
+
 class TestAntiEntropySweep:
     def test_sweep_heals_partition_divergence(self, tmp_path):
         cluster = make_cluster(tmp_path)

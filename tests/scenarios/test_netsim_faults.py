@@ -1,0 +1,89 @@
+"""Seeded, composable netsim fault injectors (satellite of the harness).
+
+The injectors must (a) draw all randomness from an explicit caller
+``random.Random`` so a fault sequence replays byte-identically, and
+(b) compose — a spike inside a partition, a partition entered while the
+link is already cut — with each injector restoring exactly the state it
+changed, LIFO.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.network.transport import NetworkFabric
+from repro.sim.netsim import latency_spike, partitioned, random_link_fault
+
+
+def test_spike_jitter_is_seed_deterministic():
+    magnitudes = []
+    for _ in range(2):
+        fabric = NetworkFabric()
+        rng = random.Random(42)
+        run = []
+        for _ in range(5):
+            with latency_spike(fabric, "a", "b", 0.1, rng=rng, jitter=0.05) as s:
+                run.append(s)
+        magnitudes.append(run)
+    assert magnitudes[0] == magnitudes[1]
+    assert all(0.1 <= s <= 0.15 for s in magnitudes[0])
+    assert len(set(magnitudes[0])) > 1  # jitter actually applied
+
+
+def test_spike_restores_previous_latency():
+    fabric = NetworkFabric()
+    fabric.set_latency("a", "b", 0.02)
+    with latency_spike(fabric, "a", "b", 0.5):
+        assert fabric.latency("a", "b") == 0.5
+    assert fabric.latency("a", "b") == 0.02
+
+
+def test_spike_inside_partition_composes():
+    fabric = NetworkFabric()
+    with partitioned(fabric, "a", "b"):
+        with latency_spike(fabric, "a", "b", 0.3):
+            assert fabric.is_partitioned("a", "b")
+            assert fabric.latency("a", "b") == 0.3
+        # Spike exit restores latency without healing the cut.
+        assert fabric.is_partitioned("a", "b")
+        assert fabric.latency("a", "b") == 0.0
+    assert not fabric.is_partitioned("a", "b")
+
+
+def test_nested_partition_leaves_outer_cut():
+    fabric = NetworkFabric()
+    with partitioned(fabric, "a", "b"):
+        with partitioned(fabric, "a", "b"):
+            assert fabric.is_partitioned("a", "b")
+        # Inner exit must not heal the outer window's cut.
+        assert fabric.is_partitioned("a", "b")
+    assert not fabric.is_partitioned("a", "b")
+
+
+def test_random_link_fault_replays_from_seed():
+    descriptions = []
+    for _ in range(2):
+        fabric = NetworkFabric()
+        rng = random.Random(7)
+        drawn = []
+        for _ in range(8):
+            with random_link_fault(fabric, "a", "b", rng) as described:
+                drawn.append(dict(described))
+        descriptions.append(drawn)
+    assert descriptions[0] == descriptions[1]
+    kinds = {d["kind"] for d in descriptions[0]}
+    assert len(kinds) > 1  # the draw actually varies
+
+
+def test_random_link_fault_applies_and_restores():
+    fabric = NetworkFabric()
+    rng = random.Random(3)
+    for _ in range(8):
+        with random_link_fault(fabric, "a", "b", rng) as described:
+            if described["kind"] in ("partition", "spike_in_partition"):
+                assert fabric.is_partitioned("a", "b")
+            if described["kind"] in ("spike", "spike_in_partition"):
+                assert fabric.latency("a", "b") == described["seconds"]
+                assert 0.05 <= described["seconds"] <= 0.25
+        assert not fabric.is_partitioned("a", "b")
+        assert fabric.latency("a", "b") == 0.0

@@ -1,0 +1,101 @@
+"""Observability and pause/resume under host death (harness satellites).
+
+``Cluster.debug_report`` and ``waiter_gauges`` are what the invariant
+checker polls *while hosts are dying* — they must degrade to tagged
+partial results, never raise.  ``pause_host``/``resume_host`` are the
+gray-failure primitive the scheduler uses where no fabric exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adf.defaults import system_default_adf
+from repro.core.keys import Key, Symbol
+from repro.errors import RuntimeLaunchError
+from repro.runtime.cluster import Cluster
+
+APP = "obs"
+
+
+def make_cluster(backend: str, **kwargs) -> Cluster:
+    adf = system_default_adf(["a", "b"], app=APP)
+    cluster = Cluster(
+        adf, backend=backend, idle_timeout=0.5,
+        heartbeat_interval=0.05, failure_threshold=2, **kwargs
+    ).start()
+    cluster.register()
+    return cluster
+
+
+def test_gauges_tag_dead_host_instead_of_raising_process_mode():
+    cluster = make_cluster("process")
+    try:
+        cluster.kill_host("b")
+        gauges = cluster.waiter_gauges()  # must not raise mid-kill
+        assert gauges["b"] == {"down": True}
+        assert "active" in gauges["a"]
+
+        report = cluster.debug_report()  # must not raise either
+        assert "b: down" in report
+        assert "a: requests=" in report
+
+        cluster.restart_host("b")
+        gauges = cluster.waiter_gauges()
+        assert "down" not in gauges["b"]
+        assert "active" in gauges["b"]
+    finally:
+        cluster.stop()
+
+
+def test_pause_resume_inprocess_cuts_and_heals_links():
+    cluster = make_cluster("inprocess")
+    try:
+        fabric = cluster.fabric
+        assert not fabric.is_partitioned("a", "b")
+        cluster.pause_host("b")
+        assert fabric.is_partitioned("a", "b")
+        # The anchor host keeps serving its own folders throughout.
+        with cluster.memo_api("a", APP, "probe") as memo:
+            key = Key(Symbol("obs.local"))
+            memo.put(key, "v", wait=True)
+            assert memo.get_skip(key) == "v"
+        cluster.resume_host("b")
+        assert not fabric.is_partitioned("a", "b")
+        cluster.resume_host("b")  # idempotent
+    finally:
+        cluster.stop()
+
+
+def test_pause_requires_fabric_on_tcp_inprocess():
+    cluster = make_cluster("inprocess", transport_kind="tcp")
+    try:
+        with pytest.raises(RuntimeLaunchError, match="fabric"):
+            cluster.pause_host("b")
+    finally:
+        cluster.stop()
+
+
+def test_pause_resume_process_mode_sigstop_roundtrip():
+    cluster = make_cluster("process")
+    try:
+        cluster.pause_host("b")
+        # The frozen child accepts no work; a is unaffected.  Resume must
+        # bring b back with all its state intact (no restart, no WAL replay).
+        cluster.resume_host("b")
+        with cluster.memo_api("b", APP, "probe") as memo:
+            key = Key(Symbol("obs.thaw"))
+            memo.put(key, 1, wait=True)
+            assert memo.get_skip(key) == 1
+    finally:
+        cluster.stop()
+
+
+def test_stop_reaps_a_paused_child():
+    """SIGTERM never lands on a SIGSTOPped process; stop() must resume
+    frozen children first or the reap would hang until the SIGKILL pass."""
+    cluster = make_cluster("process")
+    cluster.pause_host("b")
+    cluster.stop()  # must return promptly, no zombies
+    assert not cluster.backend.is_live("a")
+    assert not cluster.backend.is_live("b")

@@ -1,0 +1,147 @@
+"""Scenario specs: seeded determinism, serialization, validation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import MemoError
+from repro.scenarios import FaultEvent, ScenarioSpec, WorkloadSpec
+from repro.scenarios.workloads import build_workloads
+
+
+def chaos_spec(seed: int = 99) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="det",
+        seed=seed,
+        hosts=5,
+        duration=10.0,
+        fault_plan={"kills": 2, "partitions": 2, "pauses": 1, "spikes": 2},
+        workloads=[
+            WorkloadSpec(kind="uniform", workers=2, ops=50),
+            WorkloadSpec(kind="pipeline", workers=2, ops=20),
+            WorkloadSpec(kind="scatter_gather", workers=1, ops=10),
+            WorkloadSpec(kind="actors", workers=1, ops=10),
+        ],
+    )
+
+
+class _StubCtx:
+    """Just enough context to *construct* workloads (no cluster)."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.hosts = spec.host_names()
+        self.ledger = None
+        self.stop = threading.Event()
+        self.cluster = None
+
+    def host_at(self, index: int) -> str:
+        return self.hosts[index % len(self.hosts)]
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule_bytes(self):
+        assert chaos_spec(99).schedule_json() == chaos_spec(99).schedule_json()
+
+    def test_schedule_stable_across_calls(self):
+        spec = chaos_spec()
+        assert spec.schedule_json() == spec.schedule_json()
+
+    def test_different_seed_different_schedule(self):
+        assert chaos_spec(1).schedule_json() != chaos_spec(2).schedule_json()
+
+    def test_json_roundtrip_preserves_schedule(self):
+        spec = chaos_spec()
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.schedule_json() == spec.schedule_json()
+
+    def test_explicit_faults_roundtrip(self):
+        spec = ScenarioSpec(
+            name="explicit",
+            seed=0,
+            hosts=3,
+            workloads=[WorkloadSpec(kind="uniform")],
+            faults=[
+                FaultEvent(at=0.5, kind="kill", targets=("n01",), duration=1.0),
+                FaultEvent(at=0.2, kind="spike", targets=("n01", "n02"),
+                           duration=0.5, seconds=0.1),
+            ],
+        )
+        clone = ScenarioSpec.from_json(spec.to_json())
+        assert clone.schedule_json() == spec.schedule_json()
+        # Schedules come out time-sorted regardless of declaration order.
+        assert [e.kind for e in clone.fault_schedule()] == ["spike", "kill"]
+
+    def test_generator_spares_the_anchor_host(self):
+        spec = chaos_spec()
+        anchor = spec.host_names()[0]
+        for event in spec.fault_schedule():
+            assert anchor not in event.targets
+
+    def test_planned_token_streams_deterministic(self):
+        streams = []
+        for _ in range(2):
+            workloads = build_workloads(_StubCtx(chaos_spec()))
+            streams.append([w.planned_tokens() for w in workloads])
+        assert streams[0] == streams[1]
+        assert any(tokens for tokens in streams[0])
+
+
+class TestValidation:
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(MemoError, match="unknown fault kind"):
+            FaultEvent(at=0.0, kind="meteor", targets=("n00",))
+
+    def test_no_workloads_rejected(self):
+        with pytest.raises(MemoError, match="drives no workloads"):
+            ScenarioSpec(name="idle", seed=0).validate()
+
+    def test_kills_require_replication(self):
+        spec = ScenarioSpec(
+            name="fragile",
+            seed=0,
+            replication_factor=1,
+            workloads=[WorkloadSpec(kind="uniform")],
+            faults=[FaultEvent(at=0.1, kind="kill", targets=("n00",))],
+        )
+        with pytest.raises(MemoError, match="replication_factor >= 2"):
+            spec.validate()
+
+    def test_spikes_require_inprocess_backend(self):
+        spec = ScenarioSpec(
+            name="spiky",
+            seed=0,
+            backend="process",
+            workloads=[WorkloadSpec(kind="uniform")],
+            faults=[
+                FaultEvent(at=0.1, kind="spike", targets=("n00", "n01"),
+                           seconds=0.1)
+            ],
+        )
+        with pytest.raises(MemoError, match="in-memory fabric"):
+            spec.validate()
+
+    def test_unknown_fault_target_rejected(self):
+        spec = ScenarioSpec(
+            name="ghost",
+            seed=0,
+            hosts=2,
+            workloads=[WorkloadSpec(kind="uniform")],
+            faults=[FaultEvent(at=0.1, kind="kill", targets=("nope",))],
+        )
+        with pytest.raises(MemoError, match="unknown hosts"):
+            spec.validate()
+
+    def test_open_pacing_needs_rate(self):
+        with pytest.raises(MemoError, match="positive rate"):
+            WorkloadSpec(kind="uniform", pacing="open")
+
+    def test_unknown_workload_kind_fails_at_build(self):
+        spec = ScenarioSpec(
+            name="odd", seed=0, workloads=[WorkloadSpec(kind="nonesuch")]
+        )
+        with pytest.raises(MemoError, match="unknown workload kind"):
+            build_workloads(_StubCtx(spec))
